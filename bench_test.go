@@ -1,0 +1,502 @@
+// Package clydesdale_bench holds the top-level benchmarks that regenerate
+// every table and figure of the paper's evaluation (run with
+// `go test -bench=. -benchmem`), plus micro-benchmarks for the individual
+// techniques. The figure benchmarks print paper-style tables once and
+// report the headline metric (average speedup, slowdown factors, MB/s) via
+// b.ReportMetric.
+package clydesdale_bench
+
+import (
+	"os"
+	"sync"
+	"testing"
+
+	"clydesdale/internal/bench"
+	"clydesdale/internal/cluster"
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/core"
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/hive"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+	"clydesdale/internal/ssb"
+)
+
+// benchCfg sizes the figure benchmarks. Raise FactRows/DimScale for a
+// larger run (e.g. BENCH_FACT_ROWS=300000 go test -bench Figure7).
+func benchCfg() bench.Config {
+	cfg := bench.Config{DimScale: 1, FactRows: 60_000, Seed: 42, WorkersA: 4, WorkersB: 8, TimeScale: 5e-3}
+	if v := os.Getenv("BENCH_FACT_ROWS"); v != "" {
+		var n int64
+		for _, ch := range v {
+			if ch >= '0' && ch <= '9' {
+				n = n*10 + int64(ch-'0')
+			}
+		}
+		if n > 0 {
+			cfg.FactRows = n
+		}
+	}
+	return cfg
+}
+
+// BenchmarkFigure7 regenerates Figure 7: all 13 SSB queries on Clydesdale,
+// Hive-repartition and Hive-mapjoin over the cluster A profile. The figure
+// table prints on the first iteration; the reported metric is the average
+// speedup over Hive's better plan.
+func BenchmarkFigure7(b *testing.B) {
+	h, err := bench.NewHarness(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		w := os.Stdout
+		if i > 0 {
+			w = nil
+		}
+		fig, err := h.RunFigure("A", w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = fig.AverageSpeedup()
+	}
+	b.ReportMetric(avg, "avg-speedup-x")
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (cluster B profile: more workers,
+// more memory — mapjoin completes everywhere, speedups shrink).
+func BenchmarkFigure8(b *testing.B) {
+	h, err := bench.NewHarness(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		w := os.Stdout
+		if i > 0 {
+			w = nil
+		}
+		fig, err := h.RunFigure("B", w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		avg = fig.AverageSpeedup()
+	}
+	b.ReportMetric(avg, "avg-speedup-x")
+}
+
+// BenchmarkFigure9 regenerates Figure 9: the per-feature ablation.
+func BenchmarkFigure9(b *testing.B) {
+	h, err := bench.NewHarness(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var nb, nc, nm float64
+	for i := 0; i < b.N; i++ {
+		w := os.Stdout
+		if i > 0 {
+			w = nil
+		}
+		abl, err := h.RunFigure9(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nb, nc, nm = abl.Average()
+	}
+	b.ReportMetric(nb, "noblock-slowdown-x")
+	b.ReportMetric(nc, "nocolumnar-slowdown-x")
+	b.ReportMetric(nm, "nothreads-slowdown-x")
+}
+
+// BenchmarkTable1 regenerates Table 1: TestDFSIO on cluster A.
+func BenchmarkTable1(b *testing.B) {
+	h, err := bench.NewHarness(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	var read, write float64
+	for i := 0; i < b.N; i++ {
+		w := os.Stdout
+		if i > 0 {
+			w = nil
+		}
+		res, err := h.RunTable1("A", 8, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		read, write = res.ReadMBps, res.WriteMBps
+	}
+	b.ReportMetric(read, "hdfs-read-MB/s")
+	b.ReportMetric(write, "hdfs-write-MB/s")
+}
+
+// BenchmarkBreakdownQ21 regenerates the §6.3 anatomy of query 2.1.
+func BenchmarkBreakdownQ21(b *testing.B) {
+	h, err := bench.NewHarness(benchCfg())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		w := os.Stdout
+		if i > 0 {
+			w = nil
+		}
+		if _, err := h.RunBreakdown("Q2.1", w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Per-query engine benchmarks over a shared environment (no modeled-time
+// sleeping: pure execution cost).
+
+type queryEnv struct {
+	cluster *cluster.Cluster
+	fs      *hdfs.FileSystem
+	mr      *mr.Engine
+	lay     *ssb.Layout
+	cly     *core.Engine
+	mapj    *hive.Engine
+	repart  *hive.Engine
+}
+
+var (
+	qenvOnce sync.Once
+	qenv     *queryEnv
+	qenvErr  error
+)
+
+func sharedEnv(b *testing.B) *queryEnv {
+	qenvOnce.Do(func() {
+		gen := ssb.NewBenchGenerator(1, 60_000, 42)
+		c := cluster.New(cluster.Testing(4))
+		fs := hdfs.New(c, hdfs.Options{Seed: 5})
+		lay, err := ssb.Load(fs, gen, "/ssb", ssb.LoadOptions{})
+		if err != nil {
+			qenvErr = err
+			return
+		}
+		e := mr.NewEngine(c, fs, mr.Options{})
+		if _, err := core.EnsureCatalogCached(fs, lay.Catalog()); err != nil {
+			qenvErr = err
+			return
+		}
+		qenv = &queryEnv{
+			cluster: c, fs: fs, mr: e, lay: lay,
+			cly:    core.New(e, lay.Catalog(), core.Options{}),
+			mapj:   hive.New(e, lay.RCCatalog(), hive.Options{Strategy: hive.MapJoin}),
+			repart: hive.New(e, lay.RCCatalog(), hive.Options{Strategy: hive.Repartition}),
+		}
+	})
+	if qenvErr != nil {
+		b.Fatal(qenvErr)
+	}
+	return qenv
+}
+
+func benchQuery(b *testing.B, engine func(q *ssb.Query) error, name string) {
+	q, err := ssb.QueryByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := engine(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClydesdaleQ21 measures one Clydesdale execution of Q2.1.
+func BenchmarkClydesdaleQ21(b *testing.B) {
+	env := sharedEnv(b)
+	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.cly.Execute(q); return err }, "Q2.1")
+}
+
+// BenchmarkClydesdaleQ31 measures Q3.1 (three dims with a big customer
+// hash).
+func BenchmarkClydesdaleQ31(b *testing.B) {
+	env := sharedEnv(b)
+	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.cly.Execute(q); return err }, "Q3.1")
+}
+
+// BenchmarkClydesdaleQ43 measures Q4.3 (all four dims).
+func BenchmarkClydesdaleQ43(b *testing.B) {
+	env := sharedEnv(b)
+	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.cly.Execute(q); return err }, "Q4.3")
+}
+
+// BenchmarkHiveMapjoinQ21 measures the mapjoin plan on Q2.1.
+func BenchmarkHiveMapjoinQ21(b *testing.B) {
+	env := sharedEnv(b)
+	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.mapj.Execute(q); return err }, "Q2.1")
+}
+
+// BenchmarkHiveRepartitionQ21 measures the repartition plan on Q2.1.
+func BenchmarkHiveRepartitionQ21(b *testing.B) {
+	env := sharedEnv(b)
+	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.repart.Execute(q); return err }, "Q2.1")
+}
+
+// ---------------------------------------------------------------------
+// Micro-benchmarks for individual techniques.
+
+// BenchmarkCIFScanPruned scans 4 of 17 fact columns through CIF.
+func BenchmarkCIFScanPruned(b *testing.B) {
+	env := sharedEnv(b)
+	benchScan(b, env, []string{"lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"})
+}
+
+// BenchmarkCIFScanAll scans all 17 fact columns (the "columnar off" cost).
+func BenchmarkCIFScanAll(b *testing.B) {
+	env := sharedEnv(b)
+	benchScan(b, env, nil)
+}
+
+func benchScan(b *testing.B, env *queryEnv, cols []string) {
+	jctx := &mr.JobContext{FS: env.fs, Cluster: env.cluster, Conf: mr.NewJobConf(), Counters: mr.NewCounters()}
+	in := &colstore.CIFInput{Dir: env.lay.FactCIF, Columns: cols, Schema: ssb.LineorderSchema}
+	splits, err := in.Splits(jctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := env.cluster.Nodes()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := 0
+		for _, s := range splits {
+			r, err := in.Open(s, mr.NewTestTaskContext(jctx, node))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				_, _, ok, err := r.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				rows++
+			}
+			r.Close()
+		}
+		if rows != 60_000 {
+			b.Fatalf("rows = %d", rows)
+		}
+	}
+}
+
+// BenchmarkBlockIteration reads the fact table block-at-a-time (B-CIF).
+func BenchmarkBlockIteration(b *testing.B) {
+	env := sharedEnv(b)
+	jctx := &mr.JobContext{FS: env.fs, Cluster: env.cluster, Conf: mr.NewJobConf(), Counters: mr.NewCounters()}
+	in := &colstore.CIFInput{Dir: env.lay.FactCIF, Columns: []string{"lo_orderdate", "lo_revenue"}, Schema: ssb.LineorderSchema, BlockRows: 1024}
+	splits, err := in.Splits(jctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := env.cluster.Nodes()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		for _, s := range splits {
+			r, err := in.Open(s, mr.NewTestTaskContext(jctx, node))
+			if err != nil {
+				b.Fatal(err)
+			}
+			br := r.(colstore.BlockReader)
+			for {
+				blk, ok, err := br.NextBlock()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				for _, v := range blk.ColNamed("lo_revenue").Ints {
+					sum += v
+				}
+			}
+			r.Close()
+		}
+		if sum == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+// BenchmarkRowIteration reads the same two columns row-at-a-time (CIF).
+func BenchmarkRowIteration(b *testing.B) {
+	env := sharedEnv(b)
+	jctx := &mr.JobContext{FS: env.fs, Cluster: env.cluster, Conf: mr.NewJobConf(), Counters: mr.NewCounters()}
+	in := &colstore.CIFInput{Dir: env.lay.FactCIF, Columns: []string{"lo_orderdate", "lo_revenue"}, Schema: ssb.LineorderSchema}
+	splits, err := in.Splits(jctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := env.cluster.Nodes()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sum int64
+		for _, s := range splits {
+			r, err := in.Open(s, mr.NewTestTaskContext(jctx, node))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				_, rec, ok, err := r.Next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					break
+				}
+				sum += rec.Get("lo_revenue").Int64()
+			}
+			r.Close()
+		}
+		if sum == 0 {
+			b.Fatal("no data")
+		}
+	}
+}
+
+// BenchmarkHashTableBuild measures one node's dimension hash build for
+// Q3.1 (the §6.3 "27 seconds to build three hash tables" component).
+func BenchmarkHashTableBuild(b *testing.B) {
+	env := sharedEnv(b)
+	q, err := ssb.QueryByName("Q3.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	node := env.cluster.Nodes()[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for d := range q.Dims {
+			dir := env.lay.DimPath(q.Dims[d].Table)
+			h, err := core.BuildDimHashTable(env.fs, node, dir, &q.Dims[d])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if h.Len() == 0 {
+				b.Fatal("empty hash table")
+			}
+		}
+	}
+}
+
+// BenchmarkRecordEncodeDecode measures the wire codec on a fact row.
+func BenchmarkRecordEncodeDecode(b *testing.B) {
+	gen := ssb.NewGenerator(0.01, 1)
+	row := gen.Lineorder(12345)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := row.Encode()
+		if _, _, err := records.DecodeRecord(buf, ssb.LineorderSchema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShuffleWordCount measures a small end-to-end MapReduce job with
+// a full shuffle (framework overhead floor).
+func BenchmarkShuffleWordCount(b *testing.B) {
+	c := cluster.New(cluster.Testing(2))
+	fs := hdfs.New(c, hdfs.Options{Seed: 2})
+	engine := mr.NewEngine(c, fs, mr.Options{})
+	wordSchema := records.NewSchema(records.F("w", records.KindString))
+	one := records.NewSchema(records.F("n", records.KindInt64))
+	var pairs []mr.KV
+	words := []string{"the", "quick", "brown", "fox", "jumps"}
+	for i := 0; i < 2000; i++ {
+		pairs = append(pairs, mr.KV{Value: records.Make(wordSchema, records.Str(words[i%5]))})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out := &mr.MemoryOutput{}
+		job := &mr.Job{
+			Input:  &mr.MemoryInput{SplitsList: []*mr.MemorySplit{{Pairs: pairs}}},
+			Output: out,
+			NewMapper: func() mr.Mapper {
+				return mr.MapperFunc(func(_, v records.Record, c mr.Collector) error {
+					return c.Collect(v, records.Make(one, records.Int(1)))
+				})
+			},
+			NewReducer: func() mr.Reducer {
+				return mr.ReducerFunc(func(k records.Record, vs mr.Values, c mr.Collector) error {
+					var n int64
+					for _, ok := vs.Next(); ok; _, ok = vs.Next() {
+						n++
+					}
+					return c.Collect(k, records.Make(one, records.Int(n)))
+				})
+			},
+			NumReduceTasks: 2,
+			KeySchema:      wordSchema,
+			ValueSchema:    one,
+		}
+		if _, err := engine.Submit(job); err != nil {
+			b.Fatal(err)
+		}
+		if len(out.Pairs()) != 5 {
+			b.Fatal("bad output")
+		}
+	}
+}
+
+// BenchmarkProbeOrderQueryOrder probes Q4.1 in plan order (the paper's
+// §4.2 strategy): the unfiltered date dimension is probed first, so the
+// early-out rarely fires early.
+func BenchmarkProbeOrderQueryOrder(b *testing.B) {
+	benchProbeOrder(b, false)
+}
+
+// BenchmarkProbeOrderSelectivity probes the most selective dimension first,
+// the design alternative DESIGN.md calls out.
+func BenchmarkProbeOrderSelectivity(b *testing.B) {
+	benchProbeOrder(b, true)
+}
+
+func benchProbeOrder(b *testing.B, selectiveFirst bool) {
+	env := sharedEnv(b)
+	eng := core.New(env.mr, env.lay.Catalog(), core.Options{ProbeMostSelectiveFirst: selectiveFirst})
+	q, err := ssb.QueryByName("Q4.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.Execute(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStagedVsSingleJob compares the §5.1 staged fallback against the
+// single-job plan on the same query (the fallback's extra intermediate I/O
+// is the price of its lower memory high-water mark).
+func BenchmarkStagedVsSingleJob(b *testing.B) {
+	env := sharedEnv(b)
+	eng := core.New(env.mr, env.lay.Catalog(), core.Options{})
+	q, err := ssb.QueryByName("Q3.1")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("single-job", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.Execute(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("staged", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := eng.ExecuteStaged(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

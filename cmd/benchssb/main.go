@@ -1,0 +1,74 @@
+// Command benchssb regenerates the paper's evaluation: Figure 7 (cluster
+// A), Figure 8 (cluster B), Figure 9 (feature ablation), Table 1
+// (TestDFSIO), and the §6.3 breakdown of query 2.1.
+//
+// Usage:
+//
+//	benchssb                         # everything, default size
+//	benchssb -figure 7               # one experiment
+//	benchssb -figure breakdown -query Q2.1
+//	benchssb -factrows 300000 -dimscale 2   # bigger run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clydesdale/internal/bench"
+)
+
+func main() {
+	var (
+		figure   = flag.String("figure", "all", "experiment: 7 | 8 | 9 | table1 | breakdown | all")
+		query    = flag.String("query", "Q2.1", "query for -figure breakdown")
+		dimScale = flag.Float64("dimscale", 0, "dimension scale (default 2)")
+		factRows = flag.Int64("factrows", 0, "fact rows (default 60000)")
+		seed     = flag.Uint64("seed", 42, "generator seed")
+		workersA = flag.Int("workers-a", 0, "cluster A workers (default 8)")
+		workersB = flag.Int("workers-b", 0, "cluster B workers (default 40)")
+		fileMB   = flag.Int64("dfsio-mb", 8, "TestDFSIO file size in MB")
+		verbose  = flag.Bool("v", false, "progress output")
+	)
+	flag.Parse()
+
+	h, err := bench.NewHarness(bench.Config{
+		DimScale: *dimScale,
+		FactRows: *factRows,
+		Seed:     *seed,
+		WorkersA: *workersA,
+		WorkersB: *workersB,
+		Verbose:  *verbose,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	start := time.Now()
+	run := func(name string, f func() error) {
+		if *figure != "all" && *figure != name {
+			return
+		}
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+	}
+	run("7", func() error { _, err := h.RunFigure("A", os.Stdout); return err })
+	run("8", func() error { _, err := h.RunFigure("B", os.Stdout); return err })
+	run("9", func() error { _, err := h.RunFigure9(os.Stdout); return err })
+	run("table1", func() error {
+		if _, err := h.RunTable1("A", *fileMB, os.Stdout); err != nil {
+			return err
+		}
+		_, err := h.RunTable1("B", *fileMB, os.Stdout)
+		return err
+	})
+	run("breakdown", func() error { _, err := h.RunBreakdown(*query, os.Stdout); return err })
+	fmt.Printf("\nall requested experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchssb:", err)
+	os.Exit(1)
+}

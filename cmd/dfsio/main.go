@@ -1,0 +1,46 @@
+// Command dfsio runs the TestDFSIO reproduction (Table 1, §6.6) on one or
+// both simulated cluster profiles: a MapReduce write job whose tasks each
+// write a file to HDFS, then a read job that reads them back data-locally,
+// reporting per-task throughput against the configured raw disk bandwidth.
+//
+// Usage:
+//
+//	dfsio                    # both clusters, 8 MB files
+//	dfsio -cluster A -mb 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clydesdale/internal/bench"
+)
+
+func main() {
+	var (
+		clusterName = flag.String("cluster", "both", "cluster profile: A | B | both")
+		fileMB      = flag.Int64("mb", 8, "file size per map task in MB")
+		seed        = flag.Uint64("seed", 42, "seed")
+	)
+	flag.Parse()
+
+	h, err := bench.NewHarness(bench.Config{Seed: *seed})
+	if err != nil {
+		fatal(err)
+	}
+	profiles := []string{"A", "B"}
+	if *clusterName != "both" {
+		profiles = []string{*clusterName}
+	}
+	for _, p := range profiles {
+		if _, err := h.RunTable1(p, *fileMB, os.Stdout); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dfsio:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,3 @@
+module clydesdale
+
+go 1.24

@@ -1,0 +1,533 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strings"
+
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+)
+
+// CIF layout: a table directory contains horizontal partitions, each a
+// directory holding one file per column:
+//
+//	<dir>/_schema
+//	<dir>/p-00000/<column>.col
+//	<dir>/p-00001/<column>.col ...
+//
+// A column file is magic "CCF1", uvarint row count, the encoded values,
+// and a trailing CRC-32 (IEEE) of everything before it — the checksum HDFS
+// keeps per block, letting readers detect corrupted replicas.
+// The table prefix is registered with the co-locating placement policy so
+// all the column files of a partition replicate to the same nodes, keeping
+// column-pruned scans data-local (§4.1).
+
+var cifMagic = []byte{'C', 'C', 'F', '1'}
+
+// DefaultPartitionRows is the row count per CIF partition when unspecified.
+const DefaultPartitionRows = 65536
+
+// CIFWriter writes a table in CIF format.
+type CIFWriter struct {
+	fs            *hdfs.FileSystem
+	dir           string
+	schema        *records.Schema
+	partitionRows int64
+	block         *records.RowBlock
+	partition     int
+	rows          int64
+	closed        bool
+}
+
+// NewCIFWriter starts a CIF table at dir, installing the co-locating
+// placement policy for it. partitionRows <= 0 uses DefaultPartitionRows.
+func NewCIFWriter(fs *hdfs.FileSystem, dir string, schema *records.Schema, partitionRows int64) (*CIFWriter, error) {
+	if partitionRows <= 0 {
+		partitionRows = DefaultPartitionRows
+	}
+	fs.SetPlacementPolicy(dir+"/", hdfs.ColocatePolicy{})
+	if err := WriteSchema(fs, dir, schema); err != nil {
+		return nil, err
+	}
+	return &CIFWriter{
+		fs:            fs,
+		dir:           dir,
+		schema:        schema,
+		partitionRows: partitionRows,
+		block:         records.NewRowBlock(schema, int(partitionRows)),
+	}, nil
+}
+
+// Append buffers one record, flushing a partition when full.
+func (w *CIFWriter) Append(r records.Record) error {
+	if w.closed {
+		return fmt.Errorf("colstore: append to closed CIF writer")
+	}
+	w.block.AppendRow(r)
+	w.rows++
+	if int64(w.block.Len()) >= w.partitionRows {
+		return w.flushPartition()
+	}
+	return nil
+}
+
+func (w *CIFWriter) flushPartition() error {
+	if w.block.Len() == 0 {
+		return nil
+	}
+	pdir := fmt.Sprintf("%s/p-%05d", w.dir, w.partition)
+	for i := 0; i < w.schema.Len(); i++ {
+		col := w.block.Col(i)
+		buf := append([]byte(nil), cifMagic...)
+		buf = binary.AppendUvarint(buf, uint64(col.Len()))
+		for row := 0; row < col.Len(); row++ {
+			buf = records.AppendValue(buf, col.Value(row))
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+		path := fmt.Sprintf("%s/%s.col", pdir, w.schema.Field(i).Name)
+		if err := w.fs.WriteFile(path, "", buf); err != nil {
+			return err
+		}
+	}
+	w.partition++
+	w.block.Reset()
+	return nil
+}
+
+// Close flushes the final partition. Rows written so far remain valid; CIF
+// supports rolling in more data later by appending new partitions (the
+// operational property §2 contrasts with Llama's sorted projections).
+func (w *CIFWriter) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.flushPartition()
+}
+
+// Rows returns the number of rows appended.
+func (w *CIFWriter) Rows() int64 { return w.rows }
+
+// AppendPartitions opens an existing CIF table for roll-in: new rows go to
+// fresh partitions after the existing ones, without touching old data.
+func AppendPartitions(fs *hdfs.FileSystem, dir string, partitionRows int64) (*CIFWriter, error) {
+	schema, err := ReadSchema(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	w, err := newAppendingCIFWriter(fs, dir, schema, partitionRows)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func newAppendingCIFWriter(fs *hdfs.FileSystem, dir string, schema *records.Schema, partitionRows int64) (*CIFWriter, error) {
+	if partitionRows <= 0 {
+		partitionRows = DefaultPartitionRows
+	}
+	parts, err := ListPartitions(fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	return &CIFWriter{
+		fs:            fs,
+		dir:           dir,
+		schema:        schema,
+		partitionRows: partitionRows,
+		block:         records.NewRowBlock(schema, int(partitionRows)),
+		partition:     len(parts),
+	}, nil
+}
+
+// WriteCIFTable writes rows into a new CIF table.
+func WriteCIFTable(fs *hdfs.FileSystem, dir string, schema *records.Schema, partitionRows int64, rows func(emit func(records.Record) error) error) (int64, error) {
+	w, err := NewCIFWriter(fs, dir, schema, partitionRows)
+	if err != nil {
+		return 0, err
+	}
+	emit := func(r records.Record) error { return w.Append(r) }
+	if err := rows(emit); err != nil {
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Rows(), nil
+}
+
+// DropPartitions removes the named partition directories from a CIF table
+// (roll-out, §2: old fact data leaves without rewriting anything else).
+// Unknown partitions are ignored.
+func DropPartitions(fs *hdfs.FileSystem, dir string, partitions []string) error {
+	known, err := ListPartitions(fs, dir)
+	if err != nil {
+		return err
+	}
+	isKnown := make(map[string]bool, len(known))
+	for _, p := range known {
+		isKnown[p] = true
+	}
+	for _, p := range partitions {
+		if !strings.HasPrefix(p, dir+"/") {
+			p = dir + "/" + p
+		}
+		if isKnown[p] {
+			fs.DeletePrefix(p + "/")
+		}
+	}
+	return nil
+}
+
+// ListPartitions returns the partition directories of a CIF table, sorted.
+func ListPartitions(fs *hdfs.FileSystem, dir string) ([]string, error) {
+	seen := map[string]bool{}
+	var parts []string
+	for _, p := range fs.List(dir + "/p-") {
+		rest := p[len(dir)+1:]
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			continue
+		}
+		pdir := dir + "/" + rest[:slash]
+		if !seen[pdir] {
+			seen[pdir] = true
+			parts = append(parts, pdir)
+		}
+	}
+	sort.Strings(parts)
+	return parts, nil
+}
+
+// CIFSplit is one CIF partition: the unit of locality and scheduling.
+type CIFSplit struct {
+	PartitionDir string
+	Hosts        []string
+	bytes        int64
+}
+
+// Locations implements mr.InputSplit.
+func (s *CIFSplit) Locations() []string { return s.Hosts }
+
+// Length implements mr.InputSplit.
+func (s *CIFSplit) Length() int64 { return s.bytes }
+
+// MultiSplit packs several CIF partitions into one schedulable unit
+// (MultiCIF, §5.1). Partitions are packed by primary host so the pack stays
+// data-local.
+type MultiSplit struct {
+	Parts []*CIFSplit
+}
+
+// Locations implements mr.InputSplit.
+func (s *MultiSplit) Locations() []string {
+	if len(s.Parts) == 0 {
+		return nil
+	}
+	return s.Parts[0].Hosts
+}
+
+// Length implements mr.InputSplit.
+func (s *MultiSplit) Length() int64 {
+	var n int64
+	for _, p := range s.Parts {
+		n += p.bytes
+	}
+	return n
+}
+
+// CIFInput is the ColumnInputFormat: splits are partitions (or multi-split
+// packs of them) and readers materialize only the requested columns.
+//
+// The same input format serves the three execution modes the paper
+// evaluates: row-at-a-time (CIF) through Next, block iteration (B-CIF)
+// through NextBlock, and MultiCIF packing via mr.ConfMultiSplitPack.
+type CIFInput struct {
+	Dir     string
+	Columns []string // nil → all columns
+	Schema  *records.Schema
+	// BlockRows is the rows per block for NextBlock (B-CIF); <= 0 uses 1024.
+	BlockRows int
+
+	projected *records.Schema
+}
+
+// Splits implements mr.InputFormat, optionally packing multi-splits.
+func (in *CIFInput) Splits(ctx *mr.JobContext) ([]mr.InputSplit, error) {
+	if err := in.resolve(ctx.FS); err != nil {
+		return nil, err
+	}
+	parts, err := ListPartitions(ctx.FS, in.Dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("colstore: CIF table %s has no partitions", in.Dir)
+	}
+	var raw []*CIFSplit
+	for _, pdir := range parts {
+		s := &CIFSplit{PartitionDir: pdir}
+		for i := 0; i < in.projected.Len(); i++ {
+			path := fmt.Sprintf("%s/%s.col", pdir, in.projected.Field(i).Name)
+			info, err := ctx.FS.Stat(path)
+			if err != nil {
+				return nil, err
+			}
+			s.bytes += info.Size
+			if s.Hosts == nil {
+				locs, err := ctx.FS.BlockLocations(path, 0, 1)
+				if err != nil {
+					return nil, err
+				}
+				if len(locs) > 0 {
+					s.Hosts = locs[0].Hosts
+				}
+			}
+		}
+		raw = append(raw, s)
+	}
+
+	pack := int(ctx.Conf.GetInt(mr.ConfMultiSplitPack, 1))
+	if pack <= 1 {
+		out := make([]mr.InputSplit, len(raw))
+		for i, s := range raw {
+			out[i] = s
+		}
+		return out, nil
+	}
+	// Group by primary host so a pack stays local to one node.
+	byHost := map[string][]*CIFSplit{}
+	var hosts []string
+	for _, s := range raw {
+		h := ""
+		if len(s.Hosts) > 0 {
+			h = s.Hosts[0]
+		}
+		if _, ok := byHost[h]; !ok {
+			hosts = append(hosts, h)
+		}
+		byHost[h] = append(byHost[h], s)
+	}
+	sort.Strings(hosts)
+	var out []mr.InputSplit
+	for _, h := range hosts {
+		group := byHost[h]
+		for i := 0; i < len(group); i += pack {
+			end := i + pack
+			if end > len(group) {
+				end = len(group)
+			}
+			out = append(out, &MultiSplit{Parts: group[i:end]})
+		}
+	}
+	return out, nil
+}
+
+func (in *CIFInput) resolve(fs *hdfs.FileSystem) error {
+	if in.Schema == nil {
+		s, err := ReadSchema(fs, in.Dir)
+		if err != nil {
+			return err
+		}
+		in.Schema = s
+	}
+	if in.projected != nil {
+		return nil
+	}
+	cols := in.Columns
+	if cols == nil {
+		cols = in.Schema.Names()
+	}
+	proj, err := in.Schema.Project(cols...)
+	if err != nil {
+		return err
+	}
+	in.projected = proj
+	return nil
+}
+
+// Open implements mr.InputFormat. The returned reader also implements
+// BlockReader (B-CIF) and, for multi-splits, mr.MultiReader (MultiCIF).
+func (in *CIFInput) Open(split mr.InputSplit, ctx *mr.TaskContext) (mr.RecordReader, error) {
+	if err := in.resolve(ctx.FS); err != nil {
+		return nil, err
+	}
+	blockRows := in.BlockRows
+	if blockRows <= 0 {
+		blockRows = 1024
+	}
+	switch s := split.(type) {
+	case *CIFSplit:
+		return newCIFReader(ctx, s, in.projected, blockRows), nil
+	case *MultiSplit:
+		children := make([]mr.RecordReader, len(s.Parts))
+		for i, p := range s.Parts {
+			children[i] = newCIFReader(ctx, p, in.projected, blockRows)
+		}
+		return &multiReader{children: children}, nil
+	default:
+		return nil, fmt.Errorf("colstore: CIFInput got %T split", split)
+	}
+}
+
+// BlockReader is implemented by readers that can deliver a block of rows at
+// a time (B-CIF, §5.3). The returned block is reused across calls.
+type BlockReader interface {
+	NextBlock() (*records.RowBlock, bool, error)
+}
+
+// cifReader materializes one partition's projected columns and iterates
+// them row-at-a-time or block-at-a-time.
+type cifReader struct {
+	ctx       *mr.TaskContext
+	split     *CIFSplit
+	schema    *records.Schema
+	blockRows int
+
+	loaded bool
+	chunks [][]byte // per column, remaining encoded values
+	rows   int64
+	pos    int64
+	block  *records.RowBlock
+}
+
+func newCIFReader(ctx *mr.TaskContext, s *CIFSplit, schema *records.Schema, blockRows int) *cifReader {
+	return &cifReader{ctx: ctx, split: s, schema: schema, blockRows: blockRows}
+}
+
+// load fetches the partition's projected column files from HDFS (charging
+// only those columns' bytes — the I/O saving of columnar storage).
+func (r *cifReader) load() error {
+	if r.loaded {
+		return nil
+	}
+	r.loaded = true
+	r.chunks = make([][]byte, r.schema.Len())
+	r.rows = -1
+	for i := 0; i < r.schema.Len(); i++ {
+		path := fmt.Sprintf("%s/%s.col", r.split.PartitionDir, r.schema.Field(i).Name)
+		data, err := r.ctx.FS.ReadAll(path, r.ctx.Node().ID())
+		if err != nil {
+			return err
+		}
+		if len(data) < len(cifMagic)+4 || string(data[:len(cifMagic)]) != string(cifMagic) {
+			return fmt.Errorf("colstore: %s: bad column magic", path)
+		}
+		body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
+		if crc32.ChecksumIEEE(body) != sum {
+			return fmt.Errorf("colstore: %s: checksum mismatch (corrupted replica?)", path)
+		}
+		count, n := binary.Uvarint(body[len(cifMagic):])
+		if n <= 0 {
+			return fmt.Errorf("colstore: %s: bad row count", path)
+		}
+		if r.rows < 0 {
+			r.rows = int64(count)
+		} else if r.rows != int64(count) {
+			return fmt.Errorf("colstore: %s: %d rows, sibling columns have %d", path, count, r.rows)
+		}
+		r.chunks[i] = body[len(cifMagic)+n:]
+	}
+	return nil
+}
+
+// Next implements mr.RecordReader (row-at-a-time CIF).
+func (r *cifReader) Next() (records.Record, records.Record, bool, error) {
+	if err := r.load(); err != nil {
+		return records.Record{}, records.Record{}, false, err
+	}
+	if r.pos >= r.rows {
+		return records.Record{}, records.Record{}, false, nil
+	}
+	vals := make([]records.Value, r.schema.Len())
+	for i := range r.chunks {
+		v, n, err := records.DecodeValue(r.chunks[i])
+		if err != nil {
+			return records.Record{}, records.Record{}, false, err
+		}
+		r.chunks[i] = r.chunks[i][n:]
+		vals[i] = v
+	}
+	r.pos++
+	return records.Record{}, records.Make(r.schema, vals...), true, nil
+}
+
+// NextBlock implements BlockReader (B-CIF): it fills the reusable block by
+// decoding a run of values from each column chunk in a tight loop.
+func (r *cifReader) NextBlock() (*records.RowBlock, bool, error) {
+	if err := r.load(); err != nil {
+		return nil, false, err
+	}
+	if r.pos >= r.rows {
+		return nil, false, nil
+	}
+	n := int64(r.blockRows)
+	if r.pos+n > r.rows {
+		n = r.rows - r.pos
+	}
+	if r.block == nil {
+		r.block = records.NewRowBlock(r.schema, r.blockRows)
+	}
+	r.block.Reset()
+	for c := range r.chunks {
+		col := r.block.Col(c)
+		chunk := r.chunks[c]
+		for i := int64(0); i < n; i++ {
+			v, used, err := records.DecodeValue(chunk)
+			if err != nil {
+				return nil, false, err
+			}
+			chunk = chunk[used:]
+			col.Append(v)
+		}
+		r.chunks[c] = chunk
+	}
+	r.pos += n
+	r.block.SetLen(int(n))
+	return r.block, true, nil
+}
+
+// Close implements mr.RecordReader.
+func (r *cifReader) Close() error {
+	r.chunks = nil
+	return nil
+}
+
+// multiReader serves a multi-split: sequential Next for the default runner
+// and independent per-partition readers for multi-threaded runners.
+type multiReader struct {
+	children []mr.RecordReader
+	cur      int
+}
+
+// Readers implements mr.MultiReader.
+func (m *multiReader) Readers() ([]mr.RecordReader, error) {
+	return append([]mr.RecordReader(nil), m.children...), nil
+}
+
+// Next implements mr.RecordReader by draining children in order.
+func (m *multiReader) Next() (records.Record, records.Record, bool, error) {
+	for m.cur < len(m.children) {
+		k, v, ok, err := m.children[m.cur].Next()
+		if err != nil || ok {
+			return k, v, ok, err
+		}
+		m.cur++
+	}
+	return records.Record{}, records.Record{}, false, nil
+}
+
+// Close implements mr.RecordReader.
+func (m *multiReader) Close() error {
+	var first error
+	for _, c := range m.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,24 @@
+// Package colstore implements the storage formats of the paper's two
+// systems and the InputFormats that expose them to MapReduce:
+//
+//   - CIF: the ColumnInputFormat layout of [21] — a table is a sequence of
+//     horizontal partitions, each a directory containing one file per
+//     column; an HDFS co-locating placement policy keeps all the column
+//     files of a partition on the same nodes, so column-pruned scans remain
+//     data-local (§4.1). CIF reads one row at a time.
+//   - B-CIF: block-iterating CIF — the same files read a block of rows at a
+//     time into column vectors, amortizing per-record framework overhead
+//     (§5.3).
+//   - MultiCIF: packs several partitions into one multi-split so that a
+//     multi-threaded map task gets an independent reader per thread instead
+//     of serializing on one synchronized reader (§5.1).
+//   - RowFile: a plain row-oriented binary format (the shape of Hive's
+//     SequenceFile tables and of intermediate join results).
+//   - RCFile: a PAX-style hybrid — row groups internally laid out column
+//     chunk by column chunk, allowing column-pruned reads at row-group
+//     granularity without per-column files (§6.2's Hive storage).
+//
+// All formats store records in the wire encoding of package records, write
+// through the simulated HDFS (so placement, replication and I/O accounting
+// apply), and expose schema metadata via a per-table _schema file.
+package colstore

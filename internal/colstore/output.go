@@ -1,0 +1,65 @@
+package colstore
+
+import (
+	"fmt"
+	"sync"
+
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+)
+
+// RowOutput is an mr.OutputFormat writing each task's (key, value) pairs as
+// rows of a row-format table under Dir. Values are written; keys are
+// ignored unless IncludeKey is set, in which case key fields precede value
+// fields (both schemas must be provided by the caller via Schema).
+//
+// Hive's staged plans use this to round-trip intermediate join results
+// through HDFS between MapReduce jobs (§6.3).
+type RowOutput struct {
+	Dir    string
+	Schema *records.Schema
+	// IncludeKey prepends the key's fields to each row.
+	IncludeKey bool
+
+	once sync.Once
+	err  error
+}
+
+// OpenWriter implements mr.OutputFormat.
+func (o *RowOutput) OpenWriter(ctx *mr.TaskContext, taskIndex int) (mr.RecordWriter, error) {
+	o.once.Do(func() {
+		if o.Schema == nil {
+			o.err = fmt.Errorf("colstore: RowOutput for %s has no schema", o.Dir)
+			return
+		}
+		if !ctx.FS.Exists(o.Dir + "/" + SchemaFileName) {
+			o.err = WriteSchema(ctx.FS, o.Dir, o.Schema)
+		}
+	})
+	if o.err != nil {
+		return nil, o.err
+	}
+	path := fmt.Sprintf("%s/part-%05d", o.Dir, taskIndex)
+	// Task re-execution may leave a stale partial file; replace it.
+	ctx.FS.Delete(path)
+	w, err := NewRowWriter(ctx.FS, path, ctx.Node().ID(), o.Schema, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &rowOutputWriter{w: w, includeKey: o.IncludeKey}, nil
+}
+
+type rowOutputWriter struct {
+	w          *RowWriter
+	includeKey bool
+}
+
+func (w *rowOutputWriter) Write(k, v records.Record) error {
+	row := v
+	if w.includeKey {
+		row = k.Concat(v)
+	}
+	return w.w.Append(row)
+}
+
+func (w *rowOutputWriter) Close() error { return w.w.Close() }

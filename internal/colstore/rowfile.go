@@ -1,0 +1,329 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+)
+
+// Row file layout:
+//
+//	[group bytes]*  footer  footerLen(uint32 LE)  magic "RWF1"
+//
+// where each group is a concatenation of encoded records and the footer is
+//
+//	uvarint numGroups, then per group: uvarint offset, byteLen, rows
+//
+// Groups are sized to roughly the HDFS block size so a split (one or more
+// whole groups) reads locally.
+
+var rowMagic = [4]byte{'R', 'W', 'F', '1'}
+
+type groupMeta struct {
+	offset int64
+	length int64
+	rows   int64
+}
+
+// RowWriter streams records into a row file.
+type RowWriter struct {
+	w         *hdfs.Writer
+	schema    *records.Schema
+	groupSize int64
+	buf       []byte
+	bufRows   int64
+	offset    int64
+	groups    []groupMeta
+	closed    bool
+}
+
+// NewRowWriter opens a row file for writing. groupSize is the target bytes
+// per row group; <= 0 uses the filesystem block size.
+func NewRowWriter(fs *hdfs.FileSystem, path, writerNode string, schema *records.Schema, groupSize int64) (*RowWriter, error) {
+	if groupSize <= 0 {
+		groupSize = fs.BlockSize()
+	}
+	w, err := fs.Create(path, writerNode)
+	if err != nil {
+		return nil, err
+	}
+	return &RowWriter{w: w, schema: schema, groupSize: groupSize}, nil
+}
+
+// Append writes one record.
+func (rw *RowWriter) Append(r records.Record) error {
+	if rw.closed {
+		return fmt.Errorf("colstore: append to closed row writer")
+	}
+	rw.buf = records.AppendRecord(rw.buf, r)
+	rw.bufRows++
+	if int64(len(rw.buf)) >= rw.groupSize {
+		return rw.flushGroup()
+	}
+	return nil
+}
+
+func (rw *RowWriter) flushGroup() error {
+	if rw.bufRows == 0 {
+		return nil
+	}
+	if _, err := rw.w.Write(rw.buf); err != nil {
+		return err
+	}
+	rw.groups = append(rw.groups, groupMeta{offset: rw.offset, length: int64(len(rw.buf)), rows: rw.bufRows})
+	rw.offset += int64(len(rw.buf))
+	rw.buf = rw.buf[:0]
+	rw.bufRows = 0
+	return nil
+}
+
+// Close flushes the last group and writes the footer.
+func (rw *RowWriter) Close() error {
+	if rw.closed {
+		return nil
+	}
+	rw.closed = true
+	if err := rw.flushGroup(); err != nil {
+		return err
+	}
+	footer := encodeGroupFooter(rw.groups)
+	if _, err := rw.w.Write(footer); err != nil {
+		return err
+	}
+	var tail [8]byte
+	binary.LittleEndian.PutUint32(tail[:4], uint32(len(footer)))
+	copy(tail[4:], rowMagic[:])
+	if _, err := rw.w.Write(tail[:]); err != nil {
+		return err
+	}
+	return rw.w.Close()
+}
+
+func encodeGroupFooter(groups []groupMeta) []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(groups)))
+	for _, g := range groups {
+		out = binary.AppendUvarint(out, uint64(g.offset))
+		out = binary.AppendUvarint(out, uint64(g.length))
+		out = binary.AppendUvarint(out, uint64(g.rows))
+	}
+	return out
+}
+
+func decodeGroupFooter(buf []byte) ([]groupMeta, error) {
+	n, read := binary.Uvarint(buf)
+	if read <= 0 {
+		return nil, fmt.Errorf("colstore: bad group count")
+	}
+	pos := read
+	groups := make([]groupMeta, n)
+	for i := range groups {
+		var vals [3]int64
+		for j := 0; j < 3; j++ {
+			v, r := binary.Uvarint(buf[pos:])
+			if r <= 0 {
+				return nil, fmt.Errorf("colstore: truncated footer")
+			}
+			vals[j] = int64(v)
+			pos += r
+		}
+		groups[i] = groupMeta{offset: vals[0], length: vals[1], rows: vals[2]}
+	}
+	return groups, nil
+}
+
+// readFooter loads a group footer from the tail of a file, verifying magic.
+func readFooter(r *hdfs.Reader, magic [4]byte) ([]groupMeta, error) {
+	size := r.Size()
+	if size < 8 {
+		return nil, fmt.Errorf("colstore: file too small (%d bytes)", size)
+	}
+	var tail [8]byte
+	if _, err := r.ReadAt(tail[:], size-8); err != nil && err != io.EOF {
+		return nil, err
+	}
+	if tail[4] != magic[0] || tail[5] != magic[1] || tail[6] != magic[2] || tail[7] != magic[3] {
+		return nil, fmt.Errorf("colstore: bad magic %q, want %q", tail[4:], magic[:])
+	}
+	flen := int64(binary.LittleEndian.Uint32(tail[:4]))
+	if flen <= 0 || flen > size-8 {
+		return nil, fmt.Errorf("colstore: bad footer length %d", flen)
+	}
+	buf := make([]byte, flen)
+	if _, err := r.ReadAt(buf, size-8-flen); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return decodeGroupFooter(buf)
+}
+
+// WriteRowTable writes rows into dir/part-00000 as one row file plus the
+// schema file, returning the number of rows written.
+func WriteRowTable(fs *hdfs.FileSystem, dir string, schema *records.Schema, rows func(emit func(records.Record) error) error) (int64, error) {
+	if err := WriteSchema(fs, dir, schema); err != nil {
+		return 0, err
+	}
+	w, err := NewRowWriter(fs, dir+"/part-00000", "", schema, 0)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	emit := func(r records.Record) error {
+		n++
+		return w.Append(r)
+	}
+	if err := rows(emit); err != nil {
+		return 0, err
+	}
+	return n, w.Close()
+}
+
+// RowSplit is a run of whole groups of one row file.
+type RowSplit struct {
+	Path   string
+	Groups []groupMeta
+	Hosts  []string
+	bytes  int64
+}
+
+// Locations implements mr.InputSplit.
+func (s *RowSplit) Locations() []string { return s.Hosts }
+
+// Length implements mr.InputSplit.
+func (s *RowSplit) Length() int64 { return s.bytes }
+
+// RowInput is an InputFormat over the row files under Dir (any file not
+// starting with "_"). Each split covers the groups within one HDFS block.
+type RowInput struct {
+	Dir    string
+	Schema *records.Schema // nil → read from _schema
+}
+
+// Splits implements mr.InputFormat.
+func (in *RowInput) Splits(ctx *mr.JobContext) ([]mr.InputSplit, error) {
+	if err := in.resolveSchema(ctx.FS); err != nil {
+		return nil, err
+	}
+	var splits []mr.InputSplit
+	for _, path := range listDataFiles(ctx.FS, in.Dir) {
+		fileSplits, err := splitRowFile(ctx.FS, path)
+		if err != nil {
+			return nil, err
+		}
+		splits = append(splits, fileSplits...)
+	}
+	return splits, nil
+}
+
+func (in *RowInput) resolveSchema(fs *hdfs.FileSystem) error {
+	if in.Schema != nil {
+		return nil
+	}
+	s, err := ReadSchema(fs, in.Dir)
+	if err != nil {
+		return err
+	}
+	in.Schema = s
+	return nil
+}
+
+// listDataFiles returns the non-metadata files under dir.
+func listDataFiles(fs *hdfs.FileSystem, dir string) []string {
+	var out []string
+	for _, p := range fs.List(dir + "/") {
+		base := p[len(dir)+1:]
+		if len(base) > 0 && base[0] != '_' {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// splitRowFile groups a row file's groups into block-aligned splits.
+func splitRowFile(fs *hdfs.FileSystem, path string) ([]mr.InputSplit, error) {
+	r, err := fs.Open(path, "")
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	groups, err := readFooter(r, rowMagic)
+	if err != nil {
+		return nil, fmt.Errorf("colstore: %s: %w", path, err)
+	}
+	blockSize := fs.BlockSize()
+	var splits []mr.InputSplit
+	var cur *RowSplit
+	var curBlock int64 = -1
+	for _, g := range groups {
+		blk := g.offset / blockSize
+		if cur == nil || blk != curBlock {
+			locs, err := fs.BlockLocations(path, g.offset, 1)
+			if err != nil {
+				return nil, err
+			}
+			var hosts []string
+			if len(locs) > 0 {
+				hosts = locs[0].Hosts
+			}
+			cur = &RowSplit{Path: path, Hosts: hosts}
+			splits = append(splits, cur)
+			curBlock = blk
+		}
+		cur.Groups = append(cur.Groups, g)
+		cur.bytes += g.length
+	}
+	return splits, nil
+}
+
+// Open implements mr.InputFormat.
+func (in *RowInput) Open(split mr.InputSplit, ctx *mr.TaskContext) (mr.RecordReader, error) {
+	s, ok := split.(*RowSplit)
+	if !ok {
+		return nil, fmt.Errorf("colstore: RowInput got %T split", split)
+	}
+	if err := in.resolveSchema(ctx.FS); err != nil {
+		return nil, err
+	}
+	r, err := ctx.FS.Open(s.Path, ctx.Node().ID())
+	if err != nil {
+		return nil, err
+	}
+	return &rowReader{r: r, schema: in.Schema, groups: s.Groups}, nil
+}
+
+// rowReader iterates the records of a row split, reading one group at a
+// time from HDFS.
+type rowReader struct {
+	r      *hdfs.Reader
+	schema *records.Schema
+	groups []groupMeta
+	gi     int
+	buf    []byte
+	pos    int
+}
+
+func (rr *rowReader) Next() (records.Record, records.Record, bool, error) {
+	for rr.pos >= len(rr.buf) {
+		if rr.gi >= len(rr.groups) {
+			return records.Record{}, records.Record{}, false, nil
+		}
+		g := rr.groups[rr.gi]
+		rr.gi++
+		rr.buf = make([]byte, g.length)
+		if _, err := rr.r.ReadAt(rr.buf, g.offset); err != nil && err != io.EOF {
+			return records.Record{}, records.Record{}, false, err
+		}
+		rr.pos = 0
+	}
+	rec, n, err := records.DecodeRecord(rr.buf[rr.pos:], rr.schema)
+	if err != nil {
+		return records.Record{}, records.Record{}, false, err
+	}
+	rr.pos += n
+	return records.Record{}, rec, true, nil
+}
+
+func (rr *rowReader) Close() error { return rr.r.Close() }

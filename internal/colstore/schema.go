@@ -1,0 +1,65 @@
+package colstore
+
+import (
+	"fmt"
+	"strings"
+
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/records"
+)
+
+// SchemaFileName is the per-table metadata file holding the schema.
+const SchemaFileName = "_schema"
+
+// WriteSchema stores the schema of the table rooted at dir.
+func WriteSchema(fs *hdfs.FileSystem, dir string, schema *records.Schema) error {
+	var b strings.Builder
+	for i := 0; i < schema.Len(); i++ {
+		f := schema.Field(i)
+		fmt.Fprintf(&b, "%s %s\n", f.Name, f.Kind)
+	}
+	return fs.WriteFile(dir+"/"+SchemaFileName, "", []byte(b.String()))
+}
+
+// ReadSchema loads the schema of the table rooted at dir.
+func ReadSchema(fs *hdfs.FileSystem, dir string) (*records.Schema, error) {
+	data, err := fs.ReadAll(dir+"/"+SchemaFileName, "")
+	if err != nil {
+		return nil, fmt.Errorf("colstore: reading schema of %s: %w", dir, err)
+	}
+	var fields []records.Field
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		parts := strings.Fields(line)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("colstore: malformed schema line %q in %s", line, dir)
+		}
+		kind, err := parseKind(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("colstore: %s: %w", dir, err)
+		}
+		fields = append(fields, records.F(parts[0], kind))
+	}
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("colstore: empty schema in %s", dir)
+	}
+	return records.NewSchema(fields...), nil
+}
+
+func parseKind(s string) (records.Kind, error) {
+	switch s {
+	case "int64":
+		return records.KindInt64, nil
+	case "float64":
+		return records.KindFloat64, nil
+	case "string":
+		return records.KindString, nil
+	case "bool":
+		return records.KindBool, nil
+	default:
+		return records.KindNull, fmt.Errorf("unknown kind %q", s)
+	}
+}

@@ -1,0 +1,348 @@
+package colstore
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+)
+
+// Text (TSV) tables: newline-delimited rows of tab-separated fields, the
+// format the paper's "600 GB uncompressed fact table in text format" uses
+// and the shape of Hadoop's TextInputFormat (§3). Splits are HDFS blocks
+// adjusted to line boundaries: a split owns every line that *starts* inside
+// it, reading past its end for the final line, exactly as Hadoop does.
+
+// WriteTextTable writes rows as a TSV file (plus the schema file).
+func WriteTextTable(fs *hdfs.FileSystem, dir string, schema *records.Schema, rows func(emit func(records.Record) error) error) (int64, error) {
+	if err := WriteSchema(fs, dir, schema); err != nil {
+		return 0, err
+	}
+	w, err := fs.Create(dir+"/part-00000.tsv", "")
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	var line []byte
+	emit := func(r records.Record) error {
+		if r.Len() != schema.Len() {
+			return fmt.Errorf("colstore: TSV row arity %d != schema %d", r.Len(), schema.Len())
+		}
+		line = line[:0]
+		for i := 0; i < r.Len(); i++ {
+			if i > 0 {
+				line = append(line, '\t')
+			}
+			line = append(line, encodeTSVField(r.At(i))...)
+		}
+		line = append(line, '\n')
+		n++
+		_, err := w.Write(line)
+		return err
+	}
+	if err := rows(emit); err != nil {
+		w.Abort()
+		return 0, err
+	}
+	return n, w.Close()
+}
+
+func encodeTSVField(v records.Value) string {
+	s := v.String()
+	// Tabs and newlines inside strings would corrupt the framing.
+	s = strings.ReplaceAll(s, "\t", " ")
+	s = strings.ReplaceAll(s, "\n", " ")
+	return s
+}
+
+// decodeTSVField parses one field according to the schema kind.
+func decodeTSVField(s string, kind records.Kind) (records.Value, error) {
+	switch kind {
+	case records.KindInt64:
+		i, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return records.Null, fmt.Errorf("colstore: bad int field %q", s)
+		}
+		return records.Int(i), nil
+	case records.KindFloat64:
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return records.Null, fmt.Errorf("colstore: bad float field %q", s)
+		}
+		return records.Float(f), nil
+	case records.KindString:
+		return records.Str(s), nil
+	case records.KindBool:
+		b, err := strconv.ParseBool(s)
+		if err != nil {
+			return records.Null, fmt.Errorf("colstore: bad bool field %q", s)
+		}
+		return records.Bool(b), nil
+	default:
+		return records.Null, fmt.Errorf("colstore: unsupported TSV kind %v", kind)
+	}
+}
+
+// TextSplit is one block-aligned byte range of a TSV file.
+type TextSplit struct {
+	Path  string
+	Start int64
+	End   int64 // exclusive; lines starting before End belong to the split
+	Size  int64 // file size
+	Hosts []string
+}
+
+// Locations implements mr.InputSplit.
+func (s *TextSplit) Locations() []string { return s.Hosts }
+
+// Length implements mr.InputSplit.
+func (s *TextSplit) Length() int64 { return s.End - s.Start }
+
+// TextInput reads TSV tables (any non-underscore file under Dir).
+type TextInput struct {
+	Dir    string
+	Schema *records.Schema // nil → read from _schema
+}
+
+// Splits implements mr.InputFormat: one split per HDFS block.
+func (in *TextInput) Splits(ctx *mr.JobContext) ([]mr.InputSplit, error) {
+	if err := in.resolve(ctx.FS); err != nil {
+		return nil, err
+	}
+	var out []mr.InputSplit
+	blockSize := ctx.FS.BlockSize()
+	for _, path := range listDataFiles(ctx.FS, in.Dir) {
+		info, err := ctx.FS.Stat(path)
+		if err != nil {
+			return nil, err
+		}
+		for off := int64(0); off < info.Size; off += blockSize {
+			end := off + blockSize
+			if end > info.Size {
+				end = info.Size
+			}
+			locs, err := ctx.FS.BlockLocations(path, off, 1)
+			if err != nil {
+				return nil, err
+			}
+			var hosts []string
+			if len(locs) > 0 {
+				hosts = locs[0].Hosts
+			}
+			out = append(out, &TextSplit{Path: path, Start: off, End: end, Size: info.Size, Hosts: hosts})
+		}
+	}
+	return out, nil
+}
+
+func (in *TextInput) resolve(fs *hdfs.FileSystem) error {
+	if in.Schema != nil {
+		return nil
+	}
+	s, err := ReadSchema(fs, in.Dir)
+	if err != nil {
+		return err
+	}
+	in.Schema = s
+	return nil
+}
+
+// Open implements mr.InputFormat.
+func (in *TextInput) Open(split mr.InputSplit, ctx *mr.TaskContext) (mr.RecordReader, error) {
+	s, ok := split.(*TextSplit)
+	if !ok {
+		return nil, fmt.Errorf("colstore: TextInput got %T split", split)
+	}
+	if err := in.resolve(ctx.FS); err != nil {
+		return nil, err
+	}
+	r, err := ctx.FS.Open(s.Path, ctx.Node().ID())
+	if err != nil {
+		return nil, err
+	}
+	tr := &textReader{r: r, split: s, schema: in.Schema}
+	if err := tr.init(); err != nil {
+		r.Close()
+		return nil, err
+	}
+	return tr, nil
+}
+
+// textReader yields the lines starting within [Start, End), reading in
+// chunks and following the final line past End.
+type textReader struct {
+	r      *hdfs.Reader
+	split  *TextSplit
+	schema *records.Schema
+
+	buf  []byte
+	pos  int64 // file offset of buf[0]
+	off  int   // cursor within buf
+	done bool
+}
+
+const textChunk = 64 << 10
+
+// init positions the reader at the first line starting in the split: offset
+// 0 starts a line; otherwise skip the partial line belonging to the
+// previous split.
+func (t *textReader) init() error {
+	t.pos = t.split.Start
+	if t.split.Start == 0 {
+		return nil
+	}
+	// Back up one byte: if it is '\n', the split begins at a line start.
+	var b [1]byte
+	if _, err := t.r.ReadAt(b[:], t.split.Start-1); err != nil && err != io.EOF {
+		return err
+	}
+	if b[0] == '\n' {
+		return nil
+	}
+	// Skip the partial line that belongs to the previous split.
+	line, err := t.nextRawLine()
+	if err != nil {
+		return err
+	}
+	if line == nil {
+		t.done = true
+	}
+	return nil
+}
+
+// nextRawLine returns the next line (without '\n'), or nil at end of data.
+func (t *textReader) nextRawLine() ([]byte, error) {
+	for {
+		if i := indexByte(t.buf[t.off:], '\n'); i >= 0 {
+			line := t.buf[t.off : t.off+i]
+			t.off += i + 1
+			return line, nil
+		}
+		// Need more data; it starts where the buffered data ends.
+		readPos := t.pos + int64(len(t.buf))
+		if readPos >= t.split.Size {
+			if t.off < len(t.buf) {
+				line := t.buf[t.off:]
+				t.off = len(t.buf)
+				return line, nil // unterminated final line
+			}
+			return nil, nil
+		}
+		chunk := make([]byte, textChunk)
+		n, err := t.r.ReadAt(chunk, readPos)
+		if err != nil && err != io.EOF {
+			return nil, err
+		}
+		if n == 0 {
+			if t.off < len(t.buf) {
+				line := t.buf[t.off:]
+				t.off = len(t.buf)
+				return line, nil
+			}
+			return nil, nil
+		}
+		// Compact the consumed prefix, then extend with the new chunk.
+		t.pos += int64(t.off)
+		t.buf = append(t.buf[t.off:len(t.buf):len(t.buf)], chunk[:n]...)
+		t.off = 0
+	}
+}
+
+func indexByte(b []byte, c byte) int {
+	for i := range b {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Next implements mr.RecordReader.
+func (t *textReader) Next() (records.Record, records.Record, bool, error) {
+	if t.done {
+		return records.Record{}, records.Record{}, false, nil
+	}
+	// A line belongs to this split only if it starts before End.
+	lineStart := t.pos + int64(t.off)
+	if lineStart >= t.split.End {
+		t.done = true
+		return records.Record{}, records.Record{}, false, nil
+	}
+	line, err := t.nextRawLine()
+	if err != nil {
+		return records.Record{}, records.Record{}, false, err
+	}
+	if line == nil {
+		t.done = true
+		return records.Record{}, records.Record{}, false, nil
+	}
+	fields := strings.Split(string(line), "\t")
+	if len(fields) != t.schema.Len() {
+		return records.Record{}, records.Record{}, false,
+			fmt.Errorf("colstore: TSV line at %s:%d has %d fields, want %d", t.split.Path, lineStart, len(fields), t.schema.Len())
+	}
+	vals := make([]records.Value, len(fields))
+	for i, f := range fields {
+		v, err := decodeTSVField(f, t.schema.Field(i).Kind)
+		if err != nil {
+			return records.Record{}, records.Record{}, false, err
+		}
+		vals[i] = v
+	}
+	key := records.Make(offsetKeySchema, records.Int(lineStart))
+	return key, records.Make(t.schema, vals...), true, nil
+}
+
+// offsetKeySchema mirrors Hadoop's TextInputFormat keys (byte offsets).
+var offsetKeySchema = records.NewSchema(records.F("offset", records.KindInt64))
+
+// Close implements mr.RecordReader.
+func (t *textReader) Close() error { return t.r.Close() }
+
+// ImportTSV converts a TSV table into a CIF table via a streaming scan —
+// the ETL step a user takes to adopt Clydesdale for existing text data.
+func ImportTSV(fs *hdfs.FileSystem, textDir, cifDir string, partitionRows int64) (int64, error) {
+	schema, err := ReadSchema(fs, textDir)
+	if err != nil {
+		return 0, err
+	}
+	w, err := NewCIFWriter(fs, cifDir, schema, partitionRows)
+	if err != nil {
+		return 0, err
+	}
+	in := &TextInput{Dir: textDir, Schema: schema}
+	jctx := &mr.JobContext{Conf: mr.NewJobConf(), FS: fs, Cluster: fs.Cluster(), Counters: mr.NewCounters()}
+	splits, err := in.Splits(jctx)
+	if err != nil {
+		return 0, err
+	}
+	for _, s := range splits {
+		r, err := in.Open(s, mr.NewTestTaskContext(jctx, fs.Cluster().Nodes()[0]))
+		if err != nil {
+			return 0, err
+		}
+		for {
+			_, rec, ok, err := r.Next()
+			if err != nil {
+				r.Close()
+				return 0, err
+			}
+			if !ok {
+				break
+			}
+			if err := w.Append(rec); err != nil {
+				r.Close()
+				return 0, err
+			}
+		}
+		r.Close()
+	}
+	if err := w.Close(); err != nil {
+		return 0, err
+	}
+	return w.Rows(), nil
+}

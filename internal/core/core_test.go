@@ -1,0 +1,332 @@
+package core_test
+
+import (
+	"testing"
+
+	"clydesdale/internal/cluster"
+	"clydesdale/internal/core"
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+	"clydesdale/internal/refexec"
+	"clydesdale/internal/results"
+	"clydesdale/internal/ssb"
+)
+
+type env struct {
+	cluster *cluster.Cluster
+	fs      *hdfs.FileSystem
+	mr      *mr.Engine
+	gen     *ssb.Generator
+	lay     *ssb.Layout
+}
+
+func newEnv(t *testing.T, workers int, sf float64) *env {
+	t.Helper()
+	c := cluster.New(cluster.Testing(workers))
+	fs := hdfs.New(c, hdfs.Options{BlockSize: 1 << 16, Seed: 23})
+	gen := ssb.NewGenerator(sf, 42)
+	lay, err := ssb.Load(fs, gen, "/ssb", ssb.LoadOptions{SkipRC: true, PartitionRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{cluster: c, fs: fs, mr: mr.NewEngine(c, fs, mr.Options{}), gen: gen, lay: lay}
+}
+
+func (e *env) engine(opts core.Options) *core.Engine {
+	return core.New(e.mr, e.lay.Catalog(), opts)
+}
+
+// TestAllQueriesMatchReference is the headline integration test: every SSB
+// query on the full Clydesdale stack must agree with the in-memory
+// reference executor.
+func TestAllQueriesMatchReference(t *testing.T) {
+	e := newEnv(t, 3, 0.002)
+	eng := e.engine(core.Options{})
+	for _, q := range ssb.Queries() {
+		rs, rep, err := eng.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		want, err := refexec.Run(e.gen, q)
+		if err != nil {
+			t.Fatalf("%s ref: %v", q.Name, err)
+		}
+		if ok, why := results.Equivalent(rs, want, 1e-9); !ok {
+			t.Errorf("%s: %s\nclydesdale:\n%svs reference:\n%s", q.Name, why, rs, want)
+		}
+		if rep.Job.Counters.Get(core.CtrProbeRows) != e.gen.LineorderRows() {
+			t.Errorf("%s: probed %d rows, want %d", q.Name,
+				rep.Job.Counters.Get(core.CtrProbeRows), e.gen.LineorderRows())
+		}
+	}
+}
+
+// TestAblationConfigsAgree reruns a grouped query under every Figure 9
+// configuration; results must be identical.
+func TestAblationConfigsAgree(t *testing.T) {
+	e := newEnv(t, 3, 0.002)
+	q, err := ssb.QueryByName("Q2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := refexec.Run(e.gen, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := map[string]core.Features{
+		"all":          core.AllFeatures(),
+		"no-block":     {ColumnarStorage: true, BlockIteration: false, MultiThreaded: true},
+		"no-columnar":  {ColumnarStorage: false, BlockIteration: true, MultiThreaded: true},
+		"no-threading": {ColumnarStorage: true, BlockIteration: true, MultiThreaded: false},
+		"none":         {},
+	}
+	for name, f := range configs {
+		feats := f
+		eng := e.engine(core.Options{Features: &feats})
+		rs, _, err := eng.Execute(q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ok, why := results.Equivalent(rs, want, 1e-9); !ok {
+			t.Errorf("config %s: %s", name, why)
+		}
+	}
+}
+
+// TestHashTablesBuiltOncePerNode verifies §5's headline property: with
+// multi-threading + JVM reuse + one-task-per-node, the dimension hash
+// tables are computed exactly once per node per query.
+func TestHashTablesBuiltOncePerNode(t *testing.T) {
+	e := newEnv(t, 3, 0.002)
+	q, _ := ssb.QueryByName("Q3.1")
+
+	eng := e.engine(core.Options{})
+	_, rep, err := eng.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds := rep.Job.Counters.Get(core.CtrHashTablesBuilt)
+	wantBuilds := int64(3 * len(e.cluster.Nodes())) // 3 dims × nodes
+	if builds != wantBuilds {
+		t.Errorf("multi-threaded: %d hash builds, want %d (3 dims × %d nodes)",
+			builds, wantBuilds, len(e.cluster.Nodes()))
+	}
+
+	// Without multi-threading every map task builds privately.
+	feats := core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: false}
+	_, rep2, err := e.engine(core.Options{Features: &feats}).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	builds2 := rep2.Job.Counters.Get(core.CtrHashTablesBuilt)
+	mapTasks := rep2.Job.Counters.Get(mr.CtrMapTasks)
+	if builds2 != 3*mapTasks {
+		t.Errorf("single-threaded: %d builds for %d tasks, want %d", builds2, mapTasks, 3*mapTasks)
+	}
+	if builds2 <= builds {
+		t.Errorf("single-threaded should build more tables (%d vs %d)", builds2, builds)
+	}
+}
+
+// TestColumnarPruningReadsFewerBytes checks the I/O saving of CIF pruning.
+func TestColumnarPruningReadsFewerBytes(t *testing.T) {
+	e := newEnv(t, 2, 0.002)
+	q, _ := ssb.QueryByName("Q1.1")
+	// Warm the dimension cache so the one-time copy doesn't skew the
+	// measured scan bytes.
+	if _, err := core.EnsureCatalogCached(e.fs, e.lay.Catalog()); err != nil {
+		t.Fatal(err)
+	}
+
+	readDelta := func(feats core.Features) int64 {
+		before := e.fs.Metrics().Snapshot()
+		eng := e.engine(core.Options{Features: &feats})
+		if _, _, err := eng.Execute(q); err != nil {
+			t.Fatal(err)
+		}
+		after := e.fs.Metrics().Snapshot()
+		return (after.LocalBytesRead + after.RemoteBytesRead) - (before.LocalBytesRead + before.RemoteBytesRead)
+	}
+	pruned := readDelta(core.AllFeatures())
+	full := readDelta(core.Features{ColumnarStorage: false, BlockIteration: true, MultiThreaded: true})
+	if pruned*2 >= full {
+		t.Errorf("pruned scan read %d bytes, full %d; expected a large saving", pruned, full)
+	}
+}
+
+// TestMultiThreadedRunsOneTaskPerNode inspects the scheduling behaviour.
+func TestMultiThreadedRunsOneTaskPerNode(t *testing.T) {
+	e := newEnv(t, 3, 0.002)
+	q, _ := ssb.QueryByName("Q2.1")
+	_, rep, err := e.engine(core.Options{}).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JVM reuse means at most one JVM started per node for the map side
+	// (reducers may add their own; count map JVMs via reuse counter).
+	jvms := rep.Job.Counters.Get(mr.CtrJVMsStarted)
+	maxJVMs := int64(len(e.cluster.Nodes())) * 2 // map + reduce pools
+	if jvms > maxJVMs {
+		t.Errorf("JVMs started = %d, want <= %d", jvms, maxJVMs)
+	}
+	if rep.Job.Counters.Get(core.CtrHashReuses)+rep.Job.Counters.Get(core.CtrHashTablesBuilt) == 0 {
+		t.Error("no hash table activity recorded")
+	}
+	// Probe threads per task should equal the packed split count (up to map
+	// slots).
+	threads := rep.Job.Counters.Get(core.CtrProbeThreads)
+	tasks := rep.Job.Counters.Get(mr.CtrMapTasks)
+	if threads <= tasks {
+		t.Errorf("probe threads %d should exceed map tasks %d (multi-threading)", threads, tasks)
+	}
+}
+
+// TestDimCache verifies the node-local dimension cache lifecycle, including
+// recovery after a node loses its local storage.
+func TestDimCache(t *testing.T) {
+	e := newEnv(t, 3, 0.002)
+	cat := e.lay.Catalog()
+	n, err := core.EnsureCatalogCached(e.fs, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4*3 { // 4 dims × 3 nodes
+		t.Errorf("copied %d, want 12", n)
+	}
+	// Second call is a no-op.
+	n, err = core.EnsureCatalogCached(e.fs, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("recopied %d", n)
+	}
+	// A node that dies and revives lost its local copies; queries must
+	// still work (re-copy from the HDFS master, §4).
+	e.cluster.Node("node-1").Kill()
+	if _, _, err := e.fs.OnNodeFailure("node-1"); err != nil {
+		t.Fatal(err)
+	}
+	e.cluster.Node("node-1").Revive()
+	q, _ := ssb.QueryByName("Q1.2")
+	rs, _, err := e.engine(core.Options{}).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := refexec.Run(e.gen, q)
+	if ok, why := results.Equivalent(rs, want, 1e-9); !ok {
+		t.Errorf("after node bounce: %s", why)
+	}
+}
+
+// TestMemoryReservedDuringQuery ensures hash-table memory is accounted and
+// released.
+func TestMemoryReservedDuringQuery(t *testing.T) {
+	e := newEnv(t, 2, 0.002)
+	q, _ := ssb.QueryByName("Q4.1")
+	if _, _, err := e.engine(core.Options{}).Execute(q); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range e.cluster.Nodes() {
+		if used := n.MemoryUsed(); used != 0 {
+			t.Errorf("%s leaked %d bytes", n.ID(), used)
+		}
+	}
+}
+
+// TestQueryOOMWhenHashTablesExceedNode forces a tiny node memory budget.
+func TestQueryOOMWhenHashTablesExceedNode(t *testing.T) {
+	c := cluster.New(cluster.Config{Workers: 2, MapSlots: 2, ReduceSlots: 1, MemoryPerNode: 2048})
+	fs := hdfs.New(c, hdfs.Options{BlockSize: 1 << 16, Seed: 5})
+	gen := ssb.NewGenerator(0.002, 42)
+	lay, err := ssb.Load(fs, gen, "/ssb", ssb.LoadOptions{SkipRC: true, PartitionRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(mr.NewEngine(c, fs, mr.Options{}), lay.Catalog(), core.Options{})
+	q, _ := ssb.QueryByName("Q3.1") // large-ish customer hash
+	if _, _, err := eng.Execute(q); err == nil {
+		t.Error("expected OOM with a 2 KB node budget")
+	}
+}
+
+func TestEstimateHashTableBytes(t *testing.T) {
+	gen := ssb.NewGenerator(0.002, 42)
+	q31, _ := ssb.QueryByName("Q3.1")
+	q32, _ := ssb.QueryByName("Q3.2")
+	each := func(table string, fn func(records.Record) error) error { return gen.Each(table, fn) }
+	b31, err := core.EstimateHashTableBytes(q31, each)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b32, err := core.EstimateHashTableBytes(q32, each)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b31 <= 0 || b32 <= 0 {
+		t.Fatal("estimates must be positive")
+	}
+	// Q3.1 (region predicate, 1/5 of customers) needs more memory than Q3.2
+	// (nation predicate, 1/25) — the asymmetry behind the §6.4 OOMs.
+	if b31 <= b32 {
+		t.Errorf("Q3.1 estimate %d should exceed Q3.2 estimate %d", b31, b32)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	e := newEnv(t, 1, 0.002)
+	eng := e.engine(core.Options{})
+	bad := &core.Query{Name: "no-agg"}
+	if _, _, err := eng.Execute(bad); err == nil {
+		t.Error("expected validation error")
+	}
+}
+
+// TestProbeOrderOptionAgrees verifies that reordering the early-out probe
+// by selectivity changes no answers.
+func TestProbeOrderOptionAgrees(t *testing.T) {
+	e := newEnv(t, 2, 0.002)
+	for _, q := range []string{"Q2.1", "Q4.1"} {
+		query, err := ssb.QueryByName(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, _, err := e.engine(core.Options{}).Execute(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reord, _, err := e.engine(core.Options{ProbeMostSelectiveFirst: true}).Execute(query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, why := results.Equivalent(base, reord, 1e-9); !ok {
+			t.Errorf("%s: probe order changed answers: %s", q, why)
+		}
+	}
+}
+
+// TestCombinerShrinksShuffle checks the partial aggregation Figure 4
+// mentions: the combiner collapses per-task duplicate group keys, so the
+// shuffle moves less data than the raw map output.
+func TestCombinerShrinksShuffle(t *testing.T) {
+	e := newEnv(t, 2, 0.005)
+	q, _ := ssb.QueryByName("Q1.1") // grand aggregate: every task combines to one pair
+	_, rep, err := e.engine(core.Options{}).Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr := rep.Job.Counters
+	mapOut := ctr.Get(mr.CtrMapOutputBytes)
+	shuffled := ctr.Get(mr.CtrShuffleBytes)
+	if mapOut == 0 {
+		t.Fatal("no map output recorded")
+	}
+	if shuffled*2 > mapOut {
+		t.Errorf("shuffle %d bytes vs map output %d; combiner ineffective", shuffled, mapOut)
+	}
+	if ctr.Get(mr.CtrCombineInput) <= ctr.Get(mr.CtrCombineOutput) {
+		t.Errorf("combiner in=%d out=%d; no collapsing",
+			ctr.Get(mr.CtrCombineInput), ctr.Get(mr.CtrCombineOutput))
+	}
+}

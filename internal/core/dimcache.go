@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"clydesdale/internal/cluster"
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/records"
+)
+
+// The dimension cache (§4, Figure 2): a master copy of every dimension
+// table lives in HDFS; each node keeps a local copy on its own disk. New
+// nodes, or nodes that lost their copy to a disk failure, re-copy from
+// HDFS. Unlike Hive's mapjoin broadcast, this happens once per cluster —
+// not once per query — so queries only pay a local read to build their
+// hash tables.
+
+func dimCacheKey(dir string) string { return "clydesdale/dimcache" + dir }
+
+// EnsureDimCached copies the dimension at dir to every live node that does
+// not already hold it, storing rows in wire encoding. It returns the number
+// of nodes that received a fresh copy.
+func EnsureDimCached(fs *hdfs.FileSystem, dir string) (int, error) {
+	key := dimCacheKey(dir)
+	copied := 0
+	for _, n := range fs.Cluster().Alive() {
+		if n.HasLocal(key) {
+			continue
+		}
+		var buf []byte
+		err := colstore.ScanRowTable(fs, dir, n.ID(), func(r records.Record) error {
+			buf = records.AppendRecord(buf, r)
+			return nil
+		})
+		if err != nil {
+			return copied, fmt.Errorf("core: caching %s on %s: %w", dir, n.ID(), err)
+		}
+		if err := n.ChargeDiskWrite(int64(len(buf)), false); err != nil {
+			return copied, err
+		}
+		if err := n.PutLocal(key, buf); err != nil {
+			return copied, err
+		}
+		copied++
+	}
+	return copied, nil
+}
+
+// EnsureCatalogCached caches every dimension of the catalog on every live
+// node.
+func EnsureCatalogCached(fs *hdfs.FileSystem, cat *Catalog) (int, error) {
+	total := 0
+	for _, dir := range cat.DimDirs {
+		n, err := EnsureDimCached(fs, dir)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// EnsureCatalogCachedFor caches only the dimensions the query touches on
+// every live node (normally a no-op after cluster setup).
+func EnsureCatalogCachedFor(fs *hdfs.FileSystem, cat *Catalog, q *Query) (int, error) {
+	total := 0
+	for i := range q.Dims {
+		dir, err := cat.DimDir(q.Dims[i].Table)
+		if err != nil {
+			return total, err
+		}
+		n, err := EnsureDimCached(fs, dir)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// localDimBytes fetches the node-local copy of a dimension, re-copying from
+// HDFS if the node lost it (§4: "nodes that have lost their local copy ...
+// may copy the dimension data from HDFS"). The read is charged as a local
+// raw-disk read.
+func localDimBytes(fs *hdfs.FileSystem, node *cluster.Node, dir string) ([]byte, error) {
+	key := dimCacheKey(dir)
+	data, ok := node.GetLocal(key)
+	if !ok {
+		if _, err := ensureDimCachedOn(fs, node, dir); err != nil {
+			return nil, err
+		}
+		data, ok = node.GetLocal(key)
+		if !ok {
+			return nil, fmt.Errorf("core: dimension %s not cachable on %s", dir, node.ID())
+		}
+	}
+	// The local dimension copy reads at nominal device speed: at the
+	// paper's scale it is page-cache-resident between tasks.
+	if err := node.ChargeDiskReadNominal(int64(len(data))); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+func ensureDimCachedOn(fs *hdfs.FileSystem, node *cluster.Node, dir string) (bool, error) {
+	key := dimCacheKey(dir)
+	if node.HasLocal(key) {
+		return false, nil
+	}
+	var buf []byte
+	err := colstore.ScanRowTable(fs, dir, node.ID(), func(r records.Record) error {
+		buf = records.AppendRecord(buf, r)
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if err := node.ChargeDiskWrite(int64(len(buf)), false); err != nil {
+		return false, err
+	}
+	if err := node.PutLocal(key, buf); err != nil {
+		return false, err
+	}
+	return true, nil
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"clydesdale/internal/cluster"
+
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+	"clydesdale/internal/results"
+)
+
+// Features toggles the techniques §6.5 ablates. All on is Clydesdale
+// proper.
+type Features struct {
+	// ColumnarStorage prunes the fact scan to the query's columns; off
+	// reads every CIF column.
+	ColumnarStorage bool
+	// BlockIteration reads the fact table a block of rows at a time; off
+	// boxes one record per row (Volcano-style).
+	BlockIteration bool
+	// MultiThreaded runs one multi-threaded map task per node with shared
+	// hash tables (MTMapRunner + JVM reuse + capacity scheduling + MultiCIF);
+	// off runs ordinary single-threaded tasks that each build private hash
+	// tables.
+	MultiThreaded bool
+}
+
+// AllFeatures returns the full Clydesdale configuration.
+func AllFeatures() Features {
+	return Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true}
+}
+
+// Options configures the engine.
+type Options struct {
+	// Features selects the ablation configuration; zero value means all on.
+	Features *Features
+	// Reducers is the grouped-aggregation parallelism; <= 0 uses one per
+	// worker node (the paper's one reduce slot per node).
+	Reducers int
+	// BlockRows is the B-CIF block size; <= 0 uses 1024.
+	BlockRows int
+	// MultiSplitPack is how many partitions MultiCIF packs per multi-split;
+	// <= 0 uses the cluster's map-slot count (one constituent split per
+	// thread).
+	MultiSplitPack int
+	// ProbeMostSelectiveFirst reorders the early-out probe sequence by
+	// ascending hash-table size (most selective dimension first) instead of
+	// the query's dimension order. The paper probes in plan order (§4.2);
+	// this option ablates that design choice — see
+	// BenchmarkProbeOrderSelectivity.
+	ProbeMostSelectiveFirst bool
+}
+
+// Engine executes star queries as single MapReduce jobs.
+type Engine struct {
+	mr    *mr.Engine
+	cat   *Catalog
+	feats Features
+	opts  Options
+}
+
+// New creates an engine over a MapReduce engine and a catalog.
+func New(mrEngine *mr.Engine, cat *Catalog, opts Options) *Engine {
+	feats := AllFeatures()
+	if opts.Features != nil {
+		feats = *opts.Features
+	}
+	if opts.Reducers <= 0 {
+		opts.Reducers = len(mrEngine.Cluster().Nodes())
+	}
+	if opts.BlockRows <= 0 {
+		opts.BlockRows = 1024
+	}
+	if opts.MultiSplitPack <= 0 {
+		opts.MultiSplitPack = mrEngine.Cluster().Config().MapSlots
+	}
+	return &Engine{mr: mrEngine, cat: cat, feats: feats, opts: opts}
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *Catalog { return e.cat }
+
+// Report describes one executed query.
+type Report struct {
+	Query    string
+	Job      *mr.JobResult
+	Total    time.Duration
+	SortTime time.Duration
+}
+
+// Execute runs the query: one MapReduce job for the join + aggregation,
+// then the driver-side final sort (Figure 4 line 33).
+func (e *Engine) Execute(q *Query) (*results.ResultSet, *Report, error) {
+	start := time.Now()
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := EnsureCatalogCachedFor(e.mr.FS(), e.cat, q); err != nil {
+		return nil, nil, err
+	}
+
+	var cols []string
+	if e.feats.ColumnarStorage {
+		cols = q.FactColumns()
+	}
+	factSchema, err := e.factReaderSchema(cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	runner, err := newStarJoinRunner(e, q, factSchema)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	cfg := e.mr.Cluster().Config()
+	conf := mr.NewJobConf()
+	if e.feats.MultiThreaded {
+		// One map task per node (capacity scheduling via a whole-node memory
+		// request), JVM reuse for hash-table sharing across consecutive
+		// tasks, MultiCIF packing so each thread gets its own reader.
+		conf.SetInt(mr.ConfTaskMemory, cfg.MemoryPerNode)
+		conf.SetBool(mr.ConfJVMReuse, true)
+		conf.SetInt(mr.ConfMultiSplitPack, int64(e.opts.MultiSplitPack))
+		conf.SetInt(mr.ConfMapThreads, int64(cfg.MapSlots))
+	}
+
+	numReduce := e.opts.Reducers
+	if len(q.GroupBy) == 0 {
+		numReduce = 1
+	}
+	out := &mr.MemoryOutput{}
+	job := &mr.Job{
+		Name:   "clydesdale-" + q.Name,
+		Conf:   conf,
+		Input:  &colstore.CIFInput{Dir: e.cat.FactDir, Columns: cols, Schema: e.cat.FactSchema, BlockRows: e.opts.BlockRows},
+		Output: out,
+		NewMapRunner: func() mr.MapRunner {
+			return runner
+		},
+		NewReducer:     func() mr.Reducer { return sumReducer{} },
+		NewCombiner:    func() mr.Reducer { return sumReducer{} },
+		NumReduceTasks: numReduce,
+		KeySchema:      q.GroupSchema(),
+		ValueSchema:    aggValueSchema,
+	}
+
+	res, err := e.mr.Submit(job)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s: %w", q.Name, err)
+	}
+
+	rs := e.collect(q, out)
+	sortStart := time.Now()
+	orders := make([]results.Order, 0, len(q.OrderBy))
+	for _, o := range q.Orders() {
+		orders = append(orders, results.Order{Col: o.Col, Desc: o.Desc})
+	}
+	if len(orders) > 0 {
+		if err := rs.Sort(orders); err != nil {
+			return nil, nil, err
+		}
+	}
+	report := &Report{
+		Query:    q.Name,
+		Job:      res,
+		SortTime: time.Since(sortStart),
+		Total:    time.Since(start),
+	}
+	return rs, report, nil
+}
+
+// factReaderSchema computes the schema the CIF reader will yield.
+func (e *Engine) factReaderSchema(cols []string) (*records.Schema, error) {
+	if cols == nil {
+		return e.cat.FactSchema, nil
+	}
+	return e.cat.FactSchema.Project(cols...)
+}
+
+// collect turns the reduce output into the result set.
+func (e *Engine) collect(q *Query, out *mr.MemoryOutput) *results.ResultSet {
+	schema := q.ResultSchema()
+	rs := &results.ResultSet{Schema: schema}
+	pairs := out.Pairs()
+	if len(pairs) == 0 && len(q.GroupBy) == 0 {
+		// Grand aggregate over an empty selection: one zero row.
+		vals := []records.Value{records.Float(0)}
+		rs.Rows = append(rs.Rows, records.Make(schema, vals...))
+		return rs
+	}
+	for _, kv := range pairs {
+		vals := make([]records.Value, 0, schema.Len())
+		vals = append(vals, kv.Key.Values()...)
+		vals = append(vals, records.Float(kv.Value.At(0).Float64()))
+		rs.Rows = append(rs.Rows, records.Make(schema, vals...))
+	}
+	return rs
+}
+
+// isOOM reports whether err is a node/task memory exhaustion.
+func isOOM(err error) bool { return errors.Is(err, cluster.ErrOutOfMemory) }

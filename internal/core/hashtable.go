@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"clydesdale/internal/cluster"
+	"clydesdale/internal/expr"
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/records"
+)
+
+// DimHashTable is the hash table built for one dimension of a star join
+// (§4.2): key = dimension primary key, value = the auxiliary columns the
+// query references. Rows failing the dimension predicate are not inserted,
+// so probing performs the semi-join filter and the projection at once.
+// After Build completes the table is read-only and safe for concurrent
+// probes by all of a node's threads.
+type DimHashTable struct {
+	Table string
+	m     map[int64][]records.Value
+	// MemBytes estimates the table's resident size for node memory
+	// accounting.
+	MemBytes int64
+}
+
+// Len returns the number of qualifying dimension rows.
+func (h *DimHashTable) Len() int { return len(h.m) }
+
+// Probe looks up a foreign key; aux is nil for dimensions with no
+// auxiliary columns.
+func (h *DimHashTable) Probe(fk int64) (aux []records.Value, ok bool) {
+	aux, ok = h.m[fk]
+	return aux, ok
+}
+
+// BuildDimHashTable builds the hash table for one dimension spec from the
+// node-local dimension copy (charging the local read and the deserialization
+// work — this is the §6.3 "build" phase that runs once per node). The build
+// is single-threaded, as in the paper.
+func BuildDimHashTable(fs *hdfs.FileSystem, node *cluster.Node, dimDir string, spec *DimSpec) (*DimHashTable, error) {
+	data, err := localDimBytes(fs, node, dimDir)
+	if err != nil {
+		return nil, err
+	}
+	schema := spec.Schema
+	var pred expr.RowPred
+	if spec.Pred != nil {
+		p, err := expr.CompilePred(spec.Pred, schema)
+		if err != nil {
+			return nil, fmt.Errorf("core: dim %s predicate: %w", spec.Table, err)
+		}
+		pred = p
+	}
+	pkIx := schema.Index(spec.DimPK)
+	if pkIx < 0 {
+		return nil, fmt.Errorf("core: dim %s has no column %s", spec.Table, spec.DimPK)
+	}
+	if schema.Field(pkIx).Kind != records.KindInt64 {
+		return nil, fmt.Errorf("core: dim %s key %s is %s, want int64", spec.Table, spec.DimPK, schema.Field(pkIx).Kind)
+	}
+	auxIx := make([]int, len(spec.Aux))
+	for i, a := range spec.Aux {
+		auxIx[i] = schema.MustIndex(a)
+	}
+
+	h := &DimHashTable{Table: spec.Table, m: make(map[int64][]records.Value)}
+	pos := 0
+	for pos < len(data) {
+		rec, n, err := records.DecodeRecord(data[pos:], schema)
+		if err != nil {
+			return nil, fmt.Errorf("core: decoding cached dim %s: %w", spec.Table, err)
+		}
+		pos += n
+		if pred != nil && !pred(rec) {
+			continue
+		}
+		var aux []records.Value
+		if len(auxIx) > 0 {
+			aux = make([]records.Value, len(auxIx))
+			for i, ix := range auxIx {
+				aux[i] = rec.At(ix)
+			}
+		}
+		h.m[rec.At(pkIx).Int64()] = aux
+		// Map entry ≈ key (8) + bucket overhead (~40) + aux values.
+		entry := int64(48)
+		for _, v := range aux {
+			entry += v.MemSize()
+		}
+		h.MemBytes += entry
+	}
+	return h, nil
+}
+
+// EstimateDimHashBytes computes the memory each of a query's dimension hash
+// tables would occupy (one entry per dimension, in query order), by
+// evaluating the dimension predicates over rows supplied by each(table).
+// The benchmark harness uses it (with the SSB generator as the row source,
+// so no I/O is charged) to calibrate the memory budgets that decide which
+// mapjoin plans OOM (§6.4): Clydesdale holds the *sum* resident per node,
+// while a mapjoin task holds one dimension at a time, so its constraint is
+// the *maximum*.
+func EstimateDimHashBytes(q *Query, each func(table string, fn func(records.Record) error) error) ([]int64, error) {
+	out := make([]int64, len(q.Dims))
+	for i := range q.Dims {
+		spec := &q.Dims[i]
+		var pred expr.RowPred
+		if spec.Pred != nil {
+			p, err := expr.CompilePred(spec.Pred, spec.Schema)
+			if err != nil {
+				return nil, err
+			}
+			pred = p
+		}
+		auxIx := make([]int, len(spec.Aux))
+		for j, a := range spec.Aux {
+			auxIx[j] = spec.Schema.MustIndex(a)
+		}
+		err := each(spec.Table, func(rec records.Record) error {
+			if pred != nil && !pred(rec) {
+				return nil
+			}
+			entry := int64(48)
+			for _, ix := range auxIx {
+				entry += rec.At(ix).MemSize()
+			}
+			out[i] += entry
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EstimateHashTableBytes sums EstimateDimHashBytes: one full copy of the
+// query's dimension hash tables (what a Clydesdale node holds).
+func EstimateHashTableBytes(q *Query, each func(table string, fn func(records.Record) error) error) (int64, error) {
+	per, err := EstimateDimHashBytes(q, each)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, b := range per {
+		total += b
+	}
+	return total, nil
+}

@@ -1,0 +1,370 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/expr"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+)
+
+// Clydesdale-specific counters.
+const (
+	CtrHashTablesBuilt = "CLYDESDALE_HASH_TABLES_BUILT"
+	CtrHashBuildNanos  = "CLYDESDALE_HASH_BUILD_NANOS"
+	CtrHashReuses      = "CLYDESDALE_HASH_TABLE_REUSES"
+	CtrProbeRows       = "CLYDESDALE_PROBE_ROWS"
+	CtrProbeEmits      = "CLYDESDALE_PROBE_EMITS"
+	CtrProbeNanos      = "CLYDESDALE_PROBE_NANOS"
+	CtrProbeThreads    = "CLYDESDALE_PROBE_THREADS"
+)
+
+// starJoinRunner is Clydesdale's MTMapRunner (§5.1, Figure 5): it builds or
+// reuses the node's dimension hash tables, unpacks its multi-split into one
+// reader per thread, and runs the probe phase over all of them, sharing the
+// single copy of the hash tables.
+type starJoinRunner struct {
+	eng        *Engine
+	q          *Query
+	factSchema *records.Schema // the projected fact schema the reader yields
+	groupSrcs  []groupSrc
+	gschema    *records.Schema
+}
+
+// groupSrc locates one group-by column inside a dimension's aux values.
+type groupSrc struct{ dim, aux int }
+
+func newStarJoinRunner(eng *Engine, q *Query, factSchema *records.Schema) (*starJoinRunner, error) {
+	srcs := make([]groupSrc, len(q.GroupBy))
+	for gi, gcol := range q.GroupBy {
+		found := false
+		for di := range q.Dims {
+			for ai, aux := range q.Dims[di].Aux {
+				if aux == gcol {
+					srcs[gi] = groupSrc{dim: di, aux: ai}
+					found = true
+				}
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("core: group column %s not covered by dimension aux columns", gcol)
+		}
+	}
+	return &starJoinRunner{
+		eng:        eng,
+		q:          q,
+		factSchema: factSchema,
+		groupSrcs:  srcs,
+		gschema:    q.GroupSchema(),
+	}, nil
+}
+
+// hashTables returns the node's hash tables, building them on first use.
+// With multi-threading enabled the tables live in the JVM's static store,
+// so consecutive tasks of the job on this node (JVM reuse) and all threads
+// of this task share one copy; with it disabled each task builds privately,
+// reproducing the Figure 9 ablation.
+func (r *starJoinRunner) hashTables(ctx *mr.TaskContext) ([]*DimHashTable, error) {
+	if !r.eng.feats.MultiThreaded {
+		return r.buildHashTables(ctx)
+	}
+	const key = "clydesdale/hashtables"
+	if v, ok := ctx.JVM().Statics.Load(key); ok {
+		ctx.Counters.Add(CtrHashReuses, 1)
+		hts := v.([]*DimHashTable)
+		// The resident tables still occupy node memory while this task runs.
+		if err := r.reserve(ctx, hts); err != nil {
+			return nil, err
+		}
+		return hts, nil
+	}
+	hts, err := r.buildHashTables(ctx)
+	if err != nil {
+		return nil, err
+	}
+	ctx.JVM().Statics.Store(key, hts)
+	return hts, nil
+}
+
+func (r *starJoinRunner) buildHashTables(ctx *mr.TaskContext) ([]*DimHashTable, error) {
+	start := time.Now()
+	hts := make([]*DimHashTable, len(r.q.Dims))
+	for i := range r.q.Dims {
+		spec := &r.q.Dims[i]
+		dir, err := r.eng.cat.DimDir(spec.Table)
+		if err != nil {
+			return nil, err
+		}
+		h, err := BuildDimHashTable(ctx.FS, ctx.Node(), dir, spec)
+		if err != nil {
+			return nil, err
+		}
+		hts[i] = h
+		ctx.Counters.Add(CtrHashTablesBuilt, 1)
+	}
+	ctx.Counters.Add(CtrHashBuildNanos, time.Since(start).Nanoseconds())
+	if err := r.reserve(ctx, hts); err != nil {
+		return nil, err
+	}
+	return hts, nil
+}
+
+func (r *starJoinRunner) reserve(ctx *mr.TaskContext, hts []*DimHashTable) error {
+	var total int64
+	for _, h := range hts {
+		total += h.MemBytes
+	}
+	return ctx.ReserveMemory(total)
+}
+
+// Run implements mr.MapRunner.
+func (r *starJoinRunner) Run(ctx *mr.TaskContext, reader mr.RecordReader, out mr.Collector) error {
+	hts, err := r.hashTables(ctx)
+	if err != nil {
+		return err
+	}
+
+	readers := []mr.RecordReader{reader}
+	if multi, ok := reader.(mr.MultiReader); ok && r.eng.feats.MultiThreaded {
+		rs, err := multi.Readers()
+		if err != nil {
+			return err
+		}
+		readers = rs
+	}
+
+	// §5.2 requirement (3): the scheduler tells the task how many slots it
+	// may occupy; cap the thread count accordingly and let threads pull
+	// readers from a queue (a pack may hold more splits than slots).
+	threads := int(ctx.Conf.GetInt(mr.ConfMapThreads, 1))
+	if threads < 1 {
+		threads = 1
+	}
+	if threads > len(readers) {
+		threads = len(readers)
+	}
+	ctx.Counters.Add(CtrProbeThreads, int64(threads))
+
+	order := probeOrder(hts, r.eng.opts.ProbeMostSelectiveFirst)
+
+	probeStart := time.Now()
+	queue := make(chan mr.RecordReader, len(readers))
+	for _, rd := range readers {
+		queue <- rd
+	}
+	close(queue)
+	var wg sync.WaitGroup
+	errs := make([]error, threads)
+	for i := 0; i < threads; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rd := range queue {
+				if err := r.probe(ctx, rd, hts, order, out); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	ctx.Counters.Add(CtrProbeNanos, time.Since(probeStart).Nanoseconds())
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// probe drains one reader, choosing the block-iteration path when enabled
+// and available (§5.3).
+func (r *starJoinRunner) probe(ctx *mr.TaskContext, rd mr.RecordReader, hts []*DimHashTable, order []int, out mr.Collector) error {
+	if br, ok := rd.(colstore.BlockReader); ok && r.eng.feats.BlockIteration {
+		return r.probeBlocks(ctx, br, hts, order, out)
+	}
+	return r.probeRows(ctx, rd, hts, order, out)
+}
+
+// probeOrder returns the dimension visit order for the early-out probe:
+// query order by default, ascending hash-table size when the engine is
+// configured to put the most selective dimension first.
+func probeOrder(hts []*DimHashTable, selectiveFirst bool) []int {
+	order := make([]int, len(hts))
+	for i := range order {
+		order[i] = i
+	}
+	if selectiveFirst {
+		sort.SliceStable(order, func(a, b int) bool {
+			return hts[order[a]].Len() < hts[order[b]].Len()
+		})
+	}
+	return order
+}
+
+// probeBlocks is the B-CIF path: one reader call per block, tight loops
+// over typed column vectors, no per-row boxing before the join filter.
+func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReader, hts []*DimHashTable, order []int, out mr.Collector) error {
+	var pred expr.BlockPred
+	var agg expr.BlockNum
+	var fkIdx []int
+	compiled := false
+	auxRow := make([][]records.Value, len(hts))
+	var rows, emits int64
+
+	for {
+		blk, ok, err := br.NextBlock()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if !compiled {
+			schema := blk.Schema()
+			if r.q.FactPred != nil {
+				p, err := expr.CompileBlockPred(r.q.FactPred, schema)
+				if err != nil {
+					return err
+				}
+				pred = p
+			}
+			a, err := expr.CompileBlockNum(r.q.AggExpr, schema)
+			if err != nil {
+				return err
+			}
+			agg = a
+			fkIdx = make([]int, len(r.q.Dims))
+			for i, d := range r.q.Dims {
+				ix := schema.Index(d.FactFK)
+				if ix < 0 {
+					return fmt.Errorf("core: fact reader schema %v lacks FK %s", schema, d.FactFK)
+				}
+				fkIdx[i] = ix
+			}
+			compiled = true
+		}
+		fkCols := make([][]int64, len(fkIdx))
+		for i, ix := range fkIdx {
+			fkCols[i] = blk.Col(ix).Ints
+		}
+		n := blk.Len()
+		rows += int64(n)
+	rowLoop:
+		for i := 0; i < n; i++ {
+			if pred != nil && !pred(blk, i) {
+				continue
+			}
+			// Early-out probe (§4.2): stop at the first dimension miss.
+			for _, d := range order {
+				aux, ok := hts[d].Probe(fkCols[d][i])
+				if !ok {
+					continue rowLoop
+				}
+				auxRow[d] = aux
+			}
+			if err := r.emit(out, auxRow, agg(blk, i)); err != nil {
+				return err
+			}
+			emits++
+		}
+	}
+	ctx.Counters.Add(CtrProbeRows, rows)
+	ctx.Counters.Add(CtrProbeEmits, emits)
+	return nil
+}
+
+// probeRows is the row-at-a-time CIF path: one reader call and one boxed
+// record per row.
+func (r *starJoinRunner) probeRows(ctx *mr.TaskContext, rd mr.RecordReader, hts []*DimHashTable, order []int, out mr.Collector) error {
+	var pred expr.RowPred
+	var agg expr.RowNum
+	var fkIdx []int
+	compiled := false
+	auxRow := make([][]records.Value, len(hts))
+	var rows, emits int64
+
+rowLoop:
+	for {
+		_, rec, ok, err := rd.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if !compiled {
+			schema := rec.Schema()
+			if r.q.FactPred != nil {
+				p, err := expr.CompilePred(r.q.FactPred, schema)
+				if err != nil {
+					return err
+				}
+				pred = p
+			}
+			a, err := expr.CompileNum(r.q.AggExpr, schema)
+			if err != nil {
+				return err
+			}
+			agg = a
+			fkIdx = make([]int, len(r.q.Dims))
+			for i, d := range r.q.Dims {
+				ix := schema.Index(d.FactFK)
+				if ix < 0 {
+					return fmt.Errorf("core: fact reader schema %v lacks FK %s", schema, d.FactFK)
+				}
+				fkIdx[i] = ix
+			}
+			compiled = true
+		}
+		rows++
+		if pred != nil && !pred(rec) {
+			continue
+		}
+		for _, d := range order {
+			aux, ok := hts[d].Probe(rec.At(fkIdx[d]).Int64())
+			if !ok {
+				continue rowLoop
+			}
+			auxRow[d] = aux
+		}
+		if err := r.emit(out, auxRow, agg(rec)); err != nil {
+			return err
+		}
+		emits++
+	}
+	ctx.Counters.Add(CtrProbeRows, rows)
+	ctx.Counters.Add(CtrProbeEmits, emits)
+	return nil
+}
+
+// emit constructs the group key from the joined aux values and collects
+// (key, measure).
+func (r *starJoinRunner) emit(out mr.Collector, auxRow [][]records.Value, measure float64) error {
+	keyVals := make([]records.Value, len(r.groupSrcs))
+	for gi, src := range r.groupSrcs {
+		keyVals[gi] = auxRow[src.dim][src.aux]
+	}
+	key := records.Make(r.gschema, keyVals...)
+	return out.Collect(key, records.Make(aggValueSchema, records.Float(measure)))
+}
+
+// aggValueSchema is the map-output value: one partial aggregate.
+var aggValueSchema = records.NewSchema(records.F("agg", records.KindFloat64))
+
+// sumReducer sums partial aggregates per group; it serves as both the
+// combiner and the reducer (Figure 4).
+type sumReducer struct{ mr.BaseReducer }
+
+// Reduce implements mr.Reducer.
+func (sumReducer) Reduce(key records.Record, values mr.Values, out mr.Collector) error {
+	var sum float64
+	for v, ok := values.Next(); ok; v, ok = values.Next() {
+		sum += v.At(0).Float64()
+	}
+	return out.Collect(key, records.Make(aggValueSchema, records.Float(sum)))
+}

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/expr"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+	"clydesdale/internal/results"
+)
+
+// The §5.1 fallback: "for the rare case where the cluster nodes have little
+// memory or for unusual datasets with extremely large dimension tables, one
+// could reduce the memory footprint by joining with a single hash table at
+// a time. A subsequent pass over the intermediate joined result can be made
+// to join with the remaining dimension tables."
+//
+// ExecuteStaged implements that strategy: one map-only MapReduce job per
+// dimension — still with Clydesdale's per-node shared hash table (built
+// from the local dimension cache, one task per node, JVM reuse), unlike
+// Hive's broadcast mapjoin — writing each intermediate to HDFS, followed by
+// an aggregation job. Memory high-water per node drops from the sum of the
+// dimension tables to the largest single one.
+
+var stagedSeq atomic.Int64
+
+// ExecuteStaged runs the query with one join pass per dimension.
+func (e *Engine) ExecuteStaged(q *Query) (*results.ResultSet, *Report, error) {
+	start := time.Now()
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if _, err := EnsureCatalogCachedFor(e.mr.FS(), e.cat, q); err != nil {
+		return nil, nil, err
+	}
+
+	tmp := fmt.Sprintf("/tmp/clydesdale/%s-staged-%d", q.Name, stagedSeq.Add(1))
+	defer e.mr.FS().DeletePrefix(tmp)
+
+	measures := expr.ColumnsOf([]expr.Expr{q.AggExpr}, nil)
+	factPredCols := expr.ColumnsOf(nil, []expr.Pred{q.FactPred})
+
+	// The first pass reads the pruned fact columns from CIF.
+	readCols := q.FactColumns()
+	if !e.feats.ColumnarStorage {
+		readCols = e.cat.FactSchema.Names()
+	}
+	curSchema, err := e.cat.FactSchema.Project(readCols...)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	agg := mr.NewCounters()
+	report := &Report{Query: q.Name}
+	var curDir string // "" means the fact table
+
+	for i := range q.Dims {
+		spec := &q.Dims[i]
+		outSchema := stagedOutSchema(curSchema, spec, i == 0, factPredCols, measures, q, i)
+		outDir := fmt.Sprintf("%s/pass-%d", tmp, i+1)
+
+		res, err := e.runStagedJoinPass(q, spec, curDir, curSchema, outDir, outSchema, i == 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s staged pass %d (%s): %w", q.Name, i+1, spec.Table, err)
+		}
+		agg.Merge(res.Counters)
+		curDir, curSchema = outDir, outSchema
+	}
+
+	rs, res, err := e.runStagedAggregation(q, curDir, curSchema)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s staged aggregation: %w", q.Name, err)
+	}
+	agg.Merge(res.Counters)
+
+	orders := make([]results.Order, 0, len(q.OrderBy))
+	for _, o := range q.Orders() {
+		orders = append(orders, results.Order{Col: o.Col, Desc: o.Desc})
+	}
+	sortStart := time.Now()
+	if len(orders) > 0 {
+		if err := rs.Sort(orders); err != nil {
+			return nil, nil, err
+		}
+	}
+	report.SortTime = time.Since(sortStart)
+	report.Total = time.Since(start)
+	report.Job = &mr.JobResult{JobID: "staged", Counters: agg, Duration: report.Total}
+	return rs, report, nil
+}
+
+// stagedOutSchema drops the consumed FK (and, on the first pass, columns
+// only the fact predicate needed) and appends the dimension's aux columns.
+func stagedOutSchema(in *records.Schema, spec *DimSpec, firstPass bool, factPredCols, measures []string, q *Query, stage int) *records.Schema {
+	var fields []records.Field
+	for i := 0; i < in.Len(); i++ {
+		f := in.Field(i)
+		if f.Name == spec.FactFK {
+			continue
+		}
+		if firstPass && predOnlyColumn(f.Name, factPredCols, measures, q, stage) {
+			continue
+		}
+		fields = append(fields, f)
+	}
+	for _, a := range spec.Aux {
+		fields = append(fields, records.F(a, spec.Schema.Field(spec.Schema.MustIndex(a)).Kind))
+	}
+	return records.NewSchema(fields...)
+}
+
+// predOnlyColumn reports whether col is needed only by the fact predicate.
+func predOnlyColumn(col string, factPredCols, measures []string, q *Query, stage int) bool {
+	inPred := false
+	for _, c := range factPredCols {
+		if c == col {
+			inPred = true
+		}
+	}
+	if !inPred {
+		return false
+	}
+	for _, c := range measures {
+		if c == col {
+			return false
+		}
+	}
+	for i := stage + 1; i < len(q.Dims); i++ {
+		if q.Dims[i].FactFK == col {
+			return false
+		}
+	}
+	return true
+}
+
+// runStagedJoinPass joins the current intermediate (or the fact table) with
+// one dimension as a map-only job.
+func (e *Engine) runStagedJoinPass(q *Query, spec *DimSpec, inDir string, inSchema *records.Schema, outDir string, outSchema *records.Schema, firstPass bool) (*mr.JobResult, error) {
+	var input mr.InputFormat
+	if inDir == "" {
+		cols := inSchema.Names()
+		input = &colstore.CIFInput{Dir: e.cat.FactDir, Columns: cols, Schema: e.cat.FactSchema, BlockRows: e.opts.BlockRows}
+	} else {
+		input = &colstore.RowInput{Dir: inDir, Schema: inSchema}
+	}
+
+	var factPred expr.RowPred
+	if firstPass && q.FactPred != nil {
+		p, err := expr.CompilePred(q.FactPred, inSchema)
+		if err != nil {
+			return nil, err
+		}
+		factPred = p
+	}
+	fkIdx := inSchema.Index(spec.FactFK)
+	if fkIdx < 0 {
+		return nil, fmt.Errorf("core: staged input lacks FK %s", spec.FactFK)
+	}
+	var carryIdx []int
+	for i := 0; i < outSchema.Len(); i++ {
+		name := outSchema.Field(i).Name
+		if j := inSchema.Index(name); j >= 0 {
+			carryIdx = append(carryIdx, j)
+		}
+	}
+
+	dimDir, err := e.cat.DimDir(spec.Table)
+	if err != nil {
+		return nil, err
+	}
+	eng := e
+	specCopy := *spec
+
+	cfg := e.mr.Cluster().Config()
+	conf := mr.NewJobConf()
+	if e.feats.MultiThreaded {
+		conf.SetInt(mr.ConfTaskMemory, cfg.MemoryPerNode)
+		conf.SetBool(mr.ConfJVMReuse, true)
+		conf.SetInt(mr.ConfMultiSplitPack, int64(e.opts.MultiSplitPack))
+		conf.SetInt(mr.ConfMapThreads, int64(cfg.MapSlots))
+	}
+
+	job := &mr.Job{
+		Name:   fmt.Sprintf("clydesdale-staged-%s-%s", q.Name, spec.Table),
+		Conf:   conf,
+		Input:  input,
+		Output: &colstore.RowOutput{Dir: outDir, Schema: outSchema},
+		NewMapper: func() mr.Mapper {
+			return &stagedJoinMapper{
+				eng: eng, spec: &specCopy, dimDir: dimDir,
+				factPred: factPred, fkIdx: fkIdx, carryIdx: carryIdx, outSchema: outSchema,
+			}
+		},
+		NumReduceTasks: 0,
+	}
+	return e.mr.Submit(job)
+}
+
+// stagedJoinMapper probes one per-node shared dimension hash table.
+type stagedJoinMapper struct {
+	eng       *Engine
+	spec      *DimSpec
+	dimDir    string
+	factPred  expr.RowPred
+	fkIdx     int
+	carryIdx  []int
+	outSchema *records.Schema
+
+	hash *DimHashTable
+}
+
+// Setup implements mr.Mapper: fetch or build the node's shared table for
+// this single dimension (JVM statics + one task per node, as in the main
+// path).
+func (m *stagedJoinMapper) Setup(ctx *mr.TaskContext) error {
+	key := "clydesdale/staged/" + m.spec.Table
+	if m.eng.feats.MultiThreaded {
+		if v, ok := ctx.JVM().Statics.Load(key); ok {
+			ctx.Counters.Add(CtrHashReuses, 1)
+			m.hash = v.(*DimHashTable)
+			return ctx.ReserveMemory(m.hash.MemBytes)
+		}
+	}
+	start := time.Now()
+	h, err := BuildDimHashTable(ctx.FS, ctx.Node(), m.dimDir, m.spec)
+	if err != nil {
+		return err
+	}
+	ctx.Counters.Add(CtrHashTablesBuilt, 1)
+	ctx.Counters.Add(CtrHashBuildNanos, time.Since(start).Nanoseconds())
+	if err := ctx.ReserveMemory(h.MemBytes); err != nil {
+		return err
+	}
+	if m.eng.feats.MultiThreaded {
+		ctx.JVM().Statics.Store(key, h)
+	}
+	m.hash = h
+	return nil
+}
+
+// Map implements mr.Mapper.
+func (m *stagedJoinMapper) Map(_, v records.Record, out mr.Collector) error {
+	if m.factPred != nil && !m.factPred(v) {
+		return nil
+	}
+	aux, ok := m.hash.Probe(v.At(m.fkIdx).Int64())
+	if !ok {
+		return nil
+	}
+	row := make([]records.Value, 0, len(m.carryIdx)+len(aux))
+	for _, ix := range m.carryIdx {
+		row = append(row, v.At(ix))
+	}
+	row = append(row, aux...)
+	return out.Collect(records.Record{}, records.Make(m.outSchema, row...))
+}
+
+// Cleanup implements mr.Mapper.
+func (m *stagedJoinMapper) Cleanup(mr.Collector) error { return nil }
+
+// runStagedAggregation sums the measure grouped by the group-by columns.
+func (e *Engine) runStagedAggregation(q *Query, inDir string, inSchema *records.Schema) (*results.ResultSet, *mr.JobResult, error) {
+	aggFn, err := expr.CompileNum(q.AggExpr, inSchema)
+	if err != nil {
+		return nil, nil, err
+	}
+	gschema := q.GroupSchema()
+	gIdx := make([]int, len(q.GroupBy))
+	for i, g := range q.GroupBy {
+		j := inSchema.Index(g)
+		if j < 0 {
+			return nil, nil, fmt.Errorf("core: staged schema lacks group column %s", g)
+		}
+		gIdx[i] = j
+	}
+	numReduce := e.opts.Reducers
+	if len(q.GroupBy) == 0 {
+		numReduce = 1
+	}
+	out := &mr.MemoryOutput{}
+	job := &mr.Job{
+		Name:   "clydesdale-staged-agg-" + q.Name,
+		Conf:   mr.NewJobConf(),
+		Input:  &colstore.RowInput{Dir: inDir, Schema: inSchema},
+		Output: out,
+		NewMapper: func() mr.Mapper {
+			return mr.MapperFunc(func(_, v records.Record, c mr.Collector) error {
+				keyVals := make([]records.Value, len(gIdx))
+				for i, ix := range gIdx {
+					keyVals[i] = v.At(ix)
+				}
+				return c.Collect(records.Make(gschema, keyVals...),
+					records.Make(aggValueSchema, records.Float(aggFn(v))))
+			})
+		},
+		NewReducer:     func() mr.Reducer { return sumReducer{} },
+		NewCombiner:    func() mr.Reducer { return sumReducer{} },
+		NumReduceTasks: numReduce,
+		KeySchema:      gschema,
+		ValueSchema:    aggValueSchema,
+	}
+	res, err := e.mr.Submit(job)
+	if err != nil {
+		return nil, nil, err
+	}
+	return e.collect(q, out), res, nil
+}
+
+// ExecuteAuto runs the single-job plan and, if it fails because the
+// dimension hash tables exceed the node memory budget, falls back to the
+// staged plan (§5.1). The report notes which path ran.
+func (e *Engine) ExecuteAuto(q *Query) (*results.ResultSet, *Report, bool, error) {
+	rs, rep, err := e.Execute(q)
+	if err == nil {
+		return rs, rep, false, nil
+	}
+	if !isOOM(err) {
+		return nil, nil, false, err
+	}
+	rs, rep, err = e.ExecuteStaged(q)
+	return rs, rep, true, err
+}

@@ -1,0 +1,136 @@
+package core_test
+
+import (
+	"testing"
+
+	"clydesdale/internal/cluster"
+	"clydesdale/internal/core"
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+	"clydesdale/internal/refexec"
+	"clydesdale/internal/results"
+	"clydesdale/internal/ssb"
+)
+
+// TestStagedMatchesReference runs every SSB query through the §5.1 staged
+// plan and checks the answers against the reference executor.
+func TestStagedMatchesReference(t *testing.T) {
+	e := newEnv(t, 3, 0.002)
+	eng := e.engine(core.Options{})
+	for _, q := range ssb.Queries() {
+		rs, rep, err := eng.ExecuteStaged(q)
+		if err != nil {
+			t.Fatalf("%s: %v", q.Name, err)
+		}
+		want, err := refexec.Run(e.gen, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, why := results.Equivalent(rs, want, 1e-9); !ok {
+			t.Errorf("%s staged: %s", q.Name, why)
+		}
+		if rep.Job.Counters.Get(core.CtrHashTablesBuilt) == 0 {
+			t.Errorf("%s: no hash builds recorded", q.Name)
+		}
+	}
+}
+
+// TestStagedSurvivesTightMemory is the point of §5.1: a node budget that
+// holds one dimension table but not all of them together fails the
+// single-job plan and succeeds staged.
+func TestStagedSurvivesTightMemory(t *testing.T) {
+	gen := ssb.NewGenerator(0.002, 42)
+	q, err := ssb.QueryByName("Q4.1") // four dimensions
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := core.EstimateDimHashBytes(q, func(tbl string, fn func(records.Record) error) error {
+		return gen.Each(tbl, fn)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, max int64
+	for _, b := range per {
+		sum += b
+		if b > max {
+			max = b
+		}
+	}
+	if sum <= max {
+		t.Fatal("need multiple non-trivial dims for this test")
+	}
+	// Budget: the largest single table fits, the sum does not.
+	budget := max + (sum-max)/4
+	c := cluster.New(cluster.Config{Workers: 2, MapSlots: 2, ReduceSlots: 1, MemoryPerNode: budget})
+	fs := hdfs.New(c, hdfs.Options{BlockSize: 1 << 16, Seed: 13})
+	lay, err := ssb.Load(fs, gen, "/ssb", ssb.LoadOptions{SkipRC: true, PartitionRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := core.New(mr.NewEngine(c, fs, mr.Options{}), lay.Catalog(), core.Options{})
+
+	// Single-job plan must OOM.
+	if _, _, err := eng.Execute(q); err == nil {
+		t.Fatal("expected single-job OOM under tight budget")
+	}
+
+	// Staged plan completes with correct answers.
+	rs, _, err := eng.ExecuteStaged(q)
+	if err != nil {
+		t.Fatalf("staged: %v", err)
+	}
+	want, _ := refexec.Run(gen, q)
+	if ok, why := results.Equivalent(rs, want, 1e-9); !ok {
+		t.Errorf("staged under pressure: %s", why)
+	}
+
+	// ExecuteAuto picks the staged path automatically.
+	rs2, _, staged, err := eng.ExecuteAuto(q)
+	if err != nil {
+		t.Fatalf("auto: %v", err)
+	}
+	if !staged {
+		t.Error("ExecuteAuto should have fallen back to the staged plan")
+	}
+	if ok, why := results.Equivalent(rs2, want, 1e-9); !ok {
+		t.Errorf("auto: %s", why)
+	}
+	// Memory fully released.
+	for _, n := range c.Nodes() {
+		if used := n.MemoryUsed(); used != 0 {
+			t.Errorf("%s leaked %d bytes", n.ID(), used)
+		}
+	}
+	// Intermediates cleaned up.
+	if files := fs.List("/tmp/clydesdale/"); len(files) != 0 {
+		t.Errorf("leftover staged intermediates: %v", files)
+	}
+}
+
+// TestExecuteAutoPrefersSinglePass checks the fast path is used when memory
+// suffices.
+func TestExecuteAutoPrefersSinglePass(t *testing.T) {
+	e := newEnv(t, 2, 0.002)
+	eng := e.engine(core.Options{})
+	q, _ := ssb.QueryByName("Q2.1")
+	_, _, staged, err := eng.ExecuteAuto(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if staged {
+		t.Error("should not stage with ample memory")
+	}
+}
+
+// TestExecuteAutoPropagatesNonOOM ensures unrelated failures are not
+// retried as staged plans.
+func TestExecuteAutoPropagatesNonOOM(t *testing.T) {
+	e := newEnv(t, 1, 0.002)
+	eng := e.engine(core.Options{})
+	bad := &core.Query{Name: "bad"} // fails validation, not OOM
+	if _, _, _, err := eng.ExecuteAuto(bad); err == nil {
+		t.Error("expected validation error")
+	}
+}

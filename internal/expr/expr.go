@@ -1,0 +1,245 @@
+// Package expr provides the small expression and predicate language used by
+// both query engines: column references, constants, arithmetic, comparisons,
+// BETWEEN, IN, and boolean combinators. Expressions are compiled against a
+// schema into closures; separate row-oriented and block-oriented (vectorized
+// row index) compilations back the two execution paths the paper ablates.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"clydesdale/internal/records"
+)
+
+// Expr is a scalar expression tree node.
+type Expr interface {
+	// Columns appends the column names the expression reads to dst.
+	Columns(dst []string) []string
+	String() string
+}
+
+// Pred is a boolean predicate tree node.
+type Pred interface {
+	Columns(dst []string) []string
+	String() string
+}
+
+// ColExpr references a named column.
+type ColExpr struct{ Name string }
+
+// ConstExpr wraps a constant value.
+type ConstExpr struct{ Val records.Value }
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+)
+
+// ArithExpr combines two numeric sub-expressions.
+type ArithExpr struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Col references the named column.
+func Col(name string) Expr { return ColExpr{Name: name} }
+
+// ConstInt wraps an integer constant.
+func ConstInt(v int64) Expr { return ConstExpr{Val: records.Int(v)} }
+
+// ConstFloat wraps a float constant.
+func ConstFloat(v float64) Expr { return ConstExpr{Val: records.Float(v)} }
+
+// ConstStr wraps a string constant.
+func ConstStr(v string) Expr { return ConstExpr{Val: records.Str(v)} }
+
+// Add returns l + r.
+func Add(l, r Expr) Expr { return ArithExpr{Op: OpAdd, L: l, R: r} }
+
+// Sub returns l - r.
+func Sub(l, r Expr) Expr { return ArithExpr{Op: OpSub, L: l, R: r} }
+
+// Mul returns l * r.
+func Mul(l, r Expr) Expr { return ArithExpr{Op: OpMul, L: l, R: r} }
+
+// Div returns l / r.
+func Div(l, r Expr) Expr { return ArithExpr{Op: OpDiv, L: l, R: r} }
+
+func (e ColExpr) Columns(dst []string) []string { return append(dst, e.Name) }
+func (e ColExpr) String() string                { return e.Name }
+
+func (e ConstExpr) Columns(dst []string) []string { return dst }
+func (e ConstExpr) String() string {
+	if e.Val.Kind() == records.KindString {
+		return "'" + e.Val.Str() + "'"
+	}
+	return e.Val.String()
+}
+
+func (e ArithExpr) Columns(dst []string) []string { return e.R.Columns(e.L.Columns(dst)) }
+func (e ArithExpr) String() string {
+	op := map[ArithOp]string{OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/"}[e.Op]
+	return fmt.Sprintf("(%s %s %s)", e.L, op, e.R)
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = iota
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+)
+
+func (op CmpOp) String() string {
+	return map[CmpOp]string{CmpEq: "=", CmpNe: "<>", CmpLt: "<", CmpLe: "<=", CmpGt: ">", CmpGe: ">="}[op]
+}
+
+// CmpPred compares two expressions.
+type CmpPred struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// BetweenPred tests lo <= e <= hi (inclusive, SQL semantics).
+type BetweenPred struct {
+	E      Expr
+	Lo, Hi records.Value
+}
+
+// InPred tests membership of e in a constant set.
+type InPred struct {
+	E    Expr
+	Vals []records.Value
+}
+
+// AndPred is the conjunction of its parts; empty means true.
+type AndPred struct{ Parts []Pred }
+
+// OrPred is the disjunction of its parts; empty means false.
+type OrPred struct{ Parts []Pred }
+
+// NotPred negates its operand.
+type NotPred struct{ P Pred }
+
+// TruePred always holds.
+type TruePred struct{}
+
+// Eq returns l = r.
+func Eq(l, r Expr) Pred { return CmpPred{Op: CmpEq, L: l, R: r} }
+
+// Ne returns l <> r.
+func Ne(l, r Expr) Pred { return CmpPred{Op: CmpNe, L: l, R: r} }
+
+// Lt returns l < r.
+func Lt(l, r Expr) Pred { return CmpPred{Op: CmpLt, L: l, R: r} }
+
+// Le returns l <= r.
+func Le(l, r Expr) Pred { return CmpPred{Op: CmpLe, L: l, R: r} }
+
+// Gt returns l > r.
+func Gt(l, r Expr) Pred { return CmpPred{Op: CmpGt, L: l, R: r} }
+
+// Ge returns l >= r.
+func Ge(l, r Expr) Pred { return CmpPred{Op: CmpGe, L: l, R: r} }
+
+// Between returns lo <= e <= hi.
+func Between(e Expr, lo, hi records.Value) Pred { return BetweenPred{E: e, Lo: lo, Hi: hi} }
+
+// In returns e IN (vals...).
+func In(e Expr, vals ...records.Value) Pred { return InPred{E: e, Vals: vals} }
+
+// And returns the conjunction of parts.
+func And(parts ...Pred) Pred { return AndPred{Parts: parts} }
+
+// Or returns the disjunction of parts.
+func Or(parts ...Pred) Pred { return OrPred{Parts: parts} }
+
+// Not negates p.
+func Not(p Pred) Pred { return NotPred{P: p} }
+
+// True returns the always-true predicate.
+func True() Pred { return TruePred{} }
+
+func (p CmpPred) Columns(dst []string) []string { return p.R.Columns(p.L.Columns(dst)) }
+func (p CmpPred) String() string                { return fmt.Sprintf("%s %s %s", p.L, p.Op, p.R) }
+
+func (p BetweenPred) Columns(dst []string) []string { return p.E.Columns(dst) }
+func (p BetweenPred) String() string {
+	return fmt.Sprintf("%s BETWEEN %s AND %s", p.E, p.Lo, p.Hi)
+}
+
+func (p InPred) Columns(dst []string) []string { return p.E.Columns(dst) }
+func (p InPred) String() string {
+	parts := make([]string, len(p.Vals))
+	for i, v := range p.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("%s IN (%s)", p.E, strings.Join(parts, ", "))
+}
+
+func (p AndPred) Columns(dst []string) []string {
+	for _, q := range p.Parts {
+		dst = q.Columns(dst)
+	}
+	return dst
+}
+func (p AndPred) String() string { return joinPred(p.Parts, " AND ") }
+
+func (p OrPred) Columns(dst []string) []string {
+	for _, q := range p.Parts {
+		dst = q.Columns(dst)
+	}
+	return dst
+}
+func (p OrPred) String() string { return joinPred(p.Parts, " OR ") }
+
+func (p NotPred) Columns(dst []string) []string { return p.P.Columns(dst) }
+func (p NotPred) String() string                { return "NOT (" + p.P.String() + ")" }
+
+func (p TruePred) Columns(dst []string) []string { return dst }
+func (p TruePred) String() string                { return "TRUE" }
+
+func joinPred(parts []Pred, sep string) string {
+	ss := make([]string, len(parts))
+	for i, p := range parts {
+		ss[i] = "(" + p.String() + ")"
+	}
+	return strings.Join(ss, sep)
+}
+
+// ColumnsOf returns the deduplicated column names read by the given
+// expressions and predicates, in first-appearance order.
+func ColumnsOf(exprs []Expr, preds []Pred) []string {
+	var raw []string
+	for _, e := range exprs {
+		if e != nil {
+			raw = e.Columns(raw)
+		}
+	}
+	for _, p := range preds {
+		if p != nil {
+			raw = p.Columns(raw)
+		}
+	}
+	seen := make(map[string]bool, len(raw))
+	out := raw[:0]
+	for _, c := range raw {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}

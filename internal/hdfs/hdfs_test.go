@@ -1,0 +1,443 @@
+package hdfs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clydesdale/internal/cluster"
+)
+
+func newTestFS(t *testing.T, workers int, blockSize int64) *FileSystem {
+	t.Helper()
+	c := cluster.New(cluster.Testing(workers))
+	return New(c, Options{BlockSize: blockSize, Seed: 42})
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	fs := newTestFS(t, 4, 64)
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i % 251)
+	}
+	if err := fs.WriteFile("/t/file", "node-0", data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadAll("/t/file", "node-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("round trip mismatch")
+	}
+	info, err := fs.Stat("/t/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size != 1000 {
+		t.Errorf("Size = %d", info.Size)
+	}
+	wantBlocks := (1000 + 63) / 64
+	if info.Blocks != wantBlocks {
+		t.Errorf("Blocks = %d, want %d", info.Blocks, wantBlocks)
+	}
+}
+
+func TestWriteReadRoundTripQuick(t *testing.T) {
+	fs := newTestFS(t, 3, 32)
+	i := 0
+	f := func(data []byte) bool {
+		i++
+		path := fmt.Sprintf("/q/%d", i)
+		if err := fs.WriteFile(path, "", data); err != nil {
+			return false
+		}
+		got, err := fs.ReadAll(path, "node-0")
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCreateExistingFails(t *testing.T) {
+	fs := newTestFS(t, 2, 64)
+	if err := fs.WriteFile("/a", "", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Create("/a", ""); err == nil {
+		t.Error("expected create-exists error")
+	}
+}
+
+func TestAbortDiscards(t *testing.T) {
+	fs := newTestFS(t, 2, 8)
+	w, err := fs.Create("/a", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+	if fs.Exists("/a") {
+		t.Error("aborted file should not exist")
+	}
+	// Name is free again.
+	if err := fs.WriteFile("/a", "", []byte("y")); err != nil {
+		t.Errorf("recreate after abort: %v", err)
+	}
+}
+
+func TestFileVisibleOnlyAfterClose(t *testing.T) {
+	fs := newTestFS(t, 2, 8)
+	w, err := fs.Create("/pending", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("0123456789abcdef")); err != nil {
+		t.Fatal(err)
+	}
+	if info, err := fs.Stat("/pending"); err != nil {
+		t.Fatal(err)
+	} else if info.Size != 0 {
+		t.Errorf("size before close = %d, want 0", info.Size)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := fs.Stat("/pending"); info.Size != 16 {
+		t.Errorf("size after close = %d", info.Size)
+	}
+}
+
+func TestListDeleteRename(t *testing.T) {
+	fs := newTestFS(t, 2, 64)
+	for _, p := range []string{"/d/a", "/d/b", "/e/c"} {
+		if err := fs.WriteFile(p, "", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.List("/d/"); len(got) != 2 || got[0] != "/d/a" {
+		t.Errorf("List = %v", got)
+	}
+	fs.Delete("/d/a")
+	if fs.Exists("/d/a") {
+		t.Error("Delete failed")
+	}
+	fs.Delete("/d/a") // idempotent
+	if err := fs.Rename("/d/b", "/d/z"); err != nil {
+		t.Fatal(err)
+	}
+	if !fs.Exists("/d/z") || fs.Exists("/d/b") {
+		t.Error("Rename failed")
+	}
+	if err := fs.Rename("/nope", "/x"); err == nil {
+		t.Error("expected rename-missing error")
+	}
+	if err := fs.Rename("/d/z", "/e/c"); err == nil {
+		t.Error("expected rename-collision error")
+	}
+	fs.DeletePrefix("/")
+	if len(fs.List("/")) != 0 {
+		t.Error("DeletePrefix failed")
+	}
+}
+
+func TestReplication(t *testing.T) {
+	c := cluster.New(cluster.Testing(5))
+	fs := New(c, Options{BlockSize: 16, Replication: 3, Seed: 1})
+	if err := fs.WriteFile("/r", "node-0", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := fs.BlockLocations("/r", 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 4 {
+		t.Fatalf("blocks = %d, want 4", len(locs))
+	}
+	for _, l := range locs {
+		if len(l.Hosts) != 3 {
+			t.Errorf("replicas = %d, want 3", len(l.Hosts))
+		}
+		if l.Hosts[0] != "node-0" {
+			t.Errorf("first replica = %s, want writer node", l.Hosts[0])
+		}
+		seen := map[string]bool{}
+		for _, h := range l.Hosts {
+			if seen[h] {
+				t.Errorf("duplicate replica host %s", h)
+			}
+			seen[h] = true
+		}
+	}
+}
+
+func TestReplicationCappedAtClusterSize(t *testing.T) {
+	c := cluster.New(cluster.Testing(2))
+	fs := New(c, Options{Replication: 5})
+	if fs.Replication() != 2 {
+		t.Errorf("Replication = %d, want 2", fs.Replication())
+	}
+}
+
+func TestBlockLocationsRange(t *testing.T) {
+	fs := newTestFS(t, 3, 10)
+	if err := fs.WriteFile("/f", "", make([]byte, 35)); err != nil {
+		t.Fatal(err)
+	}
+	locs, err := fs.BlockLocations("/f", 12, 10) // spans blocks 1 and 2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(locs) != 2 || locs[0].Offset != 10 || locs[1].Offset != 20 {
+		t.Errorf("locations = %+v", locs)
+	}
+	if _, err := fs.BlockLocations("/missing", 0, 1); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestLocalVsRemoteMetrics(t *testing.T) {
+	c := cluster.New(cluster.Testing(4))
+	fs := New(c, Options{BlockSize: 1 << 20, Replication: 2, Seed: 7})
+	if err := fs.WriteFile("/m", "node-0", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	// Reading from the writer node is local (writer holds replica 1).
+	if _, err := fs.ReadAll("/m", "node-0"); err != nil {
+		t.Fatal(err)
+	}
+	snap := fs.Metrics().Snapshot()
+	if snap.LocalBytesRead != 1000 || snap.RemoteBytesRead != 0 {
+		t.Errorf("after local read: %+v", snap)
+	}
+	// Find a node with no replica and read from there.
+	locs, _ := fs.BlockLocations("/m", 0, 1000)
+	holders := map[string]bool{}
+	for _, h := range locs[0].Hosts {
+		holders[h] = true
+	}
+	var outsider string
+	for _, n := range c.Nodes() {
+		if !holders[n.ID()] {
+			outsider = n.ID()
+			break
+		}
+	}
+	if outsider == "" {
+		t.Fatal("no outsider node")
+	}
+	if _, err := fs.ReadAll("/m", outsider); err != nil {
+		t.Fatal(err)
+	}
+	snap = fs.Metrics().Snapshot()
+	if snap.RemoteBytesRead != 1000 {
+		t.Errorf("after remote read: %+v", snap)
+	}
+}
+
+func TestSeekAndPartialReads(t *testing.T) {
+	fs := newTestFS(t, 2, 8)
+	data := []byte("abcdefghijklmnopqrstuvwxyz")
+	if err := fs.WriteFile("/s", "", data); err != nil {
+		t.Fatal(err)
+	}
+	r, err := fs.Open("/s", "node-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != 26 {
+		t.Errorf("Size = %d", r.Size())
+	}
+	buf := make([]byte, 5)
+	if _, err := r.ReadAt(buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "klmno" {
+		t.Errorf("ReadAt = %q", buf)
+	}
+	if _, err := r.Seek(20, io.SeekStart); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Read(make([]byte, 100)) // hits EOF
+	if n != 6 || (err != nil && err != io.EOF) {
+		t.Errorf("Read at tail: n=%d err=%v", n, err)
+	}
+	if _, err := r.ReadAt(buf, 100); err != io.EOF {
+		t.Errorf("ReadAt past end: %v", err)
+	}
+	if _, err := r.Seek(-1, io.SeekStart); err == nil {
+		t.Error("expected negative seek error")
+	}
+	if _, err := r.Seek(0, 99); err == nil {
+		t.Error("expected bad whence error")
+	}
+	if _, err := r.Seek(-3, io.SeekEnd); err != nil {
+		t.Error(err)
+	}
+	n, _ = r.Read(buf)
+	if string(buf[:n]) != "xyz" {
+		t.Errorf("tail read = %q", buf[:n])
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	fs := newTestFS(t, 2, 8)
+	if _, err := fs.Open("/missing", ""); err == nil {
+		t.Error("expected error")
+	}
+	if _, err := fs.Stat("/missing"); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestColocatePolicy(t *testing.T) {
+	c := cluster.New(cluster.Testing(6))
+	fs := New(c, Options{BlockSize: 16, Replication: 3, Seed: 3})
+	fs.SetPlacementPolicy("/cif/", ColocatePolicy{})
+
+	// Several column files in the same partition directory must share
+	// replica sets for every block.
+	var want []string
+	for _, col := range []string{"c0", "c1", "c2"} {
+		path := "/cif/tbl/part-0/" + col + ".dat"
+		if err := fs.WriteFile(path, "", make([]byte, 48)); err != nil {
+			t.Fatal(err)
+		}
+		locs, err := fs.BlockLocations(path, 0, 48)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range locs {
+			if want == nil {
+				want = l.Hosts
+			} else if fmt.Sprint(l.Hosts) != fmt.Sprint(want) {
+				t.Errorf("%s block hosts %v != %v", path, l.Hosts, want)
+			}
+		}
+	}
+
+	// A different partition dir should (with high probability under
+	// rendezvous hashing over 6 nodes) get a different set; at minimum it
+	// must be internally consistent.
+	if err := fs.WriteFile("/cif/tbl/part-1/c0.dat", "", make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Paths outside the policy prefix use the default policy.
+	if err := fs.WriteFile("/other/f", "node-0", make([]byte, 16)); err != nil {
+		t.Fatal(err)
+	}
+	locs, _ := fs.BlockLocations("/other/f", 0, 16)
+	if locs[0].Hosts[0] != "node-0" {
+		t.Error("default policy should place first replica on writer")
+	}
+}
+
+func TestColocateStableUnderMembershipChange(t *testing.T) {
+	// Rendezvous hashing: killing an unrelated node must not change the
+	// targets for a directory whose nodes survive.
+	c := cluster.New(cluster.Testing(6))
+	pol := ColocatePolicy{}
+	rng := rand.New(rand.NewSource(1))
+	before := pol.ChooseTargets("/cif/tbl/part-0/c0.dat", 0, 3, "", c.Alive(), rng)
+	ids := map[string]bool{}
+	for _, n := range before {
+		ids[n.ID()] = true
+	}
+	// Kill a node not in the chosen set.
+	for _, n := range c.Nodes() {
+		if !ids[n.ID()] {
+			n.Kill()
+			break
+		}
+	}
+	after := pol.ChooseTargets("/cif/tbl/part-0/c0.dat", 0, 3, "", c.Alive(), rng)
+	if fmt.Sprint(before) != fmt.Sprint(after) {
+		t.Errorf("targets changed: %v -> %v", before, after)
+	}
+}
+
+func TestNodeFailureRereplication(t *testing.T) {
+	c := cluster.New(cluster.Testing(5))
+	fs := New(c, Options{BlockSize: 32, Replication: 3, Seed: 9})
+	data := make([]byte, 200)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := fs.WriteFile("/f", "node-0", data); err != nil {
+		t.Fatal(err)
+	}
+	c.Node("node-0").Kill()
+	rerep, lost, err := fs.OnNodeFailure("node-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lost != 0 {
+		t.Errorf("lost = %d", lost)
+	}
+	if rerep == 0 {
+		t.Error("expected re-replications")
+	}
+	if fs.UnderReplicated() != 0 {
+		t.Errorf("under-replicated = %d after recovery", fs.UnderReplicated())
+	}
+	got, err := fs.ReadAll("/f", "node-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Error("data corrupted by re-replication")
+	}
+	// New replicas must not include the dead node.
+	locs, _ := fs.BlockLocations("/f", 0, int64(len(data)))
+	for _, l := range locs {
+		for _, h := range l.Hosts {
+			if h == "node-0" {
+				t.Error("dead node still listed as replica")
+			}
+		}
+	}
+}
+
+func TestAllReplicasLost(t *testing.T) {
+	c := cluster.New(cluster.Testing(3))
+	fs := New(c, Options{BlockSize: 32, Replication: 1, Seed: 5})
+	if err := fs.WriteFile("/f", "node-1", []byte("data")); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the single replica holder.
+	locs, _ := fs.BlockLocations("/f", 0, 4)
+	holder := locs[0].Hosts[0]
+	c.Node(holder).Kill()
+	_, lost, _ := fs.OnNodeFailure(holder)
+	if lost != 1 {
+		t.Errorf("lost = %d, want 1", lost)
+	}
+	if fs.LostBlocks() != 1 {
+		t.Errorf("LostBlocks = %d", fs.LostBlocks())
+	}
+	if _, err := fs.ReadAll("/f", "node-0"); err == nil {
+		t.Error("expected read error for lost block")
+	}
+}
+
+func TestWriterAfterClose(t *testing.T) {
+	fs := newTestFS(t, 2, 8)
+	w, _ := fs.Create("/w", "")
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Error("expected write-after-close error")
+	}
+	if err := w.Close(); err != nil {
+		t.Error("double close should be nil")
+	}
+}

@@ -1,0 +1,130 @@
+package hdfs
+
+import "fmt"
+
+// OnNodeFailure removes the dead node from every block's replica set and
+// re-replicates under-replicated blocks onto live nodes, charging the copy
+// traffic (disk read at a surviving source, network + disk write at the new
+// target). Blocks whose every replica has died are marked lost.
+//
+// It returns the number of blocks re-replicated and the number lost.
+func (fs *FileSystem) OnNodeFailure(nodeID string) (rereplicated, lost int, err error) {
+	type job struct {
+		b    *blockMeta
+		path string
+	}
+	var jobs []job
+
+	fs.mu.Lock()
+	for _, f := range fs.files {
+		for _, b := range f.blocks {
+			removed := false
+			keep := b.replicas[:0]
+			for _, rep := range b.replicas {
+				if rep == nodeID {
+					removed = true
+					continue
+				}
+				keep = append(keep, rep)
+			}
+			b.replicas = keep
+			if !removed {
+				continue
+			}
+			if len(b.replicas) == 0 {
+				b.lost = true
+				lost++
+				continue
+			}
+			jobs = append(jobs, job{b: b, path: f.path})
+		}
+	}
+	fs.mu.Unlock()
+
+	for _, j := range jobs {
+		if e := fs.rereplicate(j.b, j.path); e != nil {
+			err = e
+			continue
+		}
+		rereplicated++
+	}
+	return rereplicated, lost, err
+}
+
+// rereplicate copies one under-replicated block to a new live target.
+func (fs *FileSystem) rereplicate(b *blockMeta, path string) error {
+	alive := fs.cluster.Alive()
+
+	fs.mu.Lock()
+	have := make(map[string]bool, len(b.replicas))
+	for _, rep := range b.replicas {
+		have[rep] = true
+	}
+	need := fs.replication - len(b.replicas)
+	policy := fs.policyFor(path)
+	// Ask the policy for a full set, then take targets we don't already have.
+	candidates := policy.ChooseTargets(path, 0, len(alive), "", alive, fs.rng)
+	size := b.size
+	var source string
+	if len(b.replicas) > 0 {
+		source = b.replicas[0]
+	}
+	fs.mu.Unlock()
+
+	if need <= 0 {
+		return nil
+	}
+	src := fs.cluster.Node(source)
+	for _, target := range candidates {
+		if need == 0 {
+			break
+		}
+		if have[target.ID()] || !target.IsAlive() {
+			continue
+		}
+		if src != nil && src.IsAlive() {
+			if err := src.ChargeDiskRead(size, true); err != nil {
+				return fmt.Errorf("hdfs: re-replicate block %d: %w", b.id, err)
+			}
+		}
+		if err := target.ChargeNet(size); err != nil {
+			return fmt.Errorf("hdfs: re-replicate block %d: %w", b.id, err)
+		}
+		if err := target.ChargeDiskWrite(size, true); err != nil {
+			return fmt.Errorf("hdfs: re-replicate block %d: %w", b.id, err)
+		}
+		fs.mu.Lock()
+		b.replicas = append(b.replicas, target.ID())
+		fs.mu.Unlock()
+		have[target.ID()] = true
+		need--
+	}
+	return nil
+}
+
+// UnderReplicated returns the number of blocks with fewer than the
+// configured replica count (excluding lost blocks).
+func (fs *FileSystem) UnderReplicated() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n := 0
+	for _, b := range fs.blocks {
+		if !b.lost && len(b.replicas) < fs.replication {
+			n++
+		}
+	}
+	return n
+}
+
+// LostBlocks returns the number of blocks with no surviving replica.
+func (fs *FileSystem) LostBlocks() int {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	n := 0
+	for _, b := range fs.blocks {
+		if b.lost {
+			n++
+		}
+	}
+	return n
+}

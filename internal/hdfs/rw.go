@@ -1,0 +1,336 @@
+package hdfs
+
+import (
+	"fmt"
+	"io"
+)
+
+// Writer streams data into a new file. Data becomes visible atomically at
+// Close, like an HDFS file being closed. Writer is not safe for concurrent
+// use.
+type Writer struct {
+	fs     *FileSystem
+	path   string
+	writer string // node ID of the writing client, or "" for external
+	buf    []byte
+	blocks []*blockMeta
+	size   int64
+	closed bool
+}
+
+// Create starts writing a new file. writerNode is the cluster node the
+// writing client runs on (used for replica placement and local-write
+// accounting); pass "" for an external client. Create fails if the path
+// already exists.
+func (fs *FileSystem) Create(path, writerNode string) (*Writer, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, exists := fs.files[path]; exists {
+		return nil, fmt.Errorf("hdfs: create %s: file exists", path)
+	}
+	// Reserve the name so concurrent creators conflict deterministically.
+	fs.files[path] = &fileMeta{path: path}
+	return &Writer{fs: fs, path: path, writer: writerNode}, nil
+}
+
+// Write buffers p, sealing full blocks as they fill.
+func (w *Writer) Write(p []byte) (int, error) {
+	if w.closed {
+		return 0, fmt.Errorf("hdfs: write to closed writer for %s", w.path)
+	}
+	w.buf = append(w.buf, p...)
+	for int64(len(w.buf)) >= w.fs.blockSize {
+		if err := w.seal(w.buf[:w.fs.blockSize]); err != nil {
+			return 0, err
+		}
+		w.buf = w.buf[w.fs.blockSize:]
+	}
+	return len(p), nil
+}
+
+// seal stores one block: chooses replica targets via the placement policy,
+// charges the write pipeline, and records the block.
+func (w *Writer) seal(data []byte) error {
+	fs := w.fs
+	alive := fs.cluster.Alive()
+	if len(alive) == 0 {
+		return fmt.Errorf("hdfs: write %s: no alive datanodes", w.path)
+	}
+
+	fs.mu.Lock()
+	policy := fs.policyFor(w.path)
+	id := fs.nextBlockID()
+	targets := policy.ChooseTargets(w.path, len(w.blocks), fs.replication, w.writer, alive, fs.rng)
+	fs.mu.Unlock()
+
+	if len(targets) == 0 {
+		return fmt.Errorf("hdfs: write %s: placement policy returned no targets", w.path)
+	}
+
+	// Charge the replication pipeline: every replica pays a disk write;
+	// every hop that crosses nodes pays network on the receiver.
+	for i, n := range targets {
+		if err := n.ChargeDiskWrite(int64(len(data)), true); err != nil {
+			return fmt.Errorf("hdfs: write %s: %w", w.path, err)
+		}
+		crossesNetwork := i > 0 || n.ID() != w.writer
+		if crossesNetwork {
+			if err := n.ChargeNet(int64(len(data))); err != nil {
+				return fmt.Errorf("hdfs: write %s: %w", w.path, err)
+			}
+		}
+	}
+	fs.metrics.BytesWritten.Add(int64(len(data)))
+
+	b := &blockMeta{id: id, size: int64(len(data)), data: append([]byte(nil), data...)}
+	for _, n := range targets {
+		b.replicas = append(b.replicas, n.ID())
+	}
+	fs.mu.Lock()
+	fs.blocks[id] = b
+	fs.mu.Unlock()
+	w.blocks = append(w.blocks, b)
+	w.size += int64(len(data))
+	return nil
+}
+
+// Close seals any buffered remainder and publishes the file.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	if len(w.buf) > 0 {
+		if err := w.seal(w.buf); err != nil {
+			return err
+		}
+		w.buf = nil
+	}
+	fs := w.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f := fs.files[w.path]
+	f.size = w.size
+	f.blocks = w.blocks
+	return nil
+}
+
+// Abort discards a partially written file.
+func (w *Writer) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	fs := w.fs
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, b := range w.blocks {
+		delete(fs.blocks, b.id)
+	}
+	delete(fs.files, w.path)
+}
+
+// WriteFile writes data as a new file in one call.
+func (fs *FileSystem) WriteFile(path, writerNode string, data []byte) error {
+	w, err := fs.Create(path, writerNode)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(data); err != nil {
+		w.Abort()
+		return err
+	}
+	return w.Close()
+}
+
+// Reader reads a file with locality-aware cost accounting. It implements
+// io.Reader, io.ReaderAt, io.Seeker and io.Closer. Reader is not safe for
+// concurrent use (create one per task thread, as HDFS clients do).
+type Reader struct {
+	fs     *FileSystem
+	meta   *fileMeta
+	client string
+	pos    int64
+}
+
+// Open opens a file for reading. clientNode is the cluster node the reading
+// task runs on; pass "" for an external client.
+func (fs *FileSystem) Open(path, clientNode string) (*Reader, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: open %s: no such file", path)
+	}
+	return &Reader{fs: fs, meta: f, client: clientNode}, nil
+}
+
+// Size returns the file's length in bytes.
+func (r *Reader) Size() int64 {
+	r.fs.mu.RLock()
+	defer r.fs.mu.RUnlock()
+	return r.meta.size
+}
+
+// Read reads from the current position.
+func (r *Reader) Read(p []byte) (int, error) {
+	n, err := r.ReadAt(p, r.pos)
+	r.pos += int64(n)
+	return n, err
+}
+
+// Seek implements io.Seeker.
+func (r *Reader) Seek(offset int64, whence int) (int64, error) {
+	var base int64
+	switch whence {
+	case io.SeekStart:
+		base = 0
+	case io.SeekCurrent:
+		base = r.pos
+	case io.SeekEnd:
+		base = r.Size()
+	default:
+		return 0, fmt.Errorf("hdfs: bad whence %d", whence)
+	}
+	if base+offset < 0 {
+		return 0, fmt.Errorf("hdfs: negative seek")
+	}
+	r.pos = base + offset
+	return r.pos, nil
+}
+
+// Close releases the reader.
+func (r *Reader) Close() error { return nil }
+
+// ReadAt reads len(p) bytes at offset off, charging each traversed block's
+// serving node (disk) and, for remote replicas, the network.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	fs := r.fs
+	fs.mu.RLock()
+	size := r.meta.size
+	blocks := r.meta.blocks
+	fs.mu.RUnlock()
+
+	if off >= size {
+		return 0, io.EOF
+	}
+	want := int64(len(p))
+	if off+want > size {
+		want = size - off
+	}
+	var done int64
+	var pos int64
+	for _, b := range blocks {
+		bStart, bEnd := pos, pos+b.size
+		pos = bEnd
+		if bEnd <= off || bStart >= off+want {
+			continue
+		}
+		from := max64(off, bStart) - bStart
+		to := min64(off+want, bEnd) - bStart
+		n, err := r.readBlockRange(b, from, to, p[done:done+(to-from)])
+		done += int64(n)
+		if err != nil {
+			return int(done), err
+		}
+	}
+	if done < int64(len(p)) {
+		return int(done), io.EOF
+	}
+	return int(done), nil
+}
+
+// readBlockRange copies block bytes [from, to) into dst and charges costs.
+func (r *Reader) readBlockRange(b *blockMeta, from, to int64, dst []byte) (int, error) {
+	fs := r.fs
+	fs.mu.RLock()
+	lost := b.lost || len(b.replicas) == 0
+	var serving string
+	local := false
+	for _, rep := range b.replicas {
+		if rep == r.client {
+			serving = rep
+			local = true
+			break
+		}
+	}
+	if serving == "" && len(b.replicas) > 0 {
+		serving = b.replicas[0]
+	}
+	data := b.data
+	fs.mu.RUnlock()
+
+	if lost {
+		return 0, fmt.Errorf("hdfs: block %d of %s: all replicas lost", b.id, r.meta.path)
+	}
+	n := copy(dst, data[from:to])
+
+	node := fs.cluster.Node(serving)
+	if node == nil || !node.IsAlive() {
+		// Serving replica died between lookup and read; a real client would
+		// fail over. Retry against the live replica set once.
+		fs.mu.RLock()
+		var alt string
+		for _, rep := range b.replicas {
+			if nd := fs.cluster.Node(rep); nd != nil && nd.IsAlive() {
+				alt = rep
+				break
+			}
+		}
+		fs.mu.RUnlock()
+		if alt == "" {
+			return 0, fmt.Errorf("hdfs: block %d of %s: no live replica", b.id, r.meta.path)
+		}
+		serving, node = alt, fs.cluster.Node(alt)
+		local = serving == r.client
+	}
+
+	if err := node.ChargeDiskRead(int64(n), true); err != nil {
+		return 0, err
+	}
+	if local {
+		fs.metrics.LocalReads.Add(1)
+		fs.metrics.LocalBytesRead.Add(int64(n))
+	} else {
+		fs.metrics.RemoteReads.Add(1)
+		fs.metrics.RemoteBytesRead.Add(int64(n))
+		// The transfer crosses the network; charge the client side when the
+		// client is a cluster node, else the serving side.
+		target := fs.cluster.Node(r.client)
+		if target == nil {
+			target = node
+		}
+		if err := target.ChargeNet(int64(n)); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// ReadAll reads the entire file.
+func (fs *FileSystem) ReadAll(path, clientNode string) ([]byte, error) {
+	r, err := fs.Open(path, clientNode)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	buf := make([]byte, r.Size())
+	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return buf, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,206 @@
+// Package hive implements the baseline the paper compares against (§6.1):
+// a Hive-0.7-style SQL engine that compiles a star query into a *sequence*
+// of MapReduce jobs — one two-way join per dimension table, each writing
+// its intermediate result back to HDFS, followed by a group-by job and an
+// order-by job. Two join strategies are provided:
+//
+//   - Repartition join (Hive's "common join"): both sides are tagged,
+//     shuffled on the join key, and joined in the reducers. Robust, but the
+//     whole fact stream crosses the network every stage.
+//   - Mapjoin (broadcast join): the driver builds a hash table of the
+//     filtered dimension, broadcasts it through the distributed cache, and
+//     map-only tasks probe it. Every map task re-loads and deserializes the
+//     hash table (no JVM reuse) and every concurrently running task holds
+//     its own copy, which is what runs the memory-constrained cluster out
+//     of memory on queries with large dimension hash tables (§6.4).
+//
+// The engine is deliberately faithful to the baseline's pathologies; it
+// shares the query model (core.Query), storage (RCFile fact table, row-
+// format dimensions) and MapReduce substrate with Clydesdale so that the
+// comparison isolates the plan and execution-strategy differences.
+package hive
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"clydesdale/internal/core"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+	"clydesdale/internal/results"
+)
+
+// JoinStrategy selects the baseline's join plan.
+type JoinStrategy int
+
+// Available strategies.
+const (
+	Repartition JoinStrategy = iota
+	MapJoin
+)
+
+// String names the strategy.
+func (s JoinStrategy) String() string {
+	if s == MapJoin {
+		return "mapjoin"
+	}
+	return "repartition"
+}
+
+// Hive-specific counters.
+const (
+	CtrStages            = "HIVE_STAGES"
+	CtrHashBroadcasts    = "HIVE_MAPJOIN_BROADCASTS"
+	CtrHashLoads         = "HIVE_MAPJOIN_HASH_LOADS"
+	CtrHashLoadNanos     = "HIVE_MAPJOIN_HASH_LOAD_NANOS"
+	CtrIntermediateRows  = "HIVE_INTERMEDIATE_ROWS"
+	CtrDriverBuildNanos  = "HIVE_DRIVER_HASH_BUILD_NANOS"
+	CtrIntermediateBytes = "HIVE_INTERMEDIATE_BYTES"
+)
+
+// Options configures the baseline engine.
+type Options struct {
+	Strategy JoinStrategy
+	// Reducers for join and group-by stages; <= 0 uses one per worker.
+	Reducers int
+	// TmpRoot is where intermediate tables go (default "/tmp/hive").
+	TmpRoot string
+}
+
+// Engine executes star queries with Hive-style staged plans.
+type Engine struct {
+	mr   *mr.Engine
+	cat  *core.Catalog // FactDir should point at the RCFile fact table
+	opts Options
+	seq  atomic.Int64
+}
+
+// New creates a baseline engine.
+func New(mrEngine *mr.Engine, cat *core.Catalog, opts Options) *Engine {
+	if opts.Reducers <= 0 {
+		opts.Reducers = len(mrEngine.Cluster().Nodes())
+	}
+	if opts.TmpRoot == "" {
+		opts.TmpRoot = "/tmp/hive"
+	}
+	return &Engine{mr: mrEngine, cat: cat, opts: opts}
+}
+
+// StageReport describes one MapReduce job of the plan.
+type StageReport struct {
+	Name     string
+	Kind     string // "join", "groupby", "orderby"
+	Duration time.Duration
+	Job      *mr.JobResult
+}
+
+// Report describes one executed query.
+type Report struct {
+	Query    string
+	Strategy JoinStrategy
+	Stages   []StageReport
+	Counters *mr.Counters // merged across stages
+	Total    time.Duration
+}
+
+// Execute runs the staged plan and returns the ordered result.
+func (e *Engine) Execute(q *core.Query) (*results.ResultSet, *Report, error) {
+	start := time.Now()
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	plan, err := e.plan(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &Report{Query: q.Name, Strategy: e.opts.Strategy, Counters: mr.NewCounters()}
+	defer e.cleanup(plan)
+
+	cur := stageInput{dir: e.cat.FactDir, schema: plan.factRead, isFact: true}
+	for i := range plan.joins {
+		st := &plan.joins[i]
+		stStart := time.Now()
+		var res *mr.JobResult
+		if e.opts.Strategy == MapJoin {
+			res, err = e.runMapJoinStage(q, plan, st, cur)
+		} else {
+			res, err = e.runRepartitionStage(q, plan, st, cur)
+		}
+		if err != nil {
+			return nil, report, fmt.Errorf("hive: %s stage %d (%s): %w", q.Name, i+1, st.dim.Table, err)
+		}
+		report.Stages = append(report.Stages, StageReport{
+			Name: "join-" + st.dim.Table, Kind: "join", Duration: time.Since(stStart), Job: res,
+		})
+		report.Counters.Merge(res.Counters)
+		report.Counters.Add(CtrStages, 1)
+		cur = stageInput{dir: st.outDir, schema: st.outSchema}
+	}
+
+	// Group-by stage.
+	gbStart := time.Now()
+	gbOut, gbRes, err := e.runGroupByStage(q, plan, cur)
+	if err != nil {
+		return nil, report, fmt.Errorf("hive: %s group-by: %w", q.Name, err)
+	}
+	report.Stages = append(report.Stages, StageReport{
+		Name: "groupby", Kind: "groupby", Duration: time.Since(gbStart), Job: gbRes,
+	})
+	report.Counters.Merge(gbRes.Counters)
+	report.Counters.Add(CtrStages, 1)
+
+	rs := e.collect(q, gbOut)
+
+	// Order-by stage: Hive runs a single-reducer MapReduce job; its cost is
+	// modeled by the job below, and the driver applies the final ordering
+	// to the collected rows.
+	if len(q.OrderBy) > 0 {
+		obStart := time.Now()
+		obRes, err := e.runOrderByStage(q, plan, rs)
+		if err != nil {
+			return nil, report, fmt.Errorf("hive: %s order-by: %w", q.Name, err)
+		}
+		report.Stages = append(report.Stages, StageReport{
+			Name: "orderby", Kind: "orderby", Duration: time.Since(obStart), Job: obRes,
+		})
+		report.Counters.Merge(obRes.Counters)
+		report.Counters.Add(CtrStages, 1)
+	}
+	orders := make([]results.Order, 0, len(q.OrderBy))
+	for _, o := range q.Orders() {
+		orders = append(orders, results.Order{Col: o.Col, Desc: o.Desc})
+	}
+	if len(orders) > 0 {
+		if err := rs.Sort(orders); err != nil {
+			return nil, report, err
+		}
+	}
+	report.Total = time.Since(start)
+	return rs, report, nil
+}
+
+// collect converts group-by output pairs to a result set.
+func (e *Engine) collect(q *core.Query, out *mr.MemoryOutput) *results.ResultSet {
+	schema := q.ResultSchema()
+	rs := &results.ResultSet{Schema: schema}
+	pairs := out.Pairs()
+	if len(pairs) == 0 && len(q.GroupBy) == 0 {
+		rs.Rows = append(rs.Rows, records.Make(schema, records.Float(0)))
+		return rs
+	}
+	for _, kv := range pairs {
+		vals := make([]records.Value, 0, schema.Len())
+		vals = append(vals, kv.Key.Values()...)
+		vals = append(vals, records.Float(kv.Value.At(0).Float64()))
+		rs.Rows = append(rs.Rows, records.Make(schema, vals...))
+	}
+	return rs
+}
+
+func (e *Engine) cleanup(p *plan) {
+	for _, st := range p.joins {
+		e.mr.FS().DeletePrefix(st.outDir)
+	}
+	e.mr.FS().DeletePrefix(p.tmpDir)
+}

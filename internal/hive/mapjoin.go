@@ -1,0 +1,180 @@
+package hive
+
+import (
+	"fmt"
+	"time"
+
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/core"
+	"clydesdale/internal/expr"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+)
+
+// The mapjoin (broadcast) plan, Figure 6: the driver builds a hash table on
+// the filtered dimension, serializes it to HDFS, and the distributed cache
+// copies it to every node once per job. Each map task then loads and
+// deserializes its own copy (Hive 0.7 does not reuse JVMs, so this repeats
+// per task, and concurrent tasks on a node each hold a full copy in
+// memory), probes the big side, and writes the joined rows — no reduce
+// phase.
+
+// runMapJoinStage executes one broadcast join stage.
+func (e *Engine) runMapJoinStage(q *core.Query, p *plan, st *joinStage, in stageInput) (*mr.JobResult, error) {
+	bigInput, err := e.bigSideInput(in)
+	if err != nil {
+		return nil, err
+	}
+
+	// Driver-side build: scan the dimension from HDFS (the driver is not a
+	// cluster node), filter, and serialize [pk, aux...] entries.
+	buildStart := time.Now()
+	dimDir, err := e.cat.DimDir(st.dim.Table)
+	if err != nil {
+		return nil, err
+	}
+	var dimPred expr.RowPred
+	if st.dim.Pred != nil {
+		dimPred, err = expr.CompilePred(st.dim.Pred, st.dim.Schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	pkIdx := st.dim.Schema.MustIndex(st.dim.DimPK)
+	auxIdx := make([]int, len(st.dim.Aux))
+	for i, a := range st.dim.Aux {
+		auxIdx[i] = st.dim.Schema.MustIndex(a)
+	}
+	var blob []byte
+	entrySchema := anonSchema(1 + len(auxIdx))
+	err = colstore.ScanRowTable(e.mr.FS(), dimDir, "", func(r records.Record) error {
+		if dimPred != nil && !dimPred(r) {
+			return nil
+		}
+		vals := make([]records.Value, 0, 1+len(auxIdx))
+		vals = append(vals, r.At(pkIdx))
+		for _, ix := range auxIdx {
+			vals = append(vals, r.At(ix))
+		}
+		blob = records.AppendRecord(blob, records.Make(entrySchema, vals...))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	buildDur := time.Since(buildStart)
+
+	cachePath := fmt.Sprintf("%s/hashtable-%s", p.tmpDir, st.dim.Table)
+	e.mr.FS().Delete(cachePath)
+	if err := e.mr.FS().WriteFile(cachePath, "", blob); err != nil {
+		return nil, err
+	}
+
+	var factPred expr.RowPred
+	if st.applyFactPred && q.FactPred != nil {
+		factPred, err = expr.CompilePred(q.FactPred, in.schema)
+		if err != nil {
+			return nil, err
+		}
+	}
+	fkIdx := in.schema.MustIndex(st.fk)
+	carryIdx, err := projectionIndexes(in.schema, st.outSchema, st.auxSchema)
+	if err != nil {
+		return nil, err
+	}
+
+	job := &mr.Job{
+		Name:       fmt.Sprintf("hive-mapjoin-%s-%s", q.Name, st.dim.Table),
+		Conf:       mr.NewJobConf(), // note: no JVM reuse, default task memory
+		Input:      bigInput,
+		Output:     &colstore.RowOutput{Dir: st.outDir, Schema: st.outSchema},
+		CacheFiles: []string{cachePath},
+		NewMapper: func() mr.Mapper {
+			return &mapJoinMapper{
+				cachePath: cachePath,
+				numAux:    len(auxIdx),
+				fkIdx:     fkIdx,
+				carryIdx:  carryIdx,
+				factPred:  factPred,
+				outSchema: st.outSchema,
+			}
+		},
+		NumReduceTasks: 0,
+	}
+	res, err := e.mr.Submit(job)
+	if err != nil {
+		return nil, err
+	}
+	res.Counters.Add(CtrHashBroadcasts, 1)
+	res.Counters.Add(CtrDriverBuildNanos, buildDur.Nanoseconds())
+	res.Counters.Add(CtrIntermediateRows, res.Counters.Get(mr.CtrMapOutputRecords))
+	return res, nil
+}
+
+// mapJoinMapper loads the broadcast hash table in Setup — once per task
+// attempt, since the baseline does not reuse JVMs — and probes it per row.
+type mapJoinMapper struct {
+	cachePath string
+	numAux    int
+	fkIdx     int
+	carryIdx  []int
+	factPred  expr.RowPred
+	outSchema *records.Schema
+
+	hash map[int64][]records.Value
+}
+
+// Setup implements mr.Mapper: deserialize the hash table and account its
+// memory against the task's slot allowance. This is the per-task redundant
+// work §6.3 quantifies (4,887 loads for Hive vs 8 builds for Clydesdale).
+func (m *mapJoinMapper) Setup(ctx *mr.TaskContext) error {
+	start := time.Now()
+	data, err := ctx.CacheFile(m.cachePath)
+	if err != nil {
+		return err
+	}
+	m.hash = make(map[int64][]records.Value)
+	var memBytes int64
+	pos := 0
+	for pos < len(data) {
+		rec, n, err := records.DecodeRecord(data[pos:], nil)
+		if err != nil {
+			return fmt.Errorf("hive: corrupt mapjoin hash table: %w", err)
+		}
+		pos += n
+		vals := rec.Values()
+		aux := append([]records.Value(nil), vals[1:]...)
+		m.hash[vals[0].Int64()] = aux
+		entry := int64(48)
+		for _, v := range aux {
+			entry += v.MemSize()
+		}
+		memBytes += entry
+	}
+	if err := ctx.ReserveMemory(memBytes); err != nil {
+		return fmt.Errorf("hive: mapjoin hash table for %s: %w", m.cachePath, err)
+	}
+	ctx.Counters.Add(CtrHashLoads, 1)
+	ctx.Counters.Add(CtrHashLoadNanos, time.Since(start).Nanoseconds())
+	return nil
+}
+
+// Map implements mr.Mapper.
+func (m *mapJoinMapper) Map(_, v records.Record, out mr.Collector) error {
+	if m.factPred != nil && !m.factPred(v) {
+		return nil
+	}
+	aux, ok := m.hash[v.At(m.fkIdx).Int64()]
+	if !ok {
+		return nil
+	}
+	row := make([]records.Value, 0, len(m.carryIdx)+len(aux))
+	for _, ix := range m.carryIdx {
+		row = append(row, v.At(ix))
+	}
+	row = append(row, aux...)
+	return out.Collect(records.Record{}, records.Make(m.outSchema, row...))
+}
+
+// Cleanup implements mr.Mapper.
+func (m *mapJoinMapper) Cleanup(mr.Collector) error { return nil }

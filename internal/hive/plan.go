@@ -1,0 +1,141 @@
+package hive
+
+import (
+	"fmt"
+
+	"clydesdale/internal/core"
+	"clydesdale/internal/expr"
+	"clydesdale/internal/records"
+)
+
+// plan is the compiled staged plan: per-dimension join stages with their
+// input/output schemas, mirroring how Hive chains two-way joins (§6.3).
+type plan struct {
+	tmpDir string
+	// factRead is the pruned column set read from the fact table in stage 1
+	// (RCFile supports column pruning).
+	factRead *records.Schema
+	joins    []joinStage
+	// measures are the fact columns the aggregate needs, carried through
+	// every stage.
+	measures []string
+}
+
+// joinStage joins the running intermediate with one dimension.
+type joinStage struct {
+	dim *core.DimSpec
+	// fk is the join column on the big side's current schema.
+	fk string
+	// auxSchema describes the dim columns appended by this stage.
+	auxSchema *records.Schema
+	// outDir / outSchema describe the intermediate this stage writes.
+	outDir    string
+	outSchema *records.Schema
+	// applyFactPred is true on stage 1, which evaluates the query's fact
+	// predicate during the scan.
+	applyFactPred bool
+}
+
+// stageInput identifies the big side of a stage.
+type stageInput struct {
+	dir    string
+	schema *records.Schema
+	isFact bool // true → RCFile fact table, else row-format intermediate
+}
+
+// plan compiles the query into join stages.
+func (e *Engine) plan(q *core.Query) (*plan, error) {
+	runID := e.seq.Add(1)
+	tmp := fmt.Sprintf("%s/%s-%s-%d", e.opts.TmpRoot, q.Name, e.opts.Strategy, runID)
+
+	measures := expr.ColumnsOf([]expr.Expr{q.AggExpr}, nil)
+	factPredCols := expr.ColumnsOf(nil, []expr.Pred{q.FactPred})
+
+	// Stage-1 fact read set: every FK + measures + fact-predicate columns.
+	readSet := map[string]bool{}
+	var readCols []string
+	add := func(c string) {
+		if !readSet[c] {
+			readSet[c] = true
+			readCols = append(readCols, c)
+		}
+	}
+	for _, d := range q.Dims {
+		add(d.FactFK)
+	}
+	for _, c := range measures {
+		add(c)
+	}
+	for _, c := range factPredCols {
+		add(c)
+	}
+	factRead, err := e.cat.FactSchema.Project(readCols...)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &plan{tmpDir: tmp, factRead: factRead, measures: measures}
+
+	// Build stages: the big side starts as the pruned fact table; each
+	// stage drops the consumed FK (and, after stage 1, the fact-predicate
+	// columns no longer needed) and appends the dimension's aux columns.
+	cur := factRead
+	for i := range q.Dims {
+		d := &q.Dims[i]
+		auxFields := make([]records.Field, len(d.Aux))
+		for j, a := range d.Aux {
+			auxFields[j] = records.F(a, d.Schema.Field(d.Schema.MustIndex(a)).Kind)
+		}
+		auxSchema := records.NewSchema(auxFields...)
+
+		var outFields []records.Field
+		for j := 0; j < cur.Len(); j++ {
+			f := cur.Field(j)
+			if f.Name == d.FactFK {
+				continue // consumed
+			}
+			if i == 0 && isOnly(f.Name, factPredCols, measures, q, i) {
+				continue // fact-predicate-only column, applied this stage
+			}
+			outFields = append(outFields, f)
+		}
+		outFields = append(outFields, auxFields...)
+		outSchema := records.NewSchema(outFields...)
+
+		p.joins = append(p.joins, joinStage{
+			dim:           d,
+			fk:            d.FactFK,
+			auxSchema:     auxSchema,
+			outDir:        fmt.Sprintf("%s/stage-%d", tmp, i+1),
+			outSchema:     outSchema,
+			applyFactPred: i == 0,
+		})
+		cur = outSchema
+	}
+	return p, nil
+}
+
+// isOnly reports whether col is needed only by the fact predicate: not a
+// measure and not a remaining join key.
+func isOnly(col string, factPredCols, measures []string, q *core.Query, stage int) bool {
+	inPred := false
+	for _, c := range factPredCols {
+		if c == col {
+			inPred = true
+		}
+	}
+	if !inPred {
+		return false
+	}
+	for _, c := range measures {
+		if c == col {
+			return false
+		}
+	}
+	for i := stage + 1; i < len(q.Dims); i++ {
+		if q.Dims[i].FactFK == col {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,142 @@
+package mr
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"clydesdale/internal/cluster"
+	"clydesdale/internal/hdfs"
+)
+
+// JVM models one reusable task runtime on a node. Its static store is the
+// mechanism by which consecutive tasks of a job on the same node share
+// state (Clydesdale's dimension hash tables, §5.2): with JVM reuse enabled
+// the engine hands the next task the same JVM, so values stashed in Statics
+// survive across tasks.
+type JVM struct {
+	ID      int64
+	Statics sync.Map
+}
+
+var jvmSeq atomic.Int64
+
+// jvmPool manages the JVMs of one (job, node) pair.
+type jvmPool struct {
+	mu   sync.Mutex
+	idle []*JVM
+}
+
+// acquire returns an idle JVM when reuse is enabled, else a fresh one.
+// The second return reports whether a new JVM was created.
+func (p *jvmPool) acquire(reuse bool) (*JVM, bool) {
+	if reuse {
+		p.mu.Lock()
+		if n := len(p.idle); n > 0 {
+			jvm := p.idle[n-1]
+			p.idle = p.idle[:n-1]
+			p.mu.Unlock()
+			return jvm, false
+		}
+		p.mu.Unlock()
+	}
+	return &JVM{ID: jvmSeq.Add(1)}, true
+}
+
+// release returns a JVM to the pool when reuse is enabled.
+func (p *jvmPool) release(jvm *JVM, reuse bool) {
+	if !reuse {
+		return
+	}
+	p.mu.Lock()
+	p.idle = append(p.idle, jvm)
+	p.mu.Unlock()
+}
+
+// JobContext is the job-scoped view handed to InputFormat.Splits.
+type JobContext struct {
+	JobID    string
+	Conf     *JobConf
+	FS       *hdfs.FileSystem
+	Cluster  *cluster.Cluster
+	Counters *Counters
+}
+
+// TaskContext is the task-scoped view handed to mappers, reducers, runners,
+// and formats.
+type TaskContext struct {
+	*JobContext
+	TaskID  string
+	Attempt int
+	node    *cluster.Node
+	jvm     *JVM
+	job     *Job
+
+	memMu       sync.Mutex
+	memReserved int64
+	allowance   int64
+	superseded  func() bool
+}
+
+// Superseded reports whether another attempt of this task already finished
+// (speculative execution); long-running mappers may poll it and abandon
+// their work.
+func (t *TaskContext) Superseded() bool {
+	return t.superseded != nil && t.superseded()
+}
+
+// Node returns the cluster node the task runs on.
+func (t *TaskContext) Node() *cluster.Node { return t.node }
+
+// JVM returns the task's JVM; with reuse enabled its Statics persist across
+// consecutive tasks of the job on this node.
+func (t *TaskContext) JVM() *JVM { return t.jvm }
+
+// MemoryAllowance is the per-task memory budget in bytes (the task's
+// requested memory under the capacity scheduler).
+func (t *TaskContext) MemoryAllowance() int64 { return t.allowance }
+
+// ReserveMemory reserves b bytes against both the task allowance and the
+// node budget, returning cluster.ErrOutOfMemory when either is exceeded.
+// Reservations are released automatically when the task attempt ends.
+func (t *TaskContext) ReserveMemory(b int64) error {
+	t.memMu.Lock()
+	if t.memReserved+b > t.allowance {
+		reserved := t.memReserved
+		t.memMu.Unlock()
+		return fmt.Errorf("%w: task %s wants %d with %d reserved of %d allowance",
+			cluster.ErrOutOfMemory, t.TaskID, b, reserved, t.allowance)
+	}
+	t.memMu.Unlock()
+	if err := t.node.ReserveMemory(b); err != nil {
+		return err
+	}
+	t.memMu.Lock()
+	t.memReserved += b
+	t.memMu.Unlock()
+	return nil
+}
+
+// releaseAll returns every outstanding reservation to the node.
+func (t *TaskContext) releaseAll() {
+	t.memMu.Lock()
+	b := t.memReserved
+	t.memReserved = 0
+	t.memMu.Unlock()
+	if b > 0 {
+		t.node.ReleaseMemory(b)
+	}
+}
+
+// CacheFile returns the node-local copy of a distributed-cache file. The
+// engine copies each cache file to each node at most once per job.
+func (t *TaskContext) CacheFile(path string) ([]byte, error) {
+	key := cacheKey(t.JobID, path)
+	data, ok := t.node.GetLocal(key)
+	if !ok {
+		return nil, fmt.Errorf("mr: cache file %s not localized on %s", path, t.node.ID())
+	}
+	return data, nil
+}
+
+func cacheKey(jobID, path string) string { return "dcache/" + jobID + path }

@@ -1,0 +1,84 @@
+package mr
+
+import (
+	"sort"
+	"sync"
+)
+
+// Standard counter names, mirroring Hadoop's task counters.
+const (
+	CtrMapInputRecords    = "MAP_INPUT_RECORDS"
+	CtrMapOutputRecords   = "MAP_OUTPUT_RECORDS"
+	CtrMapOutputBytes     = "MAP_OUTPUT_BYTES"
+	CtrCombineInput       = "COMBINE_INPUT_RECORDS"
+	CtrCombineOutput      = "COMBINE_OUTPUT_RECORDS"
+	CtrReduceInputGroups  = "REDUCE_INPUT_GROUPS"
+	CtrReduceInputRecords = "REDUCE_INPUT_RECORDS"
+	CtrReduceOutput       = "REDUCE_OUTPUT_RECORDS"
+	CtrShuffleBytes       = "SHUFFLE_BYTES"
+	CtrShuffleRemoteBytes = "SHUFFLE_REMOTE_BYTES"
+	CtrMapTasks           = "MAP_TASKS_LAUNCHED"
+	CtrReduceTasks        = "REDUCE_TASKS_LAUNCHED"
+	CtrDataLocalMaps      = "DATA_LOCAL_MAPS"
+	CtrRemoteMaps         = "REMOTE_MAPS"
+	CtrTaskRetries        = "TASK_RETRIES"
+	CtrJVMsStarted        = "JVMS_STARTED"
+	CtrJVMReuses          = "JVM_REUSES"
+	CtrCacheCopies        = "DISTRIBUTED_CACHE_COPIES"
+	CtrMapsReExecuted     = "MAPS_REEXECUTED_FOR_SHUFFLE"
+	CtrSpeculativeMaps    = "SPECULATIVE_MAP_ATTEMPTS"
+)
+
+// Counters is a concurrency-safe named counter set shared by all tasks of a
+// job; query engines add their own counters (hash builds, probe hits, ...).
+type Counters struct {
+	mu sync.Mutex
+	m  map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters { return &Counters{m: make(map[string]int64)} }
+
+// Add increments the named counter by delta.
+func (c *Counters) Add(name string, delta int64) {
+	c.mu.Lock()
+	c.m[name] += delta
+	c.mu.Unlock()
+}
+
+// Get returns the named counter's value.
+func (c *Counters) Get(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m[name]
+}
+
+// Names returns the counter names in sorted order.
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.m))
+	for k := range c.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a copy of all counters.
+func (c *Counters) Snapshot() map[string]int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int64, len(c.m))
+	for k, v := range c.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge adds every counter from o into c.
+func (c *Counters) Merge(o *Counters) {
+	for k, v := range o.Snapshot() {
+		c.Add(k, v)
+	}
+}

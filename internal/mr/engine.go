@@ -1,0 +1,740 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clydesdale/internal/cluster"
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/records"
+)
+
+// Options tunes engine-level behaviour.
+type Options struct {
+	// TaskLaunchOverhead is the modeled fixed cost of launching any task
+	// (scheduler round trip, process setup). Hadoop's is on the order of
+	// seconds; it is what block iteration and multi-splits amortize.
+	TaskLaunchOverhead time.Duration
+	// JVMStartup is the modeled cost of starting a fresh JVM; avoided for
+	// reused JVMs.
+	JVMStartup time.Duration
+	// MaxTaskAttempts bounds retries per task (Hadoop default 4).
+	MaxTaskAttempts int
+}
+
+// Engine runs MapReduce jobs over a cluster and filesystem.
+type Engine struct {
+	cluster *cluster.Cluster
+	fs      *hdfs.FileSystem
+	opts    Options
+	jobSeq  atomic.Int64
+}
+
+// NewEngine creates an engine. Zero options mean no modeled overheads and
+// 4 attempts per task.
+func NewEngine(c *cluster.Cluster, fs *hdfs.FileSystem, opts Options) *Engine {
+	if opts.MaxTaskAttempts <= 0 {
+		opts.MaxTaskAttempts = 4
+	}
+	return &Engine{cluster: c, fs: fs, opts: opts}
+}
+
+// Cluster returns the engine's cluster.
+func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
+
+// FS returns the engine's filesystem.
+func (e *Engine) FS() *hdfs.FileSystem { return e.fs }
+
+// kvEntry is one serialized map-output pair. The key stays decoded for
+// sorting; size accounts for the serialized key+value bytes.
+type kvEntry struct {
+	key  records.Record
+	val  []byte
+	size int
+}
+
+// mapOutput is the spilled, sorted, combined output of one map task,
+// resident on the local disk of the node that ran it.
+type mapOutput struct {
+	node  string
+	parts [][]kvEntry
+}
+
+func (mo *mapOutput) partBytes(p int) int64 {
+	var n int64
+	for _, e := range mo.parts[p] {
+		n += int64(e.size)
+	}
+	return n
+}
+
+// jobRun carries the state of one executing job.
+type jobRun struct {
+	engine   *Engine
+	job      *Job
+	jobID    string
+	jctx     *JobContext
+	counters *Counters
+	splits   []InputSplit
+
+	outMu      sync.Mutex
+	mapOutputs []*mapOutput
+
+	jvmMu    sync.Mutex
+	jvmPools map[string]*jvmPool // node → pool
+
+	reportMu sync.Mutex
+	reports  []TaskReport
+
+	taskMem int64 // per-task memory requirement (allowance)
+	reuse   bool
+}
+
+// Submit runs the job to completion and returns its result.
+func (e *Engine) Submit(job *Job) (*JobResult, error) {
+	start := time.Now()
+	jobID := fmt.Sprintf("job-%d", e.jobSeq.Add(1))
+	counters := NewCounters()
+	jctx := &JobContext{JobID: jobID, Conf: job.conf(), FS: e.fs, Cluster: e.cluster, Counters: counters}
+
+	if job.Input == nil {
+		return nil, fmt.Errorf("mr: %s: job has no InputFormat", jobID)
+	}
+	if job.Output == nil {
+		return nil, fmt.Errorf("mr: %s: job has no OutputFormat", jobID)
+	}
+	if job.NewMapper == nil && job.NewMapRunner == nil {
+		return nil, fmt.Errorf("mr: %s: job has neither a Mapper nor a MapRunner", jobID)
+	}
+	if job.NumReduceTasks > 0 && job.NewReducer == nil {
+		return nil, fmt.Errorf("mr: %s: %d reduce tasks but no Reducer", jobID, job.NumReduceTasks)
+	}
+	if job.Partitioner == nil {
+		job.Partitioner = HashPartitioner
+	}
+
+	splits, err := job.Input.Splits(jctx)
+	if err != nil {
+		return nil, fmt.Errorf("mr: %s: computing splits: %w", jobID, err)
+	}
+
+	run := &jobRun{
+		engine:     e,
+		job:        job,
+		jobID:      jobID,
+		jctx:       jctx,
+		counters:   counters,
+		splits:     splits,
+		mapOutputs: make([]*mapOutput, len(splits)),
+		jvmPools:   make(map[string]*jvmPool),
+		reuse:      job.conf().GetBool(ConfJVMReuse, false),
+	}
+	run.taskMem = job.conf().GetInt(ConfTaskMemory, 0)
+	if run.taskMem <= 0 {
+		cfg := e.cluster.Config()
+		run.taskMem = cfg.MemoryPerNode / int64(cfg.MapSlots)
+	}
+
+	if err := run.localizeCacheFiles(); err != nil {
+		return nil, fmt.Errorf("mr: %s: distributed cache: %w", jobID, err)
+	}
+	if err := run.mapPhase(); err != nil {
+		return nil, fmt.Errorf("mr: %s: map phase: %w", jobID, err)
+	}
+	if job.NumReduceTasks > 0 {
+		if err := run.reducePhase(); err != nil {
+			return nil, fmt.Errorf("mr: %s: reduce phase: %w", jobID, err)
+		}
+	}
+
+	return &JobResult{
+		JobID:    jobID,
+		Counters: counters,
+		Tasks:    run.reports,
+		Duration: time.Since(start),
+	}, nil
+}
+
+// localizeCacheFiles copies each distributed-cache file to every live node
+// exactly once (charging the broadcast traffic), as Hadoop's distributed
+// cache does (§6.1).
+func (run *jobRun) localizeCacheFiles() error {
+	for _, path := range run.job.CacheFiles {
+		data, err := run.engine.fs.ReadAll(path, "")
+		if err != nil {
+			return err
+		}
+		key := cacheKey(run.jobID, path)
+		for _, n := range run.engine.cluster.Alive() {
+			if n.HasLocal(key) {
+				continue
+			}
+			if err := n.ChargeNet(int64(len(data))); err != nil {
+				return err
+			}
+			if err := n.ChargeDiskWrite(int64(len(data)), false); err != nil {
+				return err
+			}
+			if err := n.PutLocal(key, data); err != nil {
+				return err
+			}
+			run.counters.Add(CtrCacheCopies, 1)
+		}
+	}
+	return nil
+}
+
+// pool returns the JVM pool for a node.
+func (run *jobRun) pool(node string) *jvmPool {
+	run.jvmMu.Lock()
+	defer run.jvmMu.Unlock()
+	p, ok := run.jvmPools[node]
+	if !ok {
+		p = &jvmPool{}
+		run.jvmPools[node] = p
+	}
+	return p
+}
+
+// capPerNode computes the concurrent-task cap the capacity scheduler
+// enforces from the per-task memory requirement (§5.2: requesting the whole
+// node's memory yields one task per node).
+func (run *jobRun) capPerNode() int {
+	cfg := run.engine.cluster.Config()
+	cap := int(cfg.MemoryPerNode / run.taskMem)
+	if cap < 1 {
+		cap = 1
+	}
+	if cap > cfg.MapSlots {
+		cap = cfg.MapSlots
+	}
+	return cap
+}
+
+func (run *jobRun) addReport(r TaskReport) {
+	run.reportMu.Lock()
+	run.reports = append(run.reports, r)
+	run.reportMu.Unlock()
+}
+
+// ---------------------------------------------------------------- map phase
+
+// taskSched assigns tasks of one phase to requesting slot workers. It
+// implements locality preference with delay scheduling: a worker with no
+// local pending task waits a few completion rounds before accepting remote
+// work, which is what keeps map tasks data-local in a loaded Hadoop
+// cluster. It also enforces the capacity scheduler's per-node concurrency
+// cap and routes retries away from the node where the task last failed.
+type taskSched struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	kind      string // "m" or "r"
+	localOf   func(int) []string
+	pending   map[int]bool
+	attempts  []int
+	lastNode  []string
+	running   map[string]int
+	totalRun  int
+	misses    map[string]int
+	capNode   int
+	completed int
+	total     int
+	aborted   error
+	// speculative enables backup attempts of running tasks once the pending
+	// queue drains; active tracks live attempts per task and doneSet the
+	// tasks that already completed (their late attempts are ignored).
+	speculative bool
+	active      map[int]int
+	doneSet     map[int]bool
+	// started counts launched attempts per task (attempt numbering);
+	// specLaunched counts speculative backups for the job counters.
+	started      []int
+	specLaunched int64
+}
+
+// delayTolerance is how many wake-ups a worker waits for local work before
+// settling for a remote task.
+const delayTolerance = 3
+
+func newTaskSched(kind string, total, capNode int, localOf func(int) []string) *taskSched {
+	if localOf == nil {
+		localOf = func(int) []string { return nil }
+	}
+	s := &taskSched{
+		kind:     kind,
+		localOf:  localOf,
+		pending:  make(map[int]bool, total),
+		attempts: make([]int, total),
+		lastNode: make([]string, total),
+		running:  make(map[string]int),
+		misses:   make(map[string]int),
+		active:   make(map[int]int),
+		doneSet:  make(map[int]bool),
+		started:  make([]int, total),
+		capNode:  capNode,
+		total:    total,
+	}
+	for i := 0; i < total; i++ {
+		s.pending[i] = true
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// next blocks until a task is assignable to the node, everything finished,
+// or the job aborted. ok is false when the worker should exit.
+func (s *taskSched) next(node string) (task, attempt int, local, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.aborted != nil || s.completed == s.total {
+			return 0, 0, false, false
+		}
+		if s.running[node] < s.capNode {
+			// First preference: a task whose data is local.
+			for t := range s.pending {
+				for _, h := range s.localOf(t) {
+					if h == node {
+						return s.assign(t, node, true)
+					}
+				}
+			}
+			// Delay scheduling: pass up remote work a few rounds, giving the
+			// nodes that hold the remaining splits a chance to claim them.
+			// Speculative execution: with nothing pending but tasks still
+			// running, launch a backup attempt on a different node.
+			if len(s.pending) == 0 && s.speculative {
+				for t := range s.active {
+					if s.active[t] == 1 && !s.doneSet[t] && s.lastNode[t] != node {
+						s.specLaunched++
+						return s.assign(t, node, false)
+					}
+				}
+			}
+			if len(s.pending) > 0 && s.misses[node] >= delayTolerance {
+				// Among remote candidates, avoid the node the task last
+				// failed on when any alternative exists.
+				best := -1
+				for t := range s.pending {
+					if s.lastNode[t] != node {
+						best = t
+						break
+					}
+					if best == -1 {
+						best = t
+					}
+				}
+				if best >= 0 {
+					s.misses[node] = 0
+					return s.assign(best, node, false)
+				}
+			}
+		}
+		s.misses[node]++
+		if s.totalRun == 0 {
+			// Nothing in flight, so no completion will broadcast; yield
+			// briefly instead of waiting so other nodes' slot workers get
+			// scheduled and claim their local splits.
+			s.mu.Unlock()
+			time.Sleep(50 * time.Microsecond)
+			s.mu.Lock()
+		} else {
+			s.cond.Wait()
+		}
+	}
+}
+
+func (s *taskSched) assign(t int, node string, local bool) (int, int, bool, bool) {
+	delete(s.pending, t)
+	s.running[node]++
+	s.totalRun++
+	s.active[t]++
+	s.started[t]++
+	s.lastNode[t] = node
+	return t, s.started[t], local, true
+}
+
+// isCompleted reports whether another attempt already finished the task;
+// in-flight attempts poll it to abandon superseded work.
+func (s *taskSched) isCompleted(t int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.doneSet[t]
+}
+
+// complete records a finished attempt; failed tasks are requeued until the
+// attempt budget is exhausted.
+func (s *taskSched) complete(task int, node string, err error, maxAttempts int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.running[node]--
+	s.totalRun--
+	s.active[task]--
+	if s.doneSet[task] {
+		// A sibling attempt already won; this result (success, failure or
+		// abandonment) is irrelevant.
+		s.cond.Broadcast()
+		return
+	}
+	s.attempts[task]++
+	switch {
+	case err == nil:
+		s.doneSet[task] = true
+		s.completed++
+	case s.active[task] > 0:
+		// A backup attempt is still running; let it decide the task's fate
+		// instead of requeueing a duplicate.
+	case s.attempts[task] >= maxAttempts:
+		s.aborted = fmt.Errorf("task %s-%d failed %d times, last: %w", s.kind, task, s.attempts[task], err)
+	default:
+		s.pending[task] = true
+	}
+	s.cond.Broadcast()
+}
+
+func (s *taskSched) result(phase string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted != nil {
+		return s.aborted
+	}
+	if s.completed != s.total {
+		return fmt.Errorf("mr: %d of %d %s tasks completed (cluster lost?)", s.completed, s.total, phase)
+	}
+	return nil
+}
+
+// errSuperseded marks an attempt abandoned because a speculative sibling
+// finished first; it is not a failure.
+var errSuperseded = fmt.Errorf("mr: attempt superseded by a faster sibling")
+
+func (run *jobRun) mapPhase() error {
+	sched := newTaskSched("m", len(run.splits), run.capPerNode(),
+		func(t int) []string { return run.splits[t].Locations() })
+	// Speculation is only safe when map output is buffered and committed
+	// first-wins (jobs with reducers); map-only jobs write straight to the
+	// OutputFormat, where a losing attempt's partial output would duplicate
+	// rows (Hadoop guards that case with an output committer).
+	sched.speculative = run.job.conf().GetBool(ConfSpeculative, false) && run.job.NumReduceTasks > 0
+
+	var wg sync.WaitGroup
+	for _, node := range run.engine.cluster.Alive() {
+		for slot := 0; slot < run.engine.cluster.Config().MapSlots; slot++ {
+			wg.Add(1)
+			go func(n *cluster.Node) {
+				defer wg.Done()
+				for n.IsAlive() {
+					task, attempt, local, ok := sched.next(n.ID())
+					if !ok {
+						return
+					}
+					start := time.Now()
+					superseded := func() bool { return sched.isCompleted(task) }
+					out, err := run.executeMapAttempt(task, n, attempt, local, superseded)
+					switch {
+					case err == nil:
+						run.outMu.Lock()
+						if run.mapOutputs[task] == nil {
+							run.mapOutputs[task] = out
+						}
+						run.outMu.Unlock()
+						run.addReport(TaskReport{
+							TaskID: fmt.Sprintf("m-%d", task), Node: n.ID(),
+							Attempts: attempt, Duration: time.Since(start), Local: local,
+						})
+					case errors.Is(err, errSuperseded):
+						// Abandoned backup; not a retryable failure.
+					default:
+						run.counters.Add(CtrTaskRetries, 1)
+					}
+					sched.complete(task, n.ID(), err, run.engine.opts.MaxTaskAttempts)
+				}
+			}(node)
+		}
+	}
+	wg.Wait()
+	sched.mu.Lock()
+	run.counters.Add(CtrSpeculativeMaps, sched.specLaunched)
+	sched.mu.Unlock()
+	return sched.result("map")
+}
+
+// executeMapAttempt runs one attempt of one map task on a node and returns
+// its sorted/combined output (nil parts for map-only jobs, whose output goes
+// straight to the OutputFormat).
+func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, local bool, superseded func() bool) (mo *mapOutput, err error) {
+	e := run.engine
+	run.counters.Add(CtrMapTasks, 1)
+	if local {
+		run.counters.Add(CtrDataLocalMaps, 1)
+	} else {
+		run.counters.Add(CtrRemoteMaps, 1)
+	}
+	if run.job.FailureInjector != nil {
+		if ferr := run.job.FailureInjector(fmt.Sprintf("m-%d", task), attempt); ferr != nil {
+			return nil, ferr
+		}
+	}
+	node.ChargeOverhead(e.opts.TaskLaunchOverhead)
+
+	jvm, fresh := run.pool(node.ID()).acquire(run.reuse)
+	if fresh {
+		run.counters.Add(CtrJVMsStarted, 1)
+		node.ChargeOverhead(e.opts.JVMStartup)
+	} else {
+		run.counters.Add(CtrJVMReuses, 1)
+	}
+	defer run.pool(node.ID()).release(jvm, run.reuse)
+
+	ctx := &TaskContext{
+		JobContext: run.jctx,
+		TaskID:     fmt.Sprintf("m-%d", task),
+		Attempt:    attempt,
+		node:       node,
+		jvm:        jvm,
+		job:        run.job,
+		allowance:  run.taskMem,
+		superseded: superseded,
+	}
+	defer ctx.releaseAll()
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("map task m-%d panicked: %v", task, r)
+		}
+	}()
+
+	reader, err := run.job.Input.Open(run.splits[task], ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer reader.Close()
+
+	var collector Collector
+	var mc *mapCollector
+	var writer RecordWriter
+	if run.job.NumReduceTasks > 0 {
+		mc = newMapCollector(run.job.NumReduceTasks, run.job.Partitioner, run.counters)
+		collector = mc
+	} else {
+		writer, err = run.job.Output.OpenWriter(ctx, task)
+		if err != nil {
+			return nil, err
+		}
+		collector = &writerCollector{w: writer, counters: run.counters}
+	}
+
+	var runner MapRunner
+	if run.job.NewMapRunner != nil {
+		runner = run.job.NewMapRunner()
+	} else {
+		runner = &defaultMapRunner{newMapper: run.job.NewMapper}
+	}
+	if err := runner.Run(ctx, reader, collector); err != nil {
+		if writer != nil {
+			writer.Close()
+		}
+		return nil, err
+	}
+	if writer != nil {
+		if err := writer.Close(); err != nil {
+			return nil, err
+		}
+		return &mapOutput{node: node.ID()}, nil
+	}
+
+	out, err := mc.finish(ctx, run.job)
+	if err != nil {
+		return nil, err
+	}
+	// Spilling the sorted output to the node's local disk (raw device, not
+	// HDFS).
+	var spill int64
+	for p := range out.parts {
+		spill += out.partBytes(p)
+	}
+	if err := node.ChargeDiskWrite(spill, false); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// defaultMapRunner is the stock record-at-a-time loop (§3).
+type defaultMapRunner struct {
+	newMapper func() Mapper
+}
+
+func (r *defaultMapRunner) Run(ctx *TaskContext, reader RecordReader, out Collector) error {
+	m := r.newMapper()
+	if err := m.Setup(ctx); err != nil {
+		return err
+	}
+	n := 0
+	for {
+		k, v, ok, err := reader.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		n++
+		if n%128 == 0 && ctx.Superseded() {
+			return errSuperseded
+		}
+		ctx.Counters.Add(CtrMapInputRecords, 1)
+		if err := m.Map(k, v, out); err != nil {
+			return err
+		}
+	}
+	return m.Cleanup(out)
+}
+
+// writerCollector adapts an OutputFormat writer for map-only jobs; it is
+// synchronized so multi-threaded runners can share it.
+type writerCollector struct {
+	mu       sync.Mutex
+	w        RecordWriter
+	counters *Counters
+}
+
+func (c *writerCollector) Collect(k, v records.Record) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.counters.Add(CtrMapOutputRecords, 1)
+	return c.w.Write(k, v)
+}
+
+// mapCollector partitions and buffers map output, then sorts and combines.
+type mapCollector struct {
+	mu          sync.Mutex
+	parts       [][]kvEntry
+	partitioner Partitioner
+	counters    *Counters
+}
+
+func newMapCollector(numParts int, p Partitioner, c *Counters) *mapCollector {
+	return &mapCollector{parts: make([][]kvEntry, numParts), partitioner: p, counters: c}
+}
+
+func (c *mapCollector) Collect(k, v records.Record) error {
+	// Serialization happens here, as in Hadoop's collect path; its cost is
+	// real work in the simulation too.
+	kb := k.Encode()
+	vb := v.Encode()
+	p := c.partitioner(k, len(c.parts))
+	if p < 0 || p >= len(c.parts) {
+		return fmt.Errorf("mr: partitioner returned %d of %d", p, len(c.parts))
+	}
+	c.mu.Lock()
+	c.parts[p] = append(c.parts[p], kvEntry{key: k, val: vb, size: len(kb) + len(vb)})
+	c.mu.Unlock()
+	c.counters.Add(CtrMapOutputRecords, 1)
+	c.counters.Add(CtrMapOutputBytes, int64(len(kb)+len(vb)))
+	return nil
+}
+
+// finish sorts each partition and applies the combiner.
+func (c *mapCollector) finish(ctx *TaskContext, job *Job) (*mapOutput, error) {
+	out := &mapOutput{node: ctx.node.ID(), parts: make([][]kvEntry, len(c.parts))}
+	for p, entries := range c.parts {
+		sort.SliceStable(entries, func(i, j int) bool {
+			return entries[i].key.Compare(entries[j].key) < 0
+		})
+		if job.NewCombiner != nil && len(entries) > 0 {
+			combined, err := runCombiner(ctx, job, entries)
+			if err != nil {
+				return nil, err
+			}
+			entries = combined
+		}
+		out.parts[p] = entries
+	}
+	return out, nil
+}
+
+// runCombiner groups sorted entries and feeds them through a fresh combiner.
+func runCombiner(ctx *TaskContext, job *Job, entries []kvEntry) ([]kvEntry, error) {
+	comb := job.NewCombiner()
+	if err := comb.Setup(ctx); err != nil {
+		return nil, err
+	}
+	sink := &entrySink{valueSchema: job.ValueSchema}
+	ctx.Counters.Add(CtrCombineInput, int64(len(entries)))
+	if err := forEachGroup(entries, job.ValueSchema, func(key records.Record, vals Values) error {
+		sink.key = key
+		return comb.Reduce(key, vals, sink)
+	}); err != nil {
+		return nil, err
+	}
+	if err := comb.Cleanup(sink); err != nil {
+		return nil, err
+	}
+	ctx.Counters.Add(CtrCombineOutput, int64(len(sink.out)))
+	// Combiner output for a sorted input with grouped keys is still sorted
+	// as long as the combiner emits one pair per group in order, which the
+	// grouping loop guarantees; re-sort defensively anyway.
+	sort.SliceStable(sink.out, func(i, j int) bool {
+		return sink.out[i].key.Compare(sink.out[j].key) < 0
+	})
+	return sink.out, nil
+}
+
+// entrySink collects combiner output back into entries.
+type entrySink struct {
+	key         records.Record
+	valueSchema *records.Schema
+	out         []kvEntry
+}
+
+func (s *entrySink) Collect(k, v records.Record) error {
+	kb := k.Encode()
+	vb := v.Encode()
+	s.out = append(s.out, kvEntry{key: k, val: vb, size: len(kb) + len(vb)})
+	return nil
+}
+
+// forEachGroup walks sorted entries and invokes fn once per distinct key
+// with an iterator over that key's values.
+func forEachGroup(entries []kvEntry, valueSchema *records.Schema, fn func(key records.Record, vals Values) error) error {
+	i := 0
+	for i < len(entries) {
+		j := i + 1
+		for j < len(entries) && entries[j].key.Compare(entries[i].key) == 0 {
+			j++
+		}
+		it := &sliceValues{entries: entries[i:j], schema: valueSchema}
+		if err := fn(entries[i].key, it); err != nil {
+			return err
+		}
+		if it.err != nil {
+			return it.err
+		}
+		i = j
+	}
+	return nil
+}
+
+// sliceValues lazily decodes the serialized values of one group.
+type sliceValues struct {
+	entries []kvEntry
+	schema  *records.Schema
+	pos     int
+	err     error
+}
+
+func (s *sliceValues) Next() (records.Record, bool) {
+	if s.pos >= len(s.entries) || s.err != nil {
+		return records.Record{}, false
+	}
+	r, _, err := records.DecodeRecord(s.entries[s.pos].val, s.schema)
+	if err != nil {
+		s.err = err
+		return records.Record{}, false
+	}
+	s.pos++
+	return r, true
+}

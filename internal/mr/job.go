@@ -1,0 +1,259 @@
+// Package mr implements a Hadoop-like MapReduce engine over the simulated
+// cluster and HDFS. It reproduces the extension points the paper builds
+// Clydesdale out of (§3): InputFormats producing splits and record readers,
+// OutputFormats, pluggable MapRunners (the hook for Clydesdale's
+// multi-threaded map task), JVM reuse (the hook for sharing dimension hash
+// tables across consecutive tasks), a pluggable scheduler with a
+// capacity-style memory constraint (the hook for one-task-per-node), the
+// distributed cache (the hook Hive's mapjoin uses to broadcast hash tables),
+// counters, and task re-execution on failure.
+//
+// Tasks execute real work in-process: slots are goroutines, map outputs are
+// really sorted, combined, serialized, shuffled and merged. Modeled time is
+// charged to cluster nodes for I/O and per-task overheads.
+package mr
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"clydesdale/internal/records"
+)
+
+// Standard configuration keys.
+const (
+	// ConfTaskMemory is the per-task memory requirement in bytes. The
+	// capacity scheduler limits concurrent tasks per node to
+	// floor(node memory / task memory); requesting the whole node therefore
+	// yields exactly one concurrent task per node (§5.2).
+	ConfTaskMemory = "mr.task.memory"
+	// ConfJVMReuse enables JVM reuse: consecutive tasks of the same job on a
+	// node run in a recycled JVM and see its static state (§3, §5.2).
+	ConfJVMReuse = "mr.jvm.reuse"
+	// ConfMultiSplitPack asks the input format to pack this many raw splits
+	// into one multi-split (MultiCIF, §5.1).
+	ConfMultiSplitPack = "mr.multisplit.pack"
+	// ConfMapThreads is the thread count a multi-threaded MapRunner should
+	// use (the slots the task occupies, §5.2 requirement 3).
+	ConfMapThreads = "mr.map.threads"
+	// ConfSpeculative enables speculative execution of map tasks: when no
+	// pending tasks remain, idle slots launch backup attempts of still-
+	// running tasks; the first attempt to finish wins and the loser is
+	// cancelled (Hadoop's straggler mitigation).
+	ConfSpeculative = "mr.speculative.maps"
+)
+
+// JobConf is a string-typed configuration map with typed accessors,
+// mirroring Hadoop's JobConf. The zero value is usable.
+type JobConf struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+// NewJobConf returns an empty configuration.
+func NewJobConf() *JobConf { return &JobConf{} }
+
+// Set stores a string value.
+func (c *JobConf) Set(key, val string) *JobConf {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.m == nil {
+		c.m = make(map[string]string)
+	}
+	c.m[key] = val
+	return c
+}
+
+// Get fetches a string value, with "" when absent.
+func (c *JobConf) Get(key string) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.m[key]
+}
+
+// SetInt stores an integer value.
+func (c *JobConf) SetInt(key string, v int64) *JobConf { return c.Set(key, strconv.FormatInt(v, 10)) }
+
+// GetInt fetches an integer value, with def when absent or malformed.
+func (c *JobConf) GetInt(key string, def int64) int64 {
+	s := c.Get(key)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// SetBool stores a boolean value.
+func (c *JobConf) SetBool(key string, v bool) *JobConf { return c.Set(key, strconv.FormatBool(v)) }
+
+// GetBool fetches a boolean value, with def when absent or malformed.
+func (c *JobConf) GetBool(key string, def bool) bool {
+	s := c.Get(key)
+	if s == "" {
+		return def
+	}
+	v, err := strconv.ParseBool(s)
+	if err != nil {
+		return def
+	}
+	return v
+}
+
+// Clone copies the configuration.
+func (c *JobConf) Clone() *JobConf {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := NewJobConf()
+	out.m = make(map[string]string, len(c.m))
+	for k, v := range c.m {
+		out.m[k] = v
+	}
+	return out
+}
+
+// InputSplit is a schedulable unit of input. Locations lists the nodes
+// holding the split's data locally, used for locality-aware scheduling.
+type InputSplit interface {
+	Locations() []string
+	Length() int64
+}
+
+// RecordReader iterates the key/value pairs of one split.
+type RecordReader interface {
+	// Next returns the next pair; ok is false at end of input.
+	Next() (key, value records.Record, ok bool, err error)
+	Close() error
+}
+
+// MultiReader is implemented by readers over multi-splits (MultiCIF): it
+// exposes one independent reader per packed constituent split so that the
+// threads of a multi-threaded map task do not serialize on a single
+// synchronized Next (§5.1).
+type MultiReader interface {
+	Readers() ([]RecordReader, error)
+}
+
+// InputFormat produces splits and readers, mirroring Hadoop's InputFormat.
+type InputFormat interface {
+	Splits(ctx *JobContext) ([]InputSplit, error)
+	Open(split InputSplit, ctx *TaskContext) (RecordReader, error)
+}
+
+// RecordWriter consumes a task's output pairs.
+type RecordWriter interface {
+	Write(key, value records.Record) error
+	Close() error
+}
+
+// OutputFormat opens per-task output writers.
+type OutputFormat interface {
+	OpenWriter(ctx *TaskContext, taskIndex int) (RecordWriter, error)
+}
+
+// Collector receives pairs emitted by mappers, combiners and reducers. It is
+// safe for concurrent use by the threads of a multi-threaded map task.
+type Collector interface {
+	Collect(key, value records.Record) error
+}
+
+// Mapper is the user map function plus per-task lifecycle hooks.
+type Mapper interface {
+	Setup(ctx *TaskContext) error
+	Map(key, value records.Record, out Collector) error
+	Cleanup(out Collector) error
+}
+
+// Values iterates the values of one reduce group.
+type Values interface {
+	Next() (records.Record, bool)
+}
+
+// Reducer is the user reduce function plus lifecycle hooks. Combiners use
+// the same interface.
+type Reducer interface {
+	Setup(ctx *TaskContext) error
+	Reduce(key records.Record, values Values, out Collector) error
+	Cleanup(out Collector) error
+}
+
+// MapRunner drives one map task: it owns the loop that pulls pairs from the
+// reader and applies the map function. Supplying a custom MapRunner is how
+// Clydesdale runs multi-threaded map tasks without modifying the framework.
+type MapRunner interface {
+	Run(ctx *TaskContext, reader RecordReader, out Collector) error
+}
+
+// Partitioner routes a map-output key to a reduce partition.
+type Partitioner func(key records.Record, numPartitions int) int
+
+// HashPartitioner routes by key hash, the default.
+func HashPartitioner(key records.Record, numPartitions int) int {
+	return int(key.Hash() % uint64(numPartitions))
+}
+
+// Job describes one MapReduce job. Factories (NewMapper etc.) are invoked
+// once per task so tasks get private instances; nil NewReducer with
+// NumReduceTasks == 0 yields a map-only job whose map output goes straight
+// to the OutputFormat, as Hive's mapjoin stages do.
+type Job struct {
+	Name string
+	Conf *JobConf
+
+	Input  InputFormat
+	Output OutputFormat
+
+	NewMapper  func() Mapper
+	NewReducer func() Reducer
+	// NewCombiner, when non-nil, is run over each sorted map-output
+	// partition before it is stored for shuffling.
+	NewCombiner func() Reducer
+	// NewMapRunner, when non-nil, replaces the default record-at-a-time
+	// runner.
+	NewMapRunner func() MapRunner
+
+	Partitioner    Partitioner
+	NumReduceTasks int
+
+	// KeySchema and ValueSchema, when set, are attached to map-output pairs
+	// decoded during shuffle/reduce so reducers can access fields by name.
+	KeySchema   *records.Schema
+	ValueSchema *records.Schema
+
+	// CacheFiles lists HDFS paths broadcast to every node through the
+	// distributed cache before tasks run (copied once per node per job).
+	CacheFiles []string
+
+	// FailureInjector, when non-nil, is consulted before each task attempt;
+	// a non-nil error fails that attempt. Used by fault-tolerance tests.
+	FailureInjector func(taskID string, attempt int) error
+}
+
+// conf returns the job's configuration, never nil.
+func (j *Job) conf() *JobConf {
+	if j.Conf == nil {
+		j.Conf = NewJobConf()
+	}
+	return j.Conf
+}
+
+// TaskReport summarizes one executed task attempt chain.
+type TaskReport struct {
+	TaskID   string
+	Node     string
+	Attempts int
+	Duration time.Duration
+	Local    bool // map tasks: whether the final attempt read a local split
+}
+
+// JobResult is returned by Engine.Submit.
+type JobResult struct {
+	JobID    string
+	Counters *Counters
+	Tasks    []TaskReport
+	Duration time.Duration
+}

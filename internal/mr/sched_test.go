@@ -1,0 +1,205 @@
+package mr
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"clydesdale/internal/records"
+)
+
+// TestTaskSchedCompletesAll drives the scheduler directly with simulated
+// workers and checks that every task completes exactly once.
+func TestTaskSchedCompletesAll(t *testing.T) {
+	const total, nodes, slots = 40, 4, 3
+	locals := make([][]string, total)
+	for i := range locals {
+		locals[i] = []string{fmt.Sprintf("n%d", i%nodes)}
+	}
+	s := newTaskSched("m", total, slots, func(i int) []string { return locals[i] })
+
+	var mu sync.Mutex
+	done := map[int]int{}
+	var wg sync.WaitGroup
+	for n := 0; n < nodes; n++ {
+		for sl := 0; sl < slots; sl++ {
+			wg.Add(1)
+			go func(node string) {
+				defer wg.Done()
+				for {
+					task, _, _, ok := s.next(node)
+					if !ok {
+						return
+					}
+					mu.Lock()
+					done[task]++
+					mu.Unlock()
+					s.complete(task, node, nil, 4)
+				}
+			}(fmt.Sprintf("n%d", n))
+		}
+	}
+	wg.Wait()
+	if err := s.result("map"); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != total {
+		t.Fatalf("completed %d of %d tasks", len(done), total)
+	}
+	for task, n := range done {
+		if n != 1 {
+			t.Errorf("task %d ran %d times", task, n)
+		}
+	}
+}
+
+// TestTaskSchedRetriesElsewhere checks a failing task is retried, avoiding
+// the node it failed on when possible.
+func TestTaskSchedRetriesElsewhere(t *testing.T) {
+	s := newTaskSched("m", 1, 1, nil)
+	task, attempt, _, ok := s.next("n0")
+	if !ok || task != 0 || attempt != 1 {
+		t.Fatalf("assign: task=%d attempt=%d ok=%v", task, attempt, ok)
+	}
+	s.complete(task, "n0", errors.New("boom"), 4)
+
+	// A different node should pick it up.
+	task, attempt, _, ok = s.next("n1")
+	if !ok || attempt != 2 {
+		t.Fatalf("retry: attempt=%d ok=%v", attempt, ok)
+	}
+	s.complete(task, "n1", nil, 4)
+	if err := s.result("map"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTaskSchedAbortsAfterMaxAttempts verifies the attempt budget.
+func TestTaskSchedAbortsAfterMaxAttempts(t *testing.T) {
+	s := newTaskSched("m", 1, 1, nil)
+	for i := 0; i < 2; i++ {
+		task, _, _, ok := s.next("n0")
+		if !ok {
+			t.Fatal("expected assignment")
+		}
+		s.complete(task, "n0", errors.New("always fails"), 2)
+	}
+	if _, _, _, ok := s.next("n0"); ok {
+		t.Error("scheduler should stop after abort")
+	}
+	if err := s.result("map"); err == nil {
+		t.Error("expected abort error")
+	}
+}
+
+// TestTaskSchedCapEnforced ensures per-node concurrency stays within the
+// capacity cap even under concurrent requests.
+func TestTaskSchedCapEnforced(t *testing.T) {
+	const total, cap = 30, 2
+	s := newTaskSched("m", total, cap, nil)
+	var mu sync.Mutex
+	running := 0
+	maxRunning := 0
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ { // six workers on ONE node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				task, _, _, ok := s.next("n0")
+				if !ok {
+					return
+				}
+				mu.Lock()
+				running++
+				if running > maxRunning {
+					maxRunning = running
+				}
+				mu.Unlock()
+				mu.Lock()
+				running--
+				mu.Unlock()
+				s.complete(task, "n0", nil, 4)
+			}
+		}()
+	}
+	wg.Wait()
+	if maxRunning > cap {
+		t.Errorf("max concurrent = %d, cap = %d", maxRunning, cap)
+	}
+	if err := s.result("map"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWordCountMatchesInMemoryQuick is a property test: for random word
+// multisets, the full MapReduce word count agrees with a plain in-memory
+// count, across random split arrangements and reducer counts.
+func TestWordCountMatchesInMemoryQuick(t *testing.T) {
+	e := newTestEngine(3)
+	vocab := []string{"a", "b", "c", "dd", "eee", "ffff"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nWords := rng.Intn(120) + 1
+		nSplits := rng.Intn(4) + 1
+		reducers := rng.Intn(3) + 1
+		want := map[string]int64{}
+		splits := make([]*MemorySplit, nSplits)
+		for i := range splits {
+			splits[i] = &MemorySplit{}
+		}
+		for i := 0; i < nWords; i++ {
+			w := vocab[rng.Intn(len(vocab))]
+			want[w]++
+			s := splits[rng.Intn(nSplits)]
+			s.Pairs = append(s.Pairs, KV{Value: records.Make(wordSchema, records.Str(w))})
+		}
+		out := &MemoryOutput{}
+		if _, err := e.Submit(wordCountJob(splits, out, reducers)); err != nil {
+			t.Log(err)
+			return false
+		}
+		got := countsFrom(out)
+		if len(got) != len(want) {
+			return false
+		}
+		for w, n := range want {
+			if got[w] != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHashPartitionerCoversAllPartitions sanity-checks key routing.
+func TestHashPartitionerCoversAllPartitions(t *testing.T) {
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		k := records.Make(wordSchema, records.Str(fmt.Sprintf("key-%d", i)))
+		p := HashPartitioner(k, 7)
+		if p < 0 || p >= 7 {
+			t.Fatalf("partition %d out of range", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("only %d of 7 partitions used", len(seen))
+	}
+}
+
+// TestPartitionerOutOfRangeFails ensures a broken partitioner is caught.
+func TestPartitionerOutOfRangeFails(t *testing.T) {
+	e := newTestEngine(1)
+	job := wordCountJob(wordSplits(nil, []string{"a"}), &MemoryOutput{}, 2)
+	job.Partitioner = func(records.Record, int) int { return 99 }
+	if _, err := e.Submit(job); err == nil {
+		t.Error("expected partitioner range error")
+	}
+}

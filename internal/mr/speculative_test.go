@@ -1,0 +1,133 @@
+package mr
+
+import (
+	"testing"
+	"time"
+
+	"clydesdale/internal/records"
+)
+
+// stragglerMapper sleeps per record during the *first* attempt of one task,
+// simulating a degraded machine; backup attempts run at full speed.
+type stragglerMapper struct {
+	slowTask string
+	delay    time.Duration
+	ctx      *TaskContext
+}
+
+func (m *stragglerMapper) Setup(ctx *TaskContext) error { m.ctx = ctx; return nil }
+func (m *stragglerMapper) Cleanup(Collector) error      { return nil }
+func (m *stragglerMapper) Map(_, v records.Record, out Collector) error {
+	if m.ctx.TaskID == m.slowTask && m.ctx.Attempt == 1 {
+		time.Sleep(m.delay)
+	}
+	return out.Collect(v, records.Make(countSchema, records.Int(1)))
+}
+
+// bigWordSplit builds one split with n copies of the same word.
+func bigWordSplit(word string, n int, hosts ...string) *MemorySplit {
+	s := &MemorySplit{Hosts: hosts}
+	for i := 0; i < n; i++ {
+		s.Pairs = append(s.Pairs, KV{Value: records.Make(wordSchema, records.Str(word))})
+	}
+	return s
+}
+
+// TestSpeculativeExecutionMitigatesStraggler pins a big split to a node
+// that processes records pathologically slowly. With speculation enabled, a
+// healthy node runs a backup attempt, wins, and the straggling attempt
+// abandons itself — the job finishes fast and the counts stay exact.
+func TestSpeculativeExecutionMitigatesStraggler(t *testing.T) {
+	e := newTestEngine(2)
+	const rows = 4000
+	splits := []*MemorySplit{
+		bigWordSplit("x", rows), // m-0: straggles on its first attempt
+		bigWordSplit("y", 50),
+	}
+	out := &MemoryOutput{}
+	job := &Job{
+		Name:  "speculative",
+		Conf:  NewJobConf().SetBool(ConfSpeculative, true),
+		Input: &MemoryInput{SplitsList: splits},
+		NewMapper: func() Mapper {
+			return &stragglerMapper{slowTask: "m-0", delay: 2 * time.Millisecond}
+		},
+		NewReducer: func() Reducer {
+			return ReducerFunc(func(k records.Record, vs Values, c Collector) error {
+				var sum int64
+				for v, ok := vs.Next(); ok; v, ok = vs.Next() {
+					sum += v.Get("n").Int64()
+				}
+				return c.Collect(k, records.Make(countSchema, records.Int(sum)))
+			})
+		},
+		Output:         out,
+		NumReduceTasks: 1,
+		KeySchema:      wordSchema,
+		ValueSchema:    countSchema,
+	}
+	start := time.Now()
+	res, err := e.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Counts must be exact despite the duplicate attempt.
+	got := countsFrom(out)
+	if got["x"] != rows || got["y"] != 50 {
+		t.Errorf("counts = %v", got)
+	}
+	if res.Counters.Get(CtrSpeculativeMaps) == 0 {
+		t.Error("no speculative attempts launched")
+	}
+	// Without speculation the straggler alone needs rows × 2 ms = 8 s; the
+	// backup finishes in milliseconds and the straggler aborts at its next
+	// poll (every 128 records ≈ 256 ms).
+	if elapsed > 4*time.Second {
+		t.Errorf("job took %v; speculation did not mitigate the straggler", elapsed)
+	}
+}
+
+// TestSpeculationDisabledByDefault ensures no backup attempts run unless
+// asked for.
+func TestSpeculationDisabledByDefault(t *testing.T) {
+	e := newTestEngine(2)
+	out := &MemoryOutput{}
+	splits := wordSplits(nil, []string{"a", "b"}, []string{"c"})
+	res, err := e.Submit(wordCountJob(splits, out, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(CtrSpeculativeMaps) != 0 {
+		t.Error("speculation ran without being enabled")
+	}
+}
+
+// TestSpeculationIgnoredForMapOnlyJobs: a losing attempt of a map-only job
+// would write duplicate output, so the engine must not speculate there.
+func TestSpeculationIgnoredForMapOnlyJobs(t *testing.T) {
+	e := newTestEngine(2)
+	out := &MemoryOutput{}
+	job := &Job{
+		Name:  "maponly-spec",
+		Conf:  NewJobConf().SetBool(ConfSpeculative, true),
+		Input: &MemoryInput{SplitsList: []*MemorySplit{bigWordSplit("z", 300)}},
+		NewMapper: func() Mapper {
+			return MapperFunc(func(_, v records.Record, c Collector) error {
+				return c.Collect(v, records.Record{})
+			})
+		},
+		Output: out,
+	}
+	res, err := e.Submit(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Get(CtrSpeculativeMaps) != 0 {
+		t.Error("map-only job speculated")
+	}
+	if len(out.Pairs()) != 300 {
+		t.Errorf("output rows = %d, want 300", len(out.Pairs()))
+	}
+}

@@ -1,0 +1,105 @@
+package records
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// The wire encoding of a record is schema-less and compact: one kind byte
+// per value, followed by a kind-dependent payload (zig-zag varint for
+// integers and booleans, fixed 8 bytes for floats, length-prefixed bytes for
+// strings). Decoding therefore requires the schema only to attach names, not
+// to parse. This is the format used for map-output spills, shuffle transfer,
+// and the row/columnar storage formats.
+
+// AppendValue appends the encoding of v to dst and returns the result.
+func AppendValue(dst []byte, v Value) []byte {
+	dst = append(dst, byte(v.kind))
+	switch v.kind {
+	case KindNull:
+	case KindInt64, KindBool:
+		dst = binary.AppendVarint(dst, v.i)
+	case KindFloat64:
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v.f))
+	case KindString:
+		dst = binary.AppendUvarint(dst, uint64(len(v.s)))
+		dst = append(dst, v.s...)
+	}
+	return dst
+}
+
+// DecodeValue decodes one value from buf, returning the value and the number
+// of bytes consumed.
+func DecodeValue(buf []byte) (Value, int, error) {
+	if len(buf) == 0 {
+		return Null, 0, fmt.Errorf("records: decode value: empty buffer")
+	}
+	kind := Kind(buf[0])
+	pos := 1
+	switch kind {
+	case KindNull:
+		return Null, pos, nil
+	case KindInt64, KindBool:
+		i, n := binary.Varint(buf[pos:])
+		if n <= 0 {
+			return Null, 0, fmt.Errorf("records: decode value: bad varint")
+		}
+		return Value{kind: kind, i: i}, pos + n, nil
+	case KindFloat64:
+		if len(buf) < pos+8 {
+			return Null, 0, fmt.Errorf("records: decode value: short float")
+		}
+		f := math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+		return Value{kind: kind, f: f}, pos + 8, nil
+	case KindString:
+		l, n := binary.Uvarint(buf[pos:])
+		if n <= 0 {
+			return Null, 0, fmt.Errorf("records: decode value: bad string length")
+		}
+		pos += n
+		if uint64(len(buf)-pos) < l {
+			return Null, 0, fmt.Errorf("records: decode value: short string")
+		}
+		return Value{kind: kind, s: string(buf[pos : pos+int(l)])}, pos + int(l), nil
+	default:
+		return Null, 0, fmt.Errorf("records: decode value: unknown kind %d", kind)
+	}
+}
+
+// AppendRecord appends the encoding of r (a field-count uvarint followed by
+// each value) to dst and returns the result.
+func AppendRecord(dst []byte, r Record) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(r.vals)))
+	for _, v := range r.vals {
+		dst = AppendValue(dst, v)
+	}
+	return dst
+}
+
+// Encode returns the wire encoding of r.
+func (r Record) Encode() []byte { return AppendRecord(nil, r) }
+
+// DecodeRecord decodes a record encoded by AppendRecord, attaching the given
+// schema (which may be nil, producing an anonymous record usable only
+// positionally). It returns the record and the number of bytes consumed.
+func DecodeRecord(buf []byte, schema *Schema) (Record, int, error) {
+	n, read := binary.Uvarint(buf)
+	if read <= 0 {
+		return Record{}, 0, fmt.Errorf("records: decode record: bad field count")
+	}
+	if schema != nil && int(n) != schema.Len() {
+		return Record{}, 0, fmt.Errorf("records: decode record: %d values for %d-field schema", n, schema.Len())
+	}
+	pos := read
+	vals := make([]Value, n)
+	for i := range vals {
+		v, used, err := DecodeValue(buf[pos:])
+		if err != nil {
+			return Record{}, 0, fmt.Errorf("records: decode record field %d: %w", i, err)
+		}
+		vals[i] = v
+		pos += used
+	}
+	return Record{schema: schema, vals: vals}, pos, nil
+}

@@ -1,0 +1,164 @@
+package records
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Record is a row: a schema plus one value per field. Records are passed by
+// value; the underlying value slice is shared, so callers must not mutate a
+// record they did not create. The zero Record is the "nil record" (used for
+// value-less map outputs) and has a nil schema.
+type Record struct {
+	schema *Schema
+	vals   []Value
+}
+
+// New creates a record with the given schema and all-null values.
+func New(schema *Schema) Record {
+	return Record{schema: schema, vals: make([]Value, schema.Len())}
+}
+
+// Make creates a record from a schema and a full value list. It panics if
+// the count does not match the schema.
+func Make(schema *Schema, vals ...Value) Record {
+	if len(vals) != schema.Len() {
+		panic(fmt.Sprintf("records: Make got %d values for %d-field schema", len(vals), schema.Len()))
+	}
+	return Record{schema: schema, vals: vals}
+}
+
+// IsZero reports whether this is the zero (nil) record.
+func (r Record) IsZero() bool { return r.schema == nil }
+
+// Schema returns the record's schema (nil for the zero record).
+func (r Record) Schema() *Schema { return r.schema }
+
+// Len returns the number of fields.
+func (r Record) Len() int { return len(r.vals) }
+
+// At returns the i-th value.
+func (r Record) At(i int) Value { return r.vals[i] }
+
+// Get returns the value of the named field, panicking if absent.
+func (r Record) Get(name string) Value { return r.vals[r.schema.MustIndex(name)] }
+
+// Lookup returns the value of the named field and whether it exists.
+func (r Record) Lookup(name string) (Value, bool) {
+	i := r.schema.Index(name)
+	if i < 0 {
+		return Null, false
+	}
+	return r.vals[i], true
+}
+
+// Set assigns the i-th value in place and returns the record for chaining.
+func (r Record) Set(i int, v Value) Record {
+	r.vals[i] = v
+	return r
+}
+
+// SetNamed assigns the named field in place, panicking if absent.
+func (r Record) SetNamed(name string, v Value) Record {
+	return r.Set(r.schema.MustIndex(name), v)
+}
+
+// Values returns the underlying value slice. Callers must treat it as
+// read-only.
+func (r Record) Values() []Value { return r.vals }
+
+// Clone returns a deep copy of the record (its value slice is fresh).
+func (r Record) Clone() Record {
+	return Record{schema: r.schema, vals: append([]Value(nil), r.vals...)}
+}
+
+// Project returns a new record restricted to the named fields, in order.
+func (r Record) Project(names ...string) (Record, error) {
+	schema, err := r.schema.Project(names...)
+	if err != nil {
+		return Record{}, err
+	}
+	vals := make([]Value, len(names))
+	for i, n := range names {
+		vals[i] = r.vals[r.schema.MustIndex(n)]
+	}
+	return Record{schema: schema, vals: vals}, nil
+}
+
+// MustProject is Project but panics on a missing field.
+func (r Record) MustProject(names ...string) Record {
+	p, err := r.Project(names...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Concat returns a record holding this record's fields followed by the
+// other's, with the concatenated schema.
+func (r Record) Concat(o Record) Record {
+	schema := r.schema.Concat(o.schema)
+	vals := make([]Value, 0, len(r.vals)+len(o.vals))
+	vals = append(vals, r.vals...)
+	vals = append(vals, o.vals...)
+	return Record{schema: schema, vals: vals}
+}
+
+// Compare orders two records field-by-field. Records of different lengths
+// compare by length after their common prefix.
+func (r Record) Compare(o Record) int {
+	n := len(r.vals)
+	if len(o.vals) < n {
+		n = len(o.vals)
+	}
+	for i := 0; i < n; i++ {
+		if c := r.vals[i].Compare(o.vals[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(r.vals) < len(o.vals):
+		return -1
+	case len(r.vals) > len(o.vals):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether two records hold equal values field-by-field.
+func (r Record) Equal(o Record) bool { return r.Compare(o) == 0 }
+
+// Hash returns an FNV-1a hash over all values.
+func (r Record) Hash() uint64 {
+	h := HashSeed
+	for _, v := range r.vals {
+		h = v.Hash(h)
+	}
+	return h
+}
+
+// MemSize estimates the in-memory footprint of the record in bytes.
+func (r Record) MemSize() int64 {
+	var n int64 = 24 // slice header
+	for _, v := range r.vals {
+		n += v.MemSize()
+	}
+	return n
+}
+
+// String renders the record as "[v1 v2 ...]".
+func (r Record) String() string {
+	if r.IsZero() {
+		return "[]"
+	}
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, v := range r.vals {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(']')
+	return b.String()
+}

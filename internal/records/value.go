@@ -1,0 +1,224 @@
+// Package records implements the typed record system shared by every layer
+// of the stack: the storage formats, the MapReduce engine (whose keys and
+// values are records), and both query engines.
+//
+// A Value is a compact tagged union holding one of the supported scalar
+// kinds. A Record is a schema plus a slice of values. A RowBlock is a
+// column-vector batch of rows used by the block-iteration execution path.
+package records
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// Kind identifies the scalar type held by a Value or a column.
+type Kind uint8
+
+// Supported scalar kinds.
+const (
+	KindNull Kind = iota
+	KindInt64
+	KindFloat64
+	KindString
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindInt64:
+		return "int64"
+	case KindFloat64:
+		return "float64"
+	case KindString:
+		return "string"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Value is a tagged union of the supported scalar kinds. The zero Value is
+// the null value.
+type Value struct {
+	s    string
+	i    int64
+	f    float64
+	kind Kind
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// Int returns an int64 value.
+func Int(v int64) Value { return Value{kind: KindInt64, i: v} }
+
+// Float returns a float64 value.
+func Float(v float64) Value { return Value{kind: KindFloat64, f: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{kind: KindString, s: v} }
+
+// Bool returns a boolean value.
+func Bool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// Kind reports the kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int64 returns the value as an int64. It panics unless the kind is
+// KindInt64 or KindBool.
+func (v Value) Int64() int64 {
+	if v.kind != KindInt64 && v.kind != KindBool {
+		panic(fmt.Sprintf("records: Int64 on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float64 returns the value as a float64, widening integers.
+func (v Value) Float64() float64 {
+	switch v.kind {
+	case KindFloat64:
+		return v.f
+	case KindInt64, KindBool:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("records: Float64 on %s value", v.kind))
+	}
+}
+
+// Str returns the value as a string. It panics unless the kind is KindString.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("records: Str on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Bool reports the value as a boolean. It panics unless the kind is KindBool.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("records: Bool on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt64:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat64:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return v.s
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values. Nulls sort first; values of different kinds
+// order by kind. Within a kind the natural order applies.
+func (v Value) Compare(o Value) int {
+	if v.kind != o.kind {
+		if v.kind < o.kind {
+			return -1
+		}
+		return 1
+	}
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindInt64, KindBool:
+		switch {
+		case v.i < o.i:
+			return -1
+		case v.i > o.i:
+			return 1
+		}
+		return 0
+	case KindFloat64:
+		switch {
+		case v.f < o.f:
+			return -1
+		case v.f > o.f:
+			return 1
+		}
+		return 0
+	case KindString:
+		switch {
+		case v.s < o.s:
+			return -1
+		case v.s > o.s:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+// Equal reports whether two values have the same kind and contents.
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// Hash folds the value into the running FNV-1a hash h. Pass HashSeed for the
+// first value.
+func (v Value) Hash(h uint64) uint64 {
+	h ^= uint64(v.kind)
+	h *= fnvPrime64
+	switch v.kind {
+	case KindInt64, KindBool:
+		u := uint64(v.i)
+		for s := 0; s < 64; s += 8 {
+			h ^= (u >> s) & 0xff
+			h *= fnvPrime64
+		}
+	case KindFloat64:
+		u := math.Float64bits(v.f)
+		for s := 0; s < 64; s += 8 {
+			h ^= (u >> s) & 0xff
+			h *= fnvPrime64
+		}
+	case KindString:
+		for i := 0; i < len(v.s); i++ {
+			h ^= uint64(v.s[i])
+			h *= fnvPrime64
+		}
+	}
+	return h
+}
+
+// HashSeed is the initial value for chained Value.Hash calls.
+const HashSeed uint64 = fnvOffset64
+
+// MemSize returns an estimate of the in-memory footprint of the value in
+// bytes. It is used for hash-table memory accounting.
+func (v Value) MemSize() int64 {
+	// Struct header is 8 (int) + 8 (float) + 16 (string header) + 1 (kind),
+	// padded to 40 on 64-bit platforms; string payload counts separately.
+	return 40 + int64(len(v.s))
+}

@@ -1,0 +1,191 @@
+package records
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	cases := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Null, KindNull, "NULL"},
+		{Int(42), KindInt64, "42"},
+		{Int(-7), KindInt64, "-7"},
+		{Float(2.5), KindFloat64, "2.5"},
+		{Str("asia"), KindString, "asia"},
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind(), c.kind)
+		}
+		if c.v.String() != c.str {
+			t.Errorf("String() = %q, want %q", c.v.String(), c.str)
+		}
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(9).Int64() != 9 {
+		t.Error("Int64 round trip failed")
+	}
+	if Float(1.5).Float64() != 1.5 {
+		t.Error("Float64 round trip failed")
+	}
+	if Int(3).Float64() != 3.0 {
+		t.Error("Float64 should widen ints")
+	}
+	if Str("x").Str() != "x" {
+		t.Error("Str round trip failed")
+	}
+	if !Bool(true).Bool() || Bool(false).Bool() {
+		t.Error("Bool round trip failed")
+	}
+	if !Null.IsNull() || Int(0).IsNull() {
+		t.Error("IsNull misreported")
+	}
+}
+
+func TestValueAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Int64 on string", func() { Str("x").Int64() })
+	mustPanic("Str on int", func() { Int(1).Str() })
+	mustPanic("Bool on int", func() { Int(1).Bool() })
+	mustPanic("Float64 on string", func() { Str("x").Float64() })
+}
+
+func TestValueCompare(t *testing.T) {
+	ordered := []Value{Null, Int(-5), Int(0), Int(9), Float(-1), Float(3.5), Str("a"), Str("b"), Bool(false), Bool(true)}
+	for i := range ordered {
+		for j := range ordered {
+			got := ordered[i].Compare(ordered[j])
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Compare(%v, %v) = %d, want %d", ordered[i], ordered[j], got, want)
+			}
+		}
+	}
+}
+
+func TestValueHashDistinguishes(t *testing.T) {
+	vals := []Value{Null, Int(0), Int(1), Float(0), Float(1), Str(""), Str("0"), Bool(false), Bool(true)}
+	seen := map[uint64]Value{}
+	for _, v := range vals {
+		h := v.Hash(HashSeed)
+		if prev, dup := seen[h]; dup {
+			t.Errorf("hash collision between %v and %v", prev, v)
+		}
+		seen[h] = v
+	}
+}
+
+func TestValueCompareAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b string) bool {
+		return Str(a).Compare(Str(b)) == -Str(b).Compare(Str(a))
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueHashEqualImpliesSameHash(t *testing.T) {
+	f := func(a int64) bool {
+		return Int(a).Hash(HashSeed) == Int(a).Hash(HashSeed)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueEncodeRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null, Int(0), Int(-1), Int(math.MaxInt64), Int(math.MinInt64),
+		Float(0), Float(-3.75), Float(math.MaxFloat64), Float(math.SmallestNonzeroFloat64),
+		Str(""), Str("hello"), Str("UNITED KI1"), Bool(true), Bool(false),
+	}
+	for _, v := range vals {
+		buf := AppendValue(nil, v)
+		got, n, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(buf) {
+			t.Errorf("decode %v consumed %d of %d bytes", v, n, len(buf))
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip: got %v, want %v", got, v)
+		}
+	}
+}
+
+func TestValueEncodeRoundTripQuick(t *testing.T) {
+	fi := func(a int64) bool {
+		v, n, err := DecodeValue(AppendValue(nil, Int(a)))
+		return err == nil && n > 0 && v.Equal(Int(a))
+	}
+	fs := func(a string) bool {
+		v, _, err := DecodeValue(AppendValue(nil, Str(a)))
+		return err == nil && v.Equal(Str(a))
+	}
+	ff := func(a float64) bool {
+		if math.IsNaN(a) {
+			return true // NaN != NaN; compare via bits below
+		}
+		v, _, err := DecodeValue(AppendValue(nil, Float(a)))
+		return err == nil && v.Equal(Float(a))
+	}
+	for _, f := range []any{fi, fs, ff} {
+		if err := quick.Check(f, nil); err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+func TestDecodeValueErrors(t *testing.T) {
+	bad := [][]byte{
+		{},                           // empty
+		{byte(KindInt64)},            // missing varint
+		{byte(KindFloat64), 1, 2, 3}, // short float
+		{byte(KindString), 10, 'a'},  // short string
+		{200},                        // unknown kind
+		{byte(KindString), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // overlong
+	}
+	for i, buf := range bad {
+		if _, _, err := DecodeValue(buf); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestValueMemSize(t *testing.T) {
+	if Int(1).MemSize() <= 0 {
+		t.Error("MemSize must be positive")
+	}
+	if Str("abcdef").MemSize() <= Str("").MemSize() {
+		t.Error("longer strings must report larger MemSize")
+	}
+}

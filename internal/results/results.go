@@ -1,0 +1,115 @@
+// Package results defines the query result set shared by the Clydesdale
+// engine, the Hive baseline and the in-memory reference executor, plus the
+// ordering and comparison helpers the integration tests use to check that
+// all three agree.
+package results
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"clydesdale/internal/records"
+)
+
+// Order is one ORDER BY term over a result column.
+type Order struct {
+	Col  string
+	Desc bool
+}
+
+// ResultSet is a materialized query result.
+type ResultSet struct {
+	Schema *records.Schema
+	Rows   []records.Record
+}
+
+// Sort orders the rows by the given terms (stable).
+func (rs *ResultSet) Sort(orders []Order) error {
+	idx := make([]int, len(orders))
+	for i, o := range orders {
+		j := rs.Schema.Index(o.Col)
+		if j < 0 {
+			return fmt.Errorf("results: order column %q not in %v", o.Col, rs.Schema)
+		}
+		idx[i] = j
+	}
+	sort.SliceStable(rs.Rows, func(a, b int) bool {
+		for i, o := range orders {
+			c := rs.Rows[a].At(idx[i]).Compare(rs.Rows[b].At(idx[i]))
+			if c == 0 {
+				continue
+			}
+			if o.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return nil
+}
+
+// String renders the result as a small table.
+func (rs *ResultSet) String() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(rs.Schema.Names(), "\t"))
+	b.WriteByte('\n')
+	for _, r := range rs.Rows {
+		for i := 0; i < r.Len(); i++ {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			b.WriteString(r.At(i).String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Equivalent reports whether two result sets hold the same multiset of
+// rows, comparing float columns with a relative tolerance (aggregation
+// order differs across engines). Row order is ignored.
+func Equivalent(a, b *ResultSet, tol float64) (bool, string) {
+	if !a.Schema.Equal(b.Schema) {
+		return false, fmt.Sprintf("schemas differ: %v vs %v", a.Schema, b.Schema)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		return false, fmt.Sprintf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	as := append([]records.Record(nil), a.Rows...)
+	bs := append([]records.Record(nil), b.Rows...)
+	sort.SliceStable(as, func(i, j int) bool { return as[i].Compare(as[j]) < 0 })
+	sort.SliceStable(bs, func(i, j int) bool { return bs[i].Compare(bs[j]) < 0 })
+	for i := range as {
+		if !rowsClose(as[i], bs[i], tol) {
+			return false, fmt.Sprintf("row %d differs: %v vs %v", i, as[i], bs[i])
+		}
+	}
+	return true, ""
+}
+
+func rowsClose(a, b records.Record, tol float64) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		va, vb := a.At(i), b.At(i)
+		if va.Kind() == records.KindFloat64 && vb.Kind() == records.KindFloat64 {
+			fa, fb := va.Float64(), vb.Float64()
+			if fa == fb {
+				continue
+			}
+			scale := math.Max(math.Abs(fa), math.Abs(fb))
+			if math.Abs(fa-fb) > tol*math.Max(scale, 1) {
+				return false
+			}
+			continue
+		}
+		if !va.Equal(vb) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,76 @@
+package results
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"clydesdale/internal/records"
+)
+
+var s = records.NewSchema(records.F("g", records.KindString), records.F("v", records.KindFloat64))
+
+func row(g string, v float64) records.Record {
+	return records.Make(s, records.Str(g), records.Float(v))
+}
+
+func TestSortMultiKeyStable(t *testing.T) {
+	rs := &ResultSet{Schema: s, Rows: []records.Record{
+		row("b", 2), row("a", 2), row("a", 1), row("b", 1),
+	}}
+	if err := rs.Sort([]Order{{Col: "g"}, {Col: "v", Desc: true}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a2", "a1", "b2", "b1"}
+	for i, r := range rs.Rows {
+		got := r.Get("g").Str() + r.Get("v").String()
+		if got != want[i] {
+			t.Errorf("row %d = %s, want %s", i, got, want[i])
+		}
+	}
+}
+
+func TestEquivalentToleranceScales(t *testing.T) {
+	a := &ResultSet{Schema: s, Rows: []records.Record{row("x", 1e12)}}
+	b := &ResultSet{Schema: s, Rows: []records.Record{row("x", 1e12+1)}}
+	if ok, _ := Equivalent(a, b, 1e-9); !ok {
+		t.Error("relative tolerance should absorb 1 part in 1e12")
+	}
+	c := &ResultSet{Schema: s, Rows: []records.Record{row("x", 2e12)}}
+	if ok, _ := Equivalent(a, c, 1e-9); ok {
+		t.Error("2x difference must not pass")
+	}
+}
+
+func TestEquivalentSchemaMismatch(t *testing.T) {
+	other := records.NewSchema(records.F("g", records.KindString), records.F("w", records.KindFloat64))
+	a := &ResultSet{Schema: s}
+	b := &ResultSet{Schema: other}
+	if ok, why := Equivalent(a, b, 0); ok || !strings.Contains(why, "schemas differ") {
+		t.Errorf("ok=%v why=%q", ok, why)
+	}
+}
+
+func TestEquivalentNonFloatColumns(t *testing.T) {
+	a := &ResultSet{Schema: s, Rows: []records.Record{row("x", 1)}}
+	b := &ResultSet{Schema: s, Rows: []records.Record{row("y", 1)}}
+	if ok, _ := Equivalent(a, b, 1); ok {
+		t.Error("string columns must compare exactly")
+	}
+}
+
+func TestEquivalentInfNan(t *testing.T) {
+	a := &ResultSet{Schema: s, Rows: []records.Record{row("x", math.Inf(1))}}
+	b := &ResultSet{Schema: s, Rows: []records.Record{row("x", math.Inf(1))}}
+	if ok, _ := Equivalent(a, b, 1e-9); !ok {
+		t.Error("identical infinities should compare equal")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	rs := &ResultSet{Schema: s, Rows: []records.Record{row("x", 1.5)}}
+	out := rs.String()
+	if !strings.Contains(out, "g\tv") || !strings.Contains(out, "x\t1.5") {
+		t.Errorf("String = %q", out)
+	}
+}

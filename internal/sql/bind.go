@@ -1,0 +1,229 @@
+package sql
+
+import (
+	"fmt"
+
+	"clydesdale/internal/core"
+	"clydesdale/internal/expr"
+	"clydesdale/internal/records"
+)
+
+// Star describes the tables a statement may reference: one fact table and
+// its dimensions.
+type Star struct {
+	Fact       string
+	FactSchema *records.Schema
+	Dims       map[string]*records.Schema
+}
+
+// StarFromCatalog builds the binder's table view from an engine catalog.
+func StarFromCatalog(cat *core.Catalog, factName string) *Star {
+	return &Star{Fact: factName, FactSchema: cat.FactSchema, Dims: cat.DimSchemas}
+}
+
+// owner resolves which table a column belongs to ("" = unknown).
+func (s *Star) owner(col string) string {
+	if s.FactSchema.Has(col) {
+		return s.Fact
+	}
+	for name, schema := range s.Dims {
+		if schema.Has(col) {
+			return name
+		}
+	}
+	return ""
+}
+
+// Parse compiles a SQL string against the star schema into a core.Query.
+func Parse(input string, star *Star) (*core.Query, error) {
+	st, err := parse(input)
+	if err != nil {
+		return nil, err
+	}
+	return bind(st, star)
+}
+
+func bind(st *stmt, star *Star) (*core.Query, error) {
+	q := &core.Query{Name: "sql"}
+
+	// FROM: the fact table plus dimensions, in clause order (the order the
+	// baseline engine joins in).
+	sawFact := false
+	var dimOrder []string
+	for _, t := range st.from {
+		switch {
+		case t == star.Fact:
+			sawFact = true
+		case star.Dims[t] != nil:
+			dimOrder = append(dimOrder, t)
+		default:
+			return nil, fmt.Errorf("sql: unknown table %q in FROM", t)
+		}
+	}
+	if !sawFact {
+		return nil, fmt.Errorf("sql: FROM must include the fact table %q", star.Fact)
+	}
+	dims := make(map[string]*core.DimSpec, len(dimOrder))
+	for _, d := range dimOrder {
+		dims[d] = &core.DimSpec{Table: d, Schema: star.Dims[d]}
+	}
+
+	// WHERE: join edges and predicates.
+	dimPreds := map[string][]expr.Pred{}
+	var factPreds []expr.Pred
+	for _, c := range st.where {
+		if c.isJoin {
+			lo, ro := star.owner(c.left), star.owner(c.right)
+			factCol, dimCol, dimTbl := c.left, c.right, ro
+			switch {
+			case lo == star.Fact && ro != "" && ro != star.Fact:
+				// as initialized
+			case ro == star.Fact && lo != "" && lo != star.Fact:
+				factCol, dimCol, dimTbl = c.right, c.left, lo
+			default:
+				return nil, fmt.Errorf("sql: join %s = %s must relate the fact table to a dimension", c.left, c.right)
+			}
+			spec, ok := dims[dimTbl]
+			if !ok {
+				return nil, fmt.Errorf("sql: join references %s, which is not in FROM", dimTbl)
+			}
+			if spec.FactFK != "" {
+				return nil, fmt.Errorf("sql: dimension %s joined twice", dimTbl)
+			}
+			spec.FactFK, spec.DimPK = factCol, dimCol
+			continue
+		}
+		owner := star.owner(c.col)
+		if owner == "" {
+			return nil, fmt.Errorf("sql: unknown column %q in WHERE", c.col)
+		}
+		pred, err := conditionPred(c)
+		if err != nil {
+			return nil, err
+		}
+		if owner == star.Fact {
+			factPreds = append(factPreds, pred)
+		} else {
+			if _, ok := dims[owner]; !ok {
+				return nil, fmt.Errorf("sql: predicate on %s.%s but %s is not in FROM", owner, c.col, owner)
+			}
+			dimPreds[owner] = append(dimPreds[owner], pred)
+		}
+	}
+	for _, d := range dimOrder {
+		if dims[d].FactFK == "" {
+			return nil, fmt.Errorf("sql: dimension %s has no join condition", d)
+		}
+		if ps := dimPreds[d]; len(ps) == 1 {
+			dims[d].Pred = ps[0]
+		} else if len(ps) > 1 {
+			dims[d].Pred = expr.And(ps...)
+		}
+	}
+	if len(factPreds) == 1 {
+		q.FactPred = factPreds[0]
+	} else if len(factPreds) > 1 {
+		q.FactPred = expr.And(factPreds...)
+	}
+
+	// SELECT: exactly one SUM aggregate plus the group columns.
+	var plainCols []string
+	for _, item := range st.selects {
+		if item.isSum {
+			if q.AggExpr != nil {
+				return nil, fmt.Errorf("sql: only one SUM aggregate is supported")
+			}
+			q.AggExpr = item.sum
+			q.AggName = item.alias
+			if q.AggName == "" {
+				q.AggName = "sum"
+			}
+			continue
+		}
+		plainCols = append(plainCols, item.col)
+	}
+	if q.AggExpr == nil {
+		return nil, fmt.Errorf("sql: the select list needs a SUM aggregate")
+	}
+	for _, c := range expr.ColumnsOf([]expr.Expr{q.AggExpr}, nil) {
+		if !star.FactSchema.Has(c) {
+			return nil, fmt.Errorf("sql: SUM argument column %q is not a fact column", c)
+		}
+	}
+
+	// GROUP BY: dimension columns; each becomes an aux column of its dim.
+	groupSet := map[string]bool{}
+	for _, g := range st.groupBy {
+		owner := star.owner(g)
+		spec, ok := dims[owner]
+		if !ok {
+			return nil, fmt.Errorf("sql: GROUP BY column %q must come from a joined dimension", g)
+		}
+		spec.Aux = append(spec.Aux, g)
+		q.GroupBy = append(q.GroupBy, g)
+		groupSet[g] = true
+	}
+	for _, c := range plainCols {
+		if !groupSet[c] {
+			return nil, fmt.Errorf("sql: selected column %q is not in GROUP BY", c)
+		}
+	}
+
+	// ORDER BY: group columns or the aggregate alias.
+	for _, o := range st.orderBy {
+		if !groupSet[o.col] && o.col != q.AggName {
+			return nil, fmt.Errorf("sql: ORDER BY column %q is neither grouped nor the aggregate", o.col)
+		}
+		q.OrderBy = append(q.OrderBy, core.OrderKey{Col: o.col, Desc: o.desc})
+	}
+
+	q.Dims = make([]core.DimSpec, 0, len(dimOrder))
+	for _, d := range dimOrder {
+		q.Dims = append(q.Dims, *dims[d])
+	}
+	return q, q.Validate()
+}
+
+// conditionPred turns a parsed predicate condition into an expr.Pred.
+func conditionPred(c condition) (expr.Pred, error) {
+	col := expr.Col(c.col)
+	lit := func(v records.Value) (expr.Expr, error) {
+		switch v.Kind() {
+		case records.KindInt64:
+			return expr.ConstInt(v.Int64()), nil
+		case records.KindFloat64:
+			return expr.ConstFloat(v.Float64()), nil
+		case records.KindString:
+			return expr.ConstStr(v.Str()), nil
+		default:
+			return nil, fmt.Errorf("sql: unsupported literal kind %v", v.Kind())
+		}
+	}
+	switch c.op {
+	case "between":
+		return expr.Between(col, c.lit, c.hi), nil
+	case "in":
+		return expr.In(col, c.set...), nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		l, err := lit(c.lit)
+		if err != nil {
+			return nil, err
+		}
+		switch c.op {
+		case "=":
+			return expr.Eq(col, l), nil
+		case "<>":
+			return expr.Ne(col, l), nil
+		case "<":
+			return expr.Lt(col, l), nil
+		case "<=":
+			return expr.Le(col, l), nil
+		case ">":
+			return expr.Gt(col, l), nil
+		default:
+			return expr.Ge(col, l), nil
+		}
+	default:
+		return nil, fmt.Errorf("sql: unsupported operator %q", c.op)
+	}
+}

@@ -1,0 +1,59 @@
+package sql
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lex("SELECT sum(a_b) FROM t WHERE x >= 10 AND y <> 'hi there';")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		texts = append(texts, tk.text)
+	}
+	want := []string{"select", "sum", "(", "a_b", ")", "from", "t", "where",
+		"x", ">=", "10", "and", "y", "<>", "hi there", ";"}
+	if len(texts) != len(want) {
+		t.Fatalf("tokens = %v", texts)
+	}
+	for i := range want {
+		if texts[i] != want[i] {
+			t.Errorf("token %d = %q, want %q", i, texts[i], want[i])
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex("SELECT 'open"); err == nil {
+		t.Error("expected unterminated-string error")
+	}
+	if _, err := lex("SELECT #"); err == nil {
+		t.Error("expected bad-character error")
+	}
+}
+
+// Property: lexing never panics and always terminates with EOF for inputs
+// restricted to the token alphabet.
+func TestLexTotalQuick(t *testing.T) {
+	alphabet := []byte("abcz01 ,;()'=<>+-*/\t\n_")
+	f := func(seedBytes []byte) bool {
+		buf := make([]byte, len(seedBytes))
+		for i, b := range seedBytes {
+			buf[i] = alphabet[int(b)%len(alphabet)]
+		}
+		toks, err := lex(string(buf))
+		if err != nil {
+			return true // rejected inputs are fine; no panic is the property
+		}
+		return len(toks) > 0 && toks[len(toks)-1].kind == tokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

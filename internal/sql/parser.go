@@ -1,0 +1,390 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+
+	"clydesdale/internal/expr"
+	"clydesdale/internal/records"
+)
+
+// The parsed (unbound) statement.
+type stmt struct {
+	selects []selectItem
+	from    []string
+	where   []condition
+	groupBy []string
+	orderBy []orderItem
+}
+
+type selectItem struct {
+	// Either a plain column...
+	col string
+	// ...or SUM(arith) AS alias.
+	isSum bool
+	sum   expr.Expr
+	alias string
+}
+
+type orderItem struct {
+	col  string
+	desc bool
+}
+
+// condition is one conjunct of the WHERE clause.
+type condition struct {
+	// Column-to-column equality (a join edge).
+	isJoin      bool
+	left, right string
+	// Or a predicate on one column.
+	col string
+	op  string // "=", "<>", "<", "<=", ">", ">=", "between", "in"
+	lit records.Value
+	hi  records.Value   // BETWEEN upper bound
+	set []records.Value // IN list
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) kw(k string) bool {
+	t := p.peek()
+	return t.kind == tokIdent && t.text == k
+}
+
+func (p *parser) expectKw(k string) error {
+	if !p.kw(k) {
+		return fmt.Errorf("sql: expected %q at offset %d, got %q", k, p.peek().pos, p.peek().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) expectSym(s string) error {
+	t := p.peek()
+	if t.kind != tokSymbol || t.text != s {
+		return fmt.Errorf("sql: expected %q at offset %d, got %q", s, t.pos, t.text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier at offset %d, got %q", t.pos, t.text)
+	}
+	p.next()
+	return t.text, nil
+}
+
+// parse builds the unbound statement.
+func parse(input string) (*stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	s := &stmt{}
+
+	if err := p.expectKw("select"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		s.selects = append(s.selects, item)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+
+	if err := p.expectKw("from"); err != nil {
+		return nil, err
+	}
+	for {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		s.from = append(s.from, name)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+
+	if p.kw("where") {
+		p.next()
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			s.where = append(s.where, cond)
+			if p.kw("and") {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.kw("group") {
+		p.next()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			s.groupBy = append(s.groupBy, c)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.kw("order") {
+		p.next()
+		if err := p.expectKw("by"); err != nil {
+			return nil, err
+		}
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			item := orderItem{col: c}
+			if p.kw("asc") {
+				p.next()
+			} else if p.kw("desc") {
+				p.next()
+				item.desc = true
+			}
+			s.orderBy = append(s.orderBy, item)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peek().kind == tokSymbol && p.peek().text == ";" {
+		p.next()
+	}
+	if p.peek().kind != tokEOF {
+		return nil, fmt.Errorf("sql: unexpected trailing input at offset %d: %q", p.peek().pos, p.peek().text)
+	}
+	return s, nil
+}
+
+func (p *parser) parseSelectItem() (selectItem, error) {
+	if p.kw("sum") {
+		p.next()
+		if err := p.expectSym("("); err != nil {
+			return selectItem{}, err
+		}
+		e, err := p.parseArith()
+		if err != nil {
+			return selectItem{}, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return selectItem{}, err
+		}
+		item := selectItem{isSum: true, sum: e}
+		if p.kw("as") {
+			p.next()
+			alias, err := p.ident()
+			if err != nil {
+				return selectItem{}, err
+			}
+			item.alias = alias
+		}
+		return item, nil
+	}
+	col, err := p.ident()
+	if err != nil {
+		return selectItem{}, err
+	}
+	return selectItem{col: col}, nil
+}
+
+// parseArith handles + - over * / over factors.
+func (p *parser) parseArith() (expr.Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokSymbol && (p.peek().text == "+" || p.peek().text == "-") {
+		op := p.next().text
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		if op == "+" {
+			left = expr.Add(left, right)
+		} else {
+			left = expr.Sub(left, right)
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseTerm() (expr.Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokSymbol && (p.peek().text == "*" || p.peek().text == "/") {
+		op := p.next().text
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if op == "*" {
+			left = expr.Mul(left, right)
+		} else {
+			left = expr.Div(left, right)
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (expr.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokSymbol && t.text == "(":
+		p.next()
+		e, err := p.parseArith()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSym(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokNumber:
+		p.next()
+		v, err := parseNumber(t.text)
+		if err != nil {
+			return nil, err
+		}
+		if v.Kind() == records.KindInt64 {
+			return expr.ConstInt(v.Int64()), nil
+		}
+		return expr.ConstFloat(v.Float64()), nil
+	case t.kind == tokIdent:
+		p.next()
+		return expr.Col(t.text), nil
+	default:
+		return nil, fmt.Errorf("sql: expected expression at offset %d, got %q", t.pos, t.text)
+	}
+}
+
+func (p *parser) parseLiteral() (records.Value, error) {
+	t := p.peek()
+	switch t.kind {
+	case tokNumber:
+		p.next()
+		return parseNumber(t.text)
+	case tokString:
+		p.next()
+		return records.Str(t.text), nil
+	default:
+		return records.Null, fmt.Errorf("sql: expected literal at offset %d, got %q", t.pos, t.text)
+	}
+}
+
+func parseNumber(s string) (records.Value, error) {
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return records.Int(i), nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return records.Null, fmt.Errorf("sql: bad number %q", s)
+	}
+	return records.Float(f), nil
+}
+
+func (p *parser) parseCondition() (condition, error) {
+	col, err := p.ident()
+	if err != nil {
+		return condition{}, err
+	}
+	t := p.peek()
+	switch {
+	case t.kind == tokIdent && t.text == "between":
+		p.next()
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return condition{}, err
+		}
+		if err := p.expectKw("and"); err != nil {
+			return condition{}, err
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return condition{}, err
+		}
+		return condition{col: col, op: "between", lit: lo, hi: hi}, nil
+	case t.kind == tokIdent && t.text == "in":
+		p.next()
+		if err := p.expectSym("("); err != nil {
+			return condition{}, err
+		}
+		var set []records.Value
+		for {
+			v, err := p.parseLiteral()
+			if err != nil {
+				return condition{}, err
+			}
+			set = append(set, v)
+			if p.peek().kind == tokSymbol && p.peek().text == "," {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expectSym(")"); err != nil {
+			return condition{}, err
+		}
+		return condition{col: col, op: "in", set: set}, nil
+	case t.kind == tokSymbol && isCmpSym(t.text):
+		op := p.next().text
+		rhs := p.peek()
+		if rhs.kind == tokIdent && op == "=" {
+			p.next()
+			return condition{isJoin: true, left: col, right: rhs.text}, nil
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return condition{}, err
+		}
+		return condition{col: col, op: op, lit: lit}, nil
+	default:
+		return condition{}, fmt.Errorf("sql: expected operator after %q at offset %d", col, t.pos)
+	}
+}
+
+func isCmpSym(s string) bool {
+	switch s {
+	case "=", "<>", "<", "<=", ">", ">=":
+		return true
+	}
+	return false
+}

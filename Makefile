@@ -1,0 +1,26 @@
+# Standard developer checks. `make check` is the gate used before sending
+# changes: vet, a full build, and the test suite under the race detector.
+
+GO ?= go
+
+.PHONY: check vet build test race bench clean
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

@@ -7,6 +7,7 @@
 //	benchssb                         # everything, default size
 //	benchssb -figure 7               # one experiment
 //	benchssb -figure breakdown -query Q2.1
+//	benchssb -figure breakdown -job-json job.json   # Clydesdale job history as JSON
 //	benchssb -factrows 300000 -dimscale 2   # bigger run
 package main
 
@@ -29,6 +30,7 @@ func main() {
 		workersA = flag.Int("workers-a", 0, "cluster A workers (default 8)")
 		workersB = flag.Int("workers-b", 0, "cluster B workers (default 40)")
 		fileMB   = flag.Int64("dfsio-mb", 8, "TestDFSIO file size in MB")
+		jobJSON  = flag.String("job-json", "", "with -figure breakdown: write the Clydesdale job result as JSON to this file ('-' for stdout)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -64,7 +66,25 @@ func main() {
 		_, err := h.RunTable1("B", *fileMB, os.Stdout)
 		return err
 	})
-	run("breakdown", func() error { _, err := h.RunBreakdown(*query, os.Stdout); return err })
+	run("breakdown", func() error {
+		b, err := h.RunBreakdown(*query, os.Stdout)
+		if err != nil {
+			return err
+		}
+		if *jobJSON != "" && b.ClyJob != nil {
+			w := os.Stdout
+			if *jobJSON != "-" {
+				f, err := os.Create(*jobJSON)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				w = f
+			}
+			return b.ClyJob.WriteJSON(w)
+		}
+		return nil
+	})
 	fmt.Printf("\nall requested experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
 }
 

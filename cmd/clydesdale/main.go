@@ -6,7 +6,10 @@
 //
 //	clydesdale -query Q2.1
 //	clydesdale -query all -workers 8 -factrows 120000
-//	clydesdale -query Q3.1 -no-blockiter -no-columnar   # ablation modes
+//	clydesdale -query Q3.1 -no-blockiter -no-columnar -no-multithread   # ablation modes
+//	clydesdale -query Q2.1 -timeline                  # per-node span timeline
+//	clydesdale -query Q2.1 -trace spans.jsonl         # export spans as JSONL
+//	clydesdale -query Q2.1 -json result.json          # job result as JSON
 package main
 
 import (
@@ -19,22 +22,26 @@ import (
 	"clydesdale/internal/core"
 	"clydesdale/internal/hdfs"
 	"clydesdale/internal/mr"
+	"clydesdale/internal/obs"
 	"clydesdale/internal/sql"
 	"clydesdale/internal/ssb"
 )
 
 func main() {
 	var (
-		query    = flag.String("query", "Q2.1", "SSB query name (Q1.1..Q4.3) or 'all'")
-		sqlText  = flag.String("sql", "", "run an ad-hoc SQL star query instead of a named one")
-		dimScale = flag.Float64("dimscale", 1, "dimension scale (SF1000 proportions)")
-		factRows = flag.Int64("factrows", 60000, "fact rows")
-		seed     = flag.Uint64("seed", 42, "generator seed")
-		workers  = flag.Int("workers", 4, "simulated worker nodes")
-		rowsMax  = flag.Int("rows", 20, "max result rows to print")
-		noBlock  = flag.Bool("no-blockiter", false, "disable block iteration")
-		noCol    = flag.Bool("no-columnar", false, "disable columnar pruning")
-		noMT     = flag.Bool("no-multithread", false, "disable multi-threaded map tasks")
+		query     = flag.String("query", "Q2.1", "SSB query name (Q1.1..Q4.3) or 'all'")
+		sqlText   = flag.String("sql", "", "run an ad-hoc SQL star query instead of a named one")
+		dimScale  = flag.Float64("dimscale", 1, "dimension scale (SF1000 proportions)")
+		factRows  = flag.Int64("factrows", 60000, "fact rows")
+		seed      = flag.Uint64("seed", 42, "generator seed")
+		workers   = flag.Int("workers", 4, "simulated worker nodes")
+		rowsMax   = flag.Int("rows", 20, "max result rows to print")
+		noBlock   = flag.Bool("no-blockiter", false, "disable block iteration")
+		noCol     = flag.Bool("no-columnar", false, "disable columnar pruning")
+		noMT      = flag.Bool("no-multithread", false, "disable multi-threaded map tasks")
+		tracePath = flag.String("trace", "", "write spans of every query run to this JSONL file")
+		timeline  = flag.Bool("timeline", false, "print a per-node span timeline after each query")
+		jsonPath  = flag.String("json", "", "write the last query's job result as JSON to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -50,7 +57,36 @@ func main() {
 	feats.BlockIteration = !*noBlock
 	feats.ColumnarStorage = !*noCol
 	feats.MultiThreaded = !*noMT
-	eng := core.New(mr.NewEngine(c, fs, mr.Options{}), lay.Catalog(), core.Options{Features: &feats})
+
+	// Observability: one tracer and registry for all runs. The memory sink
+	// feeds the timeline; the JSONL sink streams the trace to disk.
+	tracing := *timeline || *tracePath != ""
+	var (
+		tracer  *obs.Tracer
+		memSink *obs.MemorySink
+		jsonl   *obs.JSONLSink
+		traceF  *os.File
+	)
+	metrics := obs.NewRegistry()
+	if tracing {
+		tracer = obs.NewTracer()
+		if *timeline {
+			memSink = obs.NewMemorySink()
+			tracer.AddSink(memSink)
+		}
+		if *tracePath != "" {
+			traceF, err = os.Create(*tracePath)
+			if err != nil {
+				fatal(err)
+			}
+			jsonl = obs.NewJSONLSink(traceF)
+			tracer.AddSink(jsonl)
+		}
+	}
+	fs.Observe(tracer, metrics)
+
+	mreng := mr.NewEngine(c, fs, mr.Options{Tracer: tracer, Metrics: metrics})
+	eng := core.New(mreng, lay.Catalog(), core.Options{Features: &feats})
 
 	queries := ssb.Queries()
 	switch {
@@ -69,12 +105,17 @@ func main() {
 		queries = []*ssb.Query{q}
 	}
 
+	var lastJob *mr.JobResult
 	for _, q := range queries {
 		fmt.Printf("\n== %s\n", q)
+		if memSink != nil {
+			memSink.Reset()
+		}
 		rs, rep, err := eng.Execute(q)
 		if err != nil {
 			fatal(err)
 		}
+		lastJob = rep.Job
 		printed := 0
 		fmt.Println(header(rs.Schema.Names()))
 		for _, r := range rs.Rows {
@@ -92,6 +133,40 @@ func main() {
 			ctr.Get(core.CtrHashTablesBuilt),
 			ctr.Get(core.CtrProbeRows), ctr.Get(core.CtrProbeEmits),
 			rep.SortTime.Round(time.Microsecond))
+		if memSink != nil {
+			spans := memSink.Spans()
+			fmt.Printf("-- phase totals (measured):\n")
+			obs.WritePhaseSummary(os.Stdout, obs.AggregatePhases(spans, rep.Job.JobID))
+			obs.RenderTimeline(os.Stdout, spans, obs.TimelineOptions{Job: rep.Job.JobID})
+		}
+	}
+
+	if tracing {
+		fmt.Printf("\n-- metrics\n")
+		metrics.WriteText(os.Stdout)
+	}
+	if jsonl != nil {
+		if err := jsonl.Err(); err != nil {
+			fatal(err)
+		}
+		if err := traceF.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s\n", *tracePath)
+	}
+	if *jsonPath != "" && lastJob != nil {
+		w := os.Stdout
+		if *jsonPath != "-" {
+			f, err := os.Create(*jsonPath)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := lastJob.WriteJSON(w); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"clydesdale/internal/core"
 	"clydesdale/internal/hive"
 	"clydesdale/internal/mr"
+	"clydesdale/internal/obs"
 	"clydesdale/internal/ssb"
 )
 
@@ -22,9 +23,15 @@ type BreakdownResult struct {
 	// Clydesdale.
 	ClyTotal     time.Duration
 	ClyMapTasks  int64
-	ClyHashBuild time.Duration // summed across nodes
-	ClyProbe     time.Duration
+	ClyHashBuild time.Duration // summed across nodes, measured from spans
+	ClyProbe     time.Duration // measured from spans
 	ClyBytesRead int64
+	// ClyJob is the Clydesdale job's result (task reports with per-phase
+	// durations); ClySpans the trace its run emitted; ClyPhases the
+	// per-phase totals aggregated from that trace.
+	ClyJob    *mr.JobResult
+	ClySpans  []obs.Span
+	ClyPhases map[string]time.Duration
 
 	// Hive mapjoin.
 	MapjoinTotal     time.Duration
@@ -53,16 +60,32 @@ func (h *Harness) RunBreakdown(queryName string, w io.Writer) (*BreakdownResult,
 	}
 	out := &BreakdownResult{Query: q.Name, Cluster: "A"}
 
+	// Trace the Clydesdale run so the breakdown reports measured sub-phase
+	// times (spans) instead of recomputed estimates. Detached before the
+	// Hive runs so the trace holds exactly one job.
+	sink := obs.NewMemorySink()
+	env.MR.SetTracer(obs.NewTracer(sink))
+
 	before := env.FS.Metrics().Snapshot()
 	_, crep, err := env.Clydesdale(nil).Execute(q)
 	if err != nil {
 		return nil, err
 	}
 	after := env.FS.Metrics().Snapshot()
+	env.MR.SetTracer(nil)
 	out.ClyTotal = crep.Total
+	out.ClyJob = crep.Job
+	out.ClySpans = sink.Spans()
+	out.ClyPhases = obs.AggregatePhases(out.ClySpans, crep.Job.JobID)
 	out.ClyMapTasks = crep.Job.Counters.Get(mr.CtrMapTasks)
-	out.ClyHashBuild = time.Duration(crep.Job.Counters.Get(core.CtrHashBuildNanos))
-	out.ClyProbe = time.Duration(crep.Job.Counters.Get(core.CtrProbeNanos))
+	out.ClyHashBuild = out.ClyPhases[obs.PhaseHashBuild]
+	out.ClyProbe = out.ClyPhases[obs.PhaseProbe]
+	if out.ClyHashBuild == 0 {
+		out.ClyHashBuild = time.Duration(crep.Job.Counters.Get(core.CtrHashBuildNanos))
+	}
+	if out.ClyProbe == 0 {
+		out.ClyProbe = time.Duration(crep.Job.Counters.Get(core.CtrProbeNanos))
+	}
 	out.ClyBytesRead = (after.LocalBytesRead + after.RemoteBytesRead) - (before.LocalBytesRead + before.RemoteBytesRead)
 
 	if _, mrep, err := env.Hive(hive.MapJoin).Execute(q); err != nil {
@@ -96,6 +119,13 @@ func printBreakdown(w io.Writer, b *BreakdownResult) {
 	fmt.Fprintf(w, "  hash-table build (sum over nodes): %v\n", b.ClyHashBuild.Round(time.Millisecond))
 	fmt.Fprintf(w, "  probe phase (sum over tasks):      %v\n", b.ClyProbe.Round(time.Millisecond))
 	fmt.Fprintf(w, "  HDFS bytes read:                   %d\n", b.ClyBytesRead)
+	if len(b.ClyPhases) > 0 {
+		fmt.Fprintf(w, "  measured phase totals (from trace):\n")
+		obs.WritePhaseSummary(w, b.ClyPhases)
+	}
+	if len(b.ClySpans) > 0 {
+		obs.RenderTimeline(w, b.ClySpans, obs.TimelineOptions{Job: b.ClyJob.JobID})
+	}
 
 	if b.MapjoinOOM {
 		fmt.Fprintf(w, "Hive mapjoin: DNF (out of memory)\n")

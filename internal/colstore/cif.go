@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"hash/crc32"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"clydesdale/internal/hdfs"
 	"clydesdale/internal/mr"
+	"clydesdale/internal/obs"
 	"clydesdale/internal/records"
 )
 
@@ -400,12 +403,27 @@ func newCIFReader(ctx *mr.TaskContext, s *CIFSplit, schema *records.Schema, bloc
 }
 
 // load fetches the partition's projected column files from HDFS (charging
-// only those columns' bytes — the I/O saving of columnar storage).
+// only those columns' bytes — the I/O saving of columnar storage). The fetch
+// is recorded as a "read" span on the owning task, with the partition and
+// whether this node holds the partition's replicas.
 func (r *cifReader) load() error {
 	if r.loaded {
 		return nil
 	}
 	r.loaded = true
+	readStart := time.Now()
+	local := false
+	for _, h := range r.split.Locations() {
+		if h == r.ctx.Node().ID() {
+			local = true
+			break
+		}
+	}
+	defer func() {
+		r.ctx.Span(obs.PhaseRead, readStart,
+			"partition", r.split.PartitionDir,
+			"local", strconv.FormatBool(local))
+	}()
 	r.chunks = make([][]byte, r.schema.Len())
 	r.rows = -1
 	for i := 0; i < r.schema.Len(); i++ {

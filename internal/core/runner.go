@@ -9,6 +9,7 @@ import (
 	"clydesdale/internal/colstore"
 	"clydesdale/internal/expr"
 	"clydesdale/internal/mr"
+	"clydesdale/internal/obs"
 	"clydesdale/internal/records"
 )
 
@@ -107,6 +108,7 @@ func (r *starJoinRunner) buildHashTables(ctx *mr.TaskContext) ([]*DimHashTable, 
 		ctx.Counters.Add(CtrHashTablesBuilt, 1)
 	}
 	ctx.Counters.Add(CtrHashBuildNanos, time.Since(start).Nanoseconds())
+	ctx.Span(obs.PhaseHashBuild, start, "tables", fmt.Sprint(len(hts)))
 	if err := r.reserve(ctx, hts); err != nil {
 		return nil, err
 	}
@@ -173,6 +175,7 @@ func (r *starJoinRunner) Run(ctx *mr.TaskContext, reader mr.RecordReader, out mr
 	}
 	wg.Wait()
 	ctx.Counters.Add(CtrProbeNanos, time.Since(probeStart).Nanoseconds())
+	ctx.Span(obs.PhaseProbe, probeStart, "threads", fmt.Sprint(threads))
 	for _, err := range errs {
 		if err != nil {
 			return err

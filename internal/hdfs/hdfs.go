@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"clydesdale/internal/cluster"
+	"clydesdale/internal/obs"
 )
 
 // DefaultBlockSize is the block size used when Options does not override it.
@@ -58,6 +59,14 @@ type FileSystem struct {
 	blockSeq int64
 
 	metrics Metrics
+
+	// Observability hooks, attached by Observe. Guarded by mu; nil when no
+	// observer is attached (the default, zero-cost path).
+	tracer        *obs.Tracer
+	mLocalBytes   *obs.Counter
+	mRemoteBytes  *obs.Counter
+	mWrittenBytes *obs.Counter
+	mReadNs       *obs.Histogram
 }
 
 // Metrics exposes the filesystem's read/write accounting.
@@ -136,6 +145,25 @@ func (fs *FileSystem) Replication() int { return fs.replication }
 
 // Metrics returns the filesystem's accounting counters.
 func (fs *FileSystem) Metrics() *Metrics { return &fs.metrics }
+
+// Observe attaches the observability layer: each ReadAt emits an "hdfs-read"
+// span into tracer with local/remote byte attrs, and byte counters plus a
+// read-latency histogram are maintained in reg. Either argument may be nil.
+// Attach before running jobs; Observe is not synchronized with in-flight
+// reads.
+func (fs *FileSystem) Observe(tracer *obs.Tracer, reg *obs.Registry) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.tracer = tracer
+	if reg != nil {
+		fs.mLocalBytes = reg.Counter("hdfs.read_bytes_local")
+		fs.mRemoteBytes = reg.Counter("hdfs.read_bytes_remote")
+		fs.mWrittenBytes = reg.Counter("hdfs.write_bytes")
+		fs.mReadNs = reg.Histogram("hdfs.read_ns")
+	} else {
+		fs.mLocalBytes, fs.mRemoteBytes, fs.mWrittenBytes, fs.mReadNs = nil, nil, nil, nil
+	}
+}
 
 // SetPlacementPolicy installs a pluggable placement policy for all paths
 // with the given prefix (mirroring HDFS 0.21's per-path pluggable policies

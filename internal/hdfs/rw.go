@@ -3,6 +3,10 @@ package hdfs
 import (
 	"fmt"
 	"io"
+	"strconv"
+	"time"
+
+	"clydesdale/internal/obs"
 )
 
 // Writer streams data into a new file. Data becomes visible atomically at
@@ -81,6 +85,12 @@ func (w *Writer) seal(data []byte) error {
 		}
 	}
 	fs.metrics.BytesWritten.Add(int64(len(data)))
+	fs.mu.RLock()
+	written := fs.mWrittenBytes
+	fs.mu.RUnlock()
+	if written != nil {
+		written.Add(int64(len(data)))
+	}
 
 	b := &blockMeta{id: id, size: int64(len(data)), data: append([]byte(nil), data...)}
 	for _, n := range targets {
@@ -203,13 +213,24 @@ func (r *Reader) Seek(offset int64, whence int) (int64, error) {
 func (r *Reader) Close() error { return nil }
 
 // ReadAt reads len(p) bytes at offset off, charging each traversed block's
-// serving node (disk) and, for remote replicas, the network.
+// serving node (disk) and, for remote replicas, the network. With an
+// observer attached (FileSystem.Observe) it emits one "hdfs-read" span per
+// call carrying the file path and the local/remote byte split.
 func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 	fs := r.fs
 	fs.mu.RLock()
 	size := r.meta.size
 	blocks := r.meta.blocks
+	path := r.meta.path
+	tracer := fs.tracer
+	localCtr, remoteCtr, readNs := fs.mLocalBytes, fs.mRemoteBytes, fs.mReadNs
 	fs.mu.RUnlock()
+
+	observing := tracer.Enabled() || readNs != nil
+	var start time.Time
+	if observing {
+		start = time.Now()
+	}
 
 	if off >= size {
 		return 0, io.EOF
@@ -218,8 +239,9 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 	if off+want > size {
 		want = size - off
 	}
-	var done int64
+	var done, localBytes, remoteBytes int64
 	var pos int64
+	var rerr error
 	for _, b := range blocks {
 		bStart, bEnd := pos, pos+b.size
 		pos = bEnd
@@ -228,11 +250,41 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 		}
 		from := max64(off, bStart) - bStart
 		to := min64(off+want, bEnd) - bStart
-		n, err := r.readBlockRange(b, from, to, p[done:done+(to-from)])
+		n, local, err := r.readBlockRange(b, from, to, p[done:done+(to-from)])
 		done += int64(n)
-		if err != nil {
-			return int(done), err
+		if local {
+			localBytes += int64(n)
+		} else {
+			remoteBytes += int64(n)
 		}
+		if err != nil {
+			rerr = err
+			break
+		}
+	}
+	if localCtr != nil {
+		localCtr.Add(localBytes)
+		remoteCtr.Add(remoteBytes)
+	}
+	if observing {
+		end := time.Now()
+		if readNs != nil {
+			readNs.ObserveDuration(end.Sub(start))
+		}
+		if tracer.Enabled() {
+			tracer.Emit(obs.Span{
+				Name:  obs.PhaseHDFSRead,
+				Node:  r.client,
+				Start: start,
+				End:   end,
+				Attrs: obs.Attrs("path", path,
+					"local_bytes", strconv.FormatInt(localBytes, 10),
+					"remote_bytes", strconv.FormatInt(remoteBytes, 10)),
+			})
+		}
+	}
+	if rerr != nil {
+		return int(done), rerr
 	}
 	if done < int64(len(p)) {
 		return int(done), io.EOF
@@ -241,7 +293,8 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 }
 
 // readBlockRange copies block bytes [from, to) into dst and charges costs.
-func (r *Reader) readBlockRange(b *blockMeta, from, to int64, dst []byte) (int, error) {
+// The second return reports whether the bytes came from a local replica.
+func (r *Reader) readBlockRange(b *blockMeta, from, to int64, dst []byte) (int, bool, error) {
 	fs := r.fs
 	fs.mu.RLock()
 	lost := b.lost || len(b.replicas) == 0
@@ -261,7 +314,7 @@ func (r *Reader) readBlockRange(b *blockMeta, from, to int64, dst []byte) (int, 
 	fs.mu.RUnlock()
 
 	if lost {
-		return 0, fmt.Errorf("hdfs: block %d of %s: all replicas lost", b.id, r.meta.path)
+		return 0, false, fmt.Errorf("hdfs: block %d of %s: all replicas lost", b.id, r.meta.path)
 	}
 	n := copy(dst, data[from:to])
 
@@ -279,14 +332,14 @@ func (r *Reader) readBlockRange(b *blockMeta, from, to int64, dst []byte) (int, 
 		}
 		fs.mu.RUnlock()
 		if alt == "" {
-			return 0, fmt.Errorf("hdfs: block %d of %s: no live replica", b.id, r.meta.path)
+			return 0, false, fmt.Errorf("hdfs: block %d of %s: no live replica", b.id, r.meta.path)
 		}
 		serving, node = alt, fs.cluster.Node(alt)
 		local = serving == r.client
 	}
 
 	if err := node.ChargeDiskRead(int64(n), true); err != nil {
-		return 0, err
+		return 0, local, err
 	}
 	if local {
 		fs.metrics.LocalReads.Add(1)
@@ -301,10 +354,10 @@ func (r *Reader) readBlockRange(b *blockMeta, from, to int64, dst []byte) (int, 
 			target = node
 		}
 		if err := target.ChargeNet(int64(n)); err != nil {
-			return 0, err
+			return 0, local, err
 		}
 	}
-	return n, nil
+	return n, local, nil
 }
 
 // ReadAll reads the entire file.

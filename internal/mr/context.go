@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clydesdale/internal/cluster"
 	"clydesdale/internal/hdfs"
+	"clydesdale/internal/obs"
 )
 
 // JVM models one reusable task runtime on a node. Its static store is the
@@ -60,6 +62,10 @@ type JobContext struct {
 	FS       *hdfs.FileSystem
 	Cluster  *cluster.Cluster
 	Counters *Counters
+	// Tracer receives sub-phase spans; nil or sink-less means tracing is
+	// disabled (the fast path). Input formats and runners may emit into it
+	// directly or via TaskContext.Span.
+	Tracer *obs.Tracer
 }
 
 // TaskContext is the task-scoped view handed to mappers, reducers, runners,
@@ -76,6 +82,56 @@ type TaskContext struct {
 	memReserved int64
 	allowance   int64
 	superseded  func() bool
+
+	phaseMu sync.Mutex
+	phases  map[string]time.Duration
+}
+
+// ObservePhase accumulates d into this attempt's named sub-phase duration,
+// which ends up in the attempt's TaskReport.Phases. Threads of a
+// multi-threaded task may observe the same phase concurrently; their
+// durations sum (so summed thread time can exceed wall time).
+func (t *TaskContext) ObservePhase(name string, d time.Duration) {
+	t.phaseMu.Lock()
+	if t.phases == nil {
+		t.phases = make(map[string]time.Duration, 8)
+	}
+	t.phases[name] += d
+	t.phaseMu.Unlock()
+}
+
+// Phases returns a copy of the attempt's accumulated sub-phase durations.
+func (t *TaskContext) Phases() map[string]time.Duration {
+	t.phaseMu.Lock()
+	defer t.phaseMu.Unlock()
+	if len(t.phases) == 0 {
+		return nil
+	}
+	out := make(map[string]time.Duration, len(t.phases))
+	for k, v := range t.phases {
+		out[k] = v
+	}
+	return out
+}
+
+// Span records a completed sub-phase that started at start and ends now:
+// it accumulates into the attempt's phase durations and, when tracing is
+// enabled, emits a span to the job's tracer. attrs are alternating
+// key/value pairs, attached only when tracing is enabled.
+func (t *TaskContext) Span(name string, start time.Time, attrs ...string) {
+	end := time.Now()
+	t.ObservePhase(name, end.Sub(start))
+	if t.Tracer.Enabled() {
+		t.Tracer.Emit(obs.Span{
+			Job:    t.JobID,
+			Name:   name,
+			Node:   t.node.ID(),
+			TaskID: t.TaskID,
+			Start:  start,
+			End:    end,
+			Attrs:  obs.Attrs(attrs...),
+		})
+	}
 }
 
 // Superseded reports whether another attempt of this task already finished

@@ -4,12 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"clydesdale/internal/cluster"
 	"clydesdale/internal/hdfs"
+	"clydesdale/internal/obs"
 	"clydesdale/internal/records"
 )
 
@@ -24,6 +26,12 @@ type Options struct {
 	JVMStartup time.Duration
 	// MaxTaskAttempts bounds retries per task (Hadoop default 4).
 	MaxTaskAttempts int
+	// Tracer receives per-attempt sub-phase spans (the job-history
+	// timeline). Nil or sink-less disables tracing at ~zero cost.
+	Tracer *obs.Tracer
+	// Metrics, when non-nil, receives engine-level histograms and counters
+	// (task durations, queue waits, shuffle traffic).
+	Metrics *obs.Registry
 }
 
 // Engine runs MapReduce jobs over a cluster and filesystem.
@@ -48,6 +56,18 @@ func (e *Engine) Cluster() *cluster.Cluster { return e.cluster }
 
 // FS returns the engine's filesystem.
 func (e *Engine) FS() *hdfs.FileSystem { return e.fs }
+
+// Tracer returns the engine's tracer (possibly nil).
+func (e *Engine) Tracer() *obs.Tracer { return e.opts.Tracer }
+
+// SetTracer attaches a tracer. Call between jobs, not during one.
+func (e *Engine) SetTracer(t *obs.Tracer) { e.opts.Tracer = t }
+
+// Metrics returns the engine's metrics registry (possibly nil).
+func (e *Engine) Metrics() *obs.Registry { return e.opts.Metrics }
+
+// SetMetrics attaches a metrics registry. Call between jobs, not during one.
+func (e *Engine) SetMetrics(r *obs.Registry) { e.opts.Metrics = r }
 
 // kvEntry is one serialized map-output pair. The key stays decoded for
 // sorting; size accounts for the serialized key+value bytes.
@@ -99,7 +119,7 @@ func (e *Engine) Submit(job *Job) (*JobResult, error) {
 	start := time.Now()
 	jobID := fmt.Sprintf("job-%d", e.jobSeq.Add(1))
 	counters := NewCounters()
-	jctx := &JobContext{JobID: jobID, Conf: job.conf(), FS: e.fs, Cluster: e.cluster, Counters: counters}
+	jctx := &JobContext{JobID: jobID, Conf: job.conf(), FS: e.fs, Cluster: e.cluster, Counters: counters, Tracer: e.opts.Tracer}
 
 	if job.Input == nil {
 		return nil, fmt.Errorf("mr: %s: job has no InputFormat", jobID)
@@ -221,6 +241,23 @@ func (run *jobRun) addReport(r TaskReport) {
 	run.reportMu.Unlock()
 }
 
+// emitSpan emits one completed span to the engine tracer when tracing is
+// enabled; a no-op (one atomic load) otherwise.
+func (run *jobRun) emitSpan(name, node, taskID string, start, end time.Time, attrs ...string) {
+	tr := run.engine.opts.Tracer
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(obs.Span{Job: run.jobID, Name: name, Node: node, TaskID: taskID, Start: start, End: end, Attrs: obs.Attrs(attrs...)})
+}
+
+// observeDur records d into the named histogram when a registry is attached.
+func (run *jobRun) observeDur(name string, d time.Duration) {
+	if m := run.engine.opts.Metrics; m != nil {
+		m.Histogram(name).ObserveDuration(d)
+	}
+}
+
 // ---------------------------------------------------------------- map phase
 
 // taskSched assigns tasks of one phase to requesting slot workers. It
@@ -254,6 +291,12 @@ type taskSched struct {
 	// specLaunched counts speculative backups for the job counters.
 	started      []int
 	specLaunched int64
+	// readyAt is when each task last became schedulable (phase start or
+	// requeue after a failed attempt); lastWait is the queue wait measured
+	// at the most recent assignment, read back by the slot worker for the
+	// queue-wait span.
+	readyAt  []time.Time
+	lastWait []time.Duration
 }
 
 // delayTolerance is how many wake-ups a worker waits for local work before
@@ -275,11 +318,15 @@ func newTaskSched(kind string, total, capNode int, localOf func(int) []string) *
 		active:   make(map[int]int),
 		doneSet:  make(map[int]bool),
 		started:  make([]int, total),
+		readyAt:  make([]time.Time, total),
+		lastWait: make([]time.Duration, total),
 		capNode:  capNode,
 		total:    total,
 	}
+	now := time.Now()
 	for i := 0; i < total; i++ {
 		s.pending[i] = true
+		s.readyAt[i] = now
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -355,7 +402,16 @@ func (s *taskSched) assign(t int, node string, local bool) (int, int, bool, bool
 	s.active[t]++
 	s.started[t]++
 	s.lastNode[t] = node
+	s.lastWait[t] = time.Since(s.readyAt[t])
 	return t, s.started[t], local, true
+}
+
+// queueWait returns the queue wait of the task's most recent assignment;
+// valid for the worker that was just assigned the task.
+func (s *taskSched) queueWait(t int) time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastWait[t]
 }
 
 // isCompleted reports whether another attempt already finished the task;
@@ -392,6 +448,7 @@ func (s *taskSched) complete(task int, node string, err error, maxAttempts int) 
 		s.aborted = fmt.Errorf("task %s-%d failed %d times, last: %w", s.kind, task, s.attempts[task], err)
 	default:
 		s.pending[task] = true
+		s.readyAt[task] = time.Now()
 	}
 	s.cond.Broadcast()
 }
@@ -432,9 +489,13 @@ func (run *jobRun) mapPhase() error {
 					if !ok {
 						return
 					}
+					taskID := fmt.Sprintf("m-%d", task)
+					qwait := sched.queueWait(task)
 					start := time.Now()
+					run.emitSpan(obs.PhaseQueueWait, n.ID(), taskID, start.Add(-qwait), start)
+					run.observeDur("mr.queue_wait_ns", qwait)
 					superseded := func() bool { return sched.isCompleted(task) }
-					out, err := run.executeMapAttempt(task, n, attempt, local, superseded)
+					out, phases, err := run.executeMapAttempt(task, n, attempt, local, qwait, superseded)
 					switch {
 					case err == nil:
 						run.outMu.Lock()
@@ -442,10 +503,12 @@ func (run *jobRun) mapPhase() error {
 							run.mapOutputs[task] = out
 						}
 						run.outMu.Unlock()
+						dur := time.Since(start)
 						run.addReport(TaskReport{
-							TaskID: fmt.Sprintf("m-%d", task), Node: n.ID(),
-							Attempts: attempt, Duration: time.Since(start), Local: local,
+							TaskID: taskID, Node: n.ID(), Attempts: attempt,
+							Start: start, Duration: dur, Local: local, Phases: phases,
 						})
+						run.observeDur("mr.map.duration_ns", dur)
 					case errors.Is(err, errSuperseded):
 						// Abandoned backup; not a retryable failure.
 					default:
@@ -465,9 +528,11 @@ func (run *jobRun) mapPhase() error {
 
 // executeMapAttempt runs one attempt of one map task on a node and returns
 // its sorted/combined output (nil parts for map-only jobs, whose output goes
-// straight to the OutputFormat).
-func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, local bool, superseded func() bool) (mo *mapOutput, err error) {
+// straight to the OutputFormat) plus the attempt's measured sub-phase
+// durations.
+func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, local bool, qwait time.Duration, superseded func() bool) (mo *mapOutput, phases map[string]time.Duration, err error) {
 	e := run.engine
+	taskID := fmt.Sprintf("m-%d", task)
 	run.counters.Add(CtrMapTasks, 1)
 	if local {
 		run.counters.Add(CtrDataLocalMaps, 1)
@@ -475,16 +540,22 @@ func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, 
 		run.counters.Add(CtrRemoteMaps, 1)
 	}
 	if run.job.FailureInjector != nil {
-		if ferr := run.job.FailureInjector(fmt.Sprintf("m-%d", task), attempt); ferr != nil {
-			return nil, ferr
+		if ferr := run.job.FailureInjector(taskID, attempt); ferr != nil {
+			return nil, nil, ferr
 		}
 	}
+	launchStart := time.Now()
 	node.ChargeOverhead(e.opts.TaskLaunchOverhead)
+	launchDur := time.Since(launchStart)
 
+	jvmStart := time.Now()
 	jvm, fresh := run.pool(node.ID()).acquire(run.reuse)
+	var jvmDur time.Duration
 	if fresh {
 		run.counters.Add(CtrJVMsStarted, 1)
 		node.ChargeOverhead(e.opts.JVMStartup)
+		jvmDur = time.Since(jvmStart)
+		run.emitSpan(obs.PhaseJVMStart, node.ID(), taskID, jvmStart, jvmStart.Add(jvmDur))
 	} else {
 		run.counters.Add(CtrJVMReuses, 1)
 	}
@@ -492,13 +563,21 @@ func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, 
 
 	ctx := &TaskContext{
 		JobContext: run.jctx,
-		TaskID:     fmt.Sprintf("m-%d", task),
+		TaskID:     taskID,
 		Attempt:    attempt,
 		node:       node,
 		jvm:        jvm,
 		job:        run.job,
 		allowance:  run.taskMem,
 		superseded: superseded,
+	}
+	ctx.ObservePhase(obs.PhaseQueueWait, qwait)
+	if launchDur > 0 {
+		ctx.ObservePhase(obs.PhaseLaunch, launchDur)
+		run.emitSpan(obs.PhaseLaunch, node.ID(), taskID, launchStart, launchStart.Add(launchDur))
+	}
+	if fresh {
+		ctx.ObservePhase(obs.PhaseJVMStart, jvmDur)
 	}
 	defer ctx.releaseAll()
 	defer func() {
@@ -507,9 +586,14 @@ func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, 
 		}
 	}()
 
+	jvmAttr := "reused"
+	if fresh {
+		jvmAttr = "fresh"
+	}
+	mapStart := time.Now()
 	reader, err := run.job.Input.Open(run.splits[task], ctx)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer reader.Close()
 
@@ -522,7 +606,7 @@ func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, 
 	} else {
 		writer, err = run.job.Output.OpenWriter(ctx, task)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		collector = &writerCollector{w: writer, counters: run.counters}
 	}
@@ -537,29 +621,35 @@ func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, 
 		if writer != nil {
 			writer.Close()
 		}
-		return nil, err
+		return nil, nil, err
 	}
 	if writer != nil {
 		if err := writer.Close(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &mapOutput{node: node.ID()}, nil
+		ctx.Span(obs.PhaseMap, mapStart, "local", strconv.FormatBool(local), "jvm", jvmAttr)
+		return &mapOutput{node: node.ID()}, ctx.Phases(), nil
 	}
+	ctx.Span(obs.PhaseMap, mapStart, "local", strconv.FormatBool(local), "jvm", jvmAttr)
 
+	combineStart := time.Now()
 	out, err := mc.finish(ctx, run.job)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	ctx.Span(obs.PhaseCombine, combineStart)
 	// Spilling the sorted output to the node's local disk (raw device, not
 	// HDFS).
 	var spill int64
 	for p := range out.parts {
 		spill += out.partBytes(p)
 	}
+	spillStart := time.Now()
 	if err := node.ChargeDiskWrite(spill, false); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return out, nil
+	ctx.Span(obs.PhaseSpill, spillStart, "bytes", strconv.FormatInt(spill, 10))
+	return out, ctx.Phases(), nil
 }
 
 // defaultMapRunner is the stock record-at-a-time loop (§3).

@@ -246,8 +246,14 @@ type TaskReport struct {
 	TaskID   string
 	Node     string
 	Attempts int
+	Start    time.Time // when the winning attempt started
 	Duration time.Duration
 	Local    bool // map tasks: whether the final attempt read a local split
+	// Phases holds the winning attempt's measured sub-phase durations,
+	// keyed by the obs.Phase* names (queue-wait, jvm-start, read, map,
+	// combine, spill, shuffle, sort, reduce, hash-build, probe, ...).
+	// Multi-threaded phases sum across threads.
+	Phases map[string]time.Duration
 }
 
 // JobResult is returned by Engine.Submit.

@@ -1,0 +1,81 @@
+package mr
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// jsonTask is the wire form of one TaskReport.
+type jsonTask struct {
+	TaskID   string           `json:"task"`
+	Node     string           `json:"node"`
+	Attempts int              `json:"attempts"`
+	StartNs  int64            `json:"start_ns,omitempty"`
+	DurNs    int64            `json:"dur_ns"`
+	Local    bool             `json:"local,omitempty"`
+	PhasesNs map[string]int64 `json:"phases_ns,omitempty"`
+}
+
+// jsonResult is the wire form of a JobResult.
+type jsonResult struct {
+	JobID    string           `json:"job"`
+	DurNs    int64            `json:"dur_ns"`
+	Counters map[string]int64 `json:"counters"`
+	Tasks    []jsonTask       `json:"tasks"`
+}
+
+// WriteJSON serializes the job result — ID, duration, counters, and every
+// task report with its sub-phase durations — as one JSON document. It is the
+// machine-readable job history shared by the CLI front-ends.
+func (r *JobResult) WriteJSON(w io.Writer) error {
+	out := jsonResult{
+		JobID: r.JobID,
+		DurNs: r.Duration.Nanoseconds(),
+		Tasks: make([]jsonTask, 0, len(r.Tasks)),
+	}
+	if r.Counters != nil {
+		out.Counters = r.Counters.Snapshot()
+	}
+	for _, t := range r.Tasks {
+		jt := jsonTask{
+			TaskID:   t.TaskID,
+			Node:     t.Node,
+			Attempts: t.Attempts,
+			DurNs:    t.Duration.Nanoseconds(),
+			Local:    t.Local,
+		}
+		if !t.Start.IsZero() {
+			jt.StartNs = t.Start.UnixNano()
+		}
+		if len(t.Phases) > 0 {
+			jt.PhasesNs = make(map[string]int64, len(t.Phases))
+			for name, d := range t.Phases {
+				jt.PhasesNs[name] = d.Nanoseconds()
+			}
+		}
+		out.Tasks = append(out.Tasks, jt)
+	}
+	sort.Slice(out.Tasks, func(i, j int) bool {
+		if out.Tasks[i].TaskID != out.Tasks[j].TaskID {
+			return out.Tasks[i].TaskID < out.Tasks[j].TaskID
+		}
+		return out.Tasks[i].Node < out.Tasks[j].Node
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// PhaseTotals sums every task's sub-phase durations across the job, keyed by
+// the obs.Phase* names.
+func (r *JobResult) PhaseTotals() map[string]time.Duration {
+	out := make(map[string]time.Duration)
+	for _, t := range r.Tasks {
+		for name, d := range t.Phases {
+			out[name] += d
+		}
+	}
+	return out
+}

@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench clean
+.PHONY: check vet build test race bench bench-smoke clean
 
 check: vet build race
 
@@ -19,8 +19,17 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Probe-path regression guard (see DESIGN.md "Probe hot path"): the table
+# probe/build microbenchmarks and the per-row emit benchmark, with allocation
+# counts. The gomap/boxed variants are the pre-change layouts kept in-tree as
+# the comparison baseline — open vs gomap and inmapper/scratch vs boxed are
+# the ratios to watch. CI-friendly: short benchtime, no external state.
 bench:
-	$(GO) test -bench . -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'Probe|HashBuild|Aggregate' -benchmem -benchtime 0.2s ./internal/core/ .
+
+# One-iteration smoke run of every benchmark in the repo.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
 clean:
 	$(GO) clean ./...

@@ -6,7 +6,7 @@
 //
 //	clydesdale -query Q2.1
 //	clydesdale -query all -workers 8 -factrows 120000
-//	clydesdale -query Q3.1 -no-blockiter -no-columnar -no-multithread   # ablation modes
+//	clydesdale -query Q3.1 -no-blockiter -no-columnar -no-multithread -no-inmapper-combine   # ablation modes
 //	clydesdale -query Q2.1 -timeline                  # per-node span timeline
 //	clydesdale -query Q2.1 -trace spans.jsonl         # export spans as JSONL
 //	clydesdale -query Q2.1 -json result.json          # job result as JSON
@@ -39,6 +39,7 @@ func main() {
 		noBlock   = flag.Bool("no-blockiter", false, "disable block iteration")
 		noCol     = flag.Bool("no-columnar", false, "disable columnar pruning")
 		noMT      = flag.Bool("no-multithread", false, "disable multi-threaded map tasks")
+		noIMC     = flag.Bool("no-inmapper-combine", false, "disable in-mapper combining (emit one record per joined row)")
 		tracePath = flag.String("trace", "", "write spans of every query run to this JSONL file")
 		timeline  = flag.Bool("timeline", false, "print a per-node span timeline after each query")
 		jsonPath  = flag.String("json", "", "write the last query's job result as JSON to this file ('-' for stdout)")
@@ -57,6 +58,7 @@ func main() {
 	feats.BlockIteration = !*noBlock
 	feats.ColumnarStorage = !*noCol
 	feats.MultiThreaded = !*noMT
+	feats.InMapperCombining = !*noIMC
 
 	// Observability: one tracer and registry for all runs. The memory sink
 	// feeds the timeline; the JSONL sink streams the trace to disk.

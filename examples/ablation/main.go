@@ -5,6 +5,7 @@
 //   - columnar storage (CIF)  → bytes read from HDFS
 //   - block iteration (B-CIF) → per-record framework overhead
 //   - multi-threaded tasks    → hash tables built once per node, not per task
+//   - in-mapper combining     → map output records collapse to one per group
 package main
 
 import (
@@ -44,13 +45,14 @@ func main() {
 		feats core.Features
 	}{
 		{"full Clydesdale", core.AllFeatures()},
-		{"- block iteration", core.Features{ColumnarStorage: true, BlockIteration: false, MultiThreaded: true}},
-		{"- columnar storage", core.Features{ColumnarStorage: false, BlockIteration: true, MultiThreaded: true}},
-		{"- multi-threading", core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: false}},
+		{"- block iteration", core.Features{ColumnarStorage: true, BlockIteration: false, MultiThreaded: true, InMapperCombining: true}},
+		{"- columnar storage", core.Features{ColumnarStorage: false, BlockIteration: true, MultiThreaded: true, InMapperCombining: true}},
+		{"- multi-threading", core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: false, InMapperCombining: true}},
+		{"- in-mapper combining", core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: false}},
 	}
 
 	var baseline time.Duration
-	fmt.Printf("\n%-20s %10s %9s %14s %12s %12s\n",
+	fmt.Printf("\n%-22s %10s %9s %14s %12s %12s\n",
 		"configuration", "time", "vs full", "bytes read", "hash builds", "map tasks")
 	for i, cfgCase := range configs {
 		feats := cfgCase.feats
@@ -68,7 +70,7 @@ func main() {
 		}
 		ratio := float64(rep.Total) / float64(baseline)
 		bytesRead := (after.LocalBytesRead + after.RemoteBytesRead) - (before.LocalBytesRead + before.RemoteBytesRead)
-		fmt.Printf("%-20s %10s %8.2fx %14d %12d %12d\n",
+		fmt.Printf("%-22s %10s %8.2fx %14d %12d %12d\n",
 			cfgCase.label,
 			rep.Total.Round(time.Millisecond),
 			ratio,

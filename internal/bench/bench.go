@@ -108,9 +108,11 @@ func (c Config) withDefaults() Config {
 type Harness struct {
 	cfg Config
 	gen *ssb.Generator
-	// hashSum caches per-query total hash-table bytes (what a Clydesdale
-	// node holds resident); hashMax caches the largest single dimension's
-	// table (what one mapjoin task holds).
+	// hashSum caches per-query total hash-table bytes under Clydesdale's
+	// open-addressing layout (what a Clydesdale node holds resident);
+	// hashMax caches the largest single dimension's table under the boxed
+	// mapjoin layout (what one mapjoin task holds) — two different
+	// estimators because the two engines build different structures.
 	hashSum map[string]int64
 	hashMax map[string]int64
 }
@@ -142,6 +144,12 @@ func (h *Harness) estimateHashSizes() error {
 		}
 		for _, b := range per {
 			h.hashSum[q.Name] += b
+		}
+		mjPer, err := hive.EstimateMapJoinHashBytes(q, each)
+		if err != nil {
+			return err
+		}
+		for _, b := range mjPer {
 			if b > h.hashMax[q.Name] {
 				h.hashMax[q.Name] = b
 			}

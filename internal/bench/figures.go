@@ -158,9 +158,10 @@ type AblationRow struct {
 	Query    string
 	Baseline time.Duration
 	// Slowdowns relative to all-features-on.
-	NoBlockIteration float64
-	NoColumnar       float64
-	NoMultiThreading float64
+	NoBlockIteration    float64
+	NoColumnar          float64
+	NoMultiThreading    float64
+	NoInMapperCombining float64
 }
 
 // AblationResult is Figure 9.
@@ -182,6 +183,20 @@ func (a *AblationResult) Average() (noBlock, noColumnar, noMT float64) {
 	return noBlock / n, noColumnar / n, noMT / n
 }
 
+// AverageNoCombining returns the mean slowdown with in-mapper combining
+// disabled (map tasks emit one record per joined row and leave all map-side
+// aggregation to the combiner).
+func (a *AblationResult) AverageNoCombining() float64 {
+	if len(a.Rows) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range a.Rows {
+		sum += r.NoInMapperCombining
+	}
+	return sum / float64(len(a.Rows))
+}
+
 // RunFigure9 runs the ablation on cluster A: each feature disabled in turn.
 // The memory budget is relaxed (see SetupClusterRelaxedMemory) so the
 // single-threaded variant's per-task hash-table copies fit, as they did at
@@ -192,9 +207,10 @@ func (h *Harness) RunFigure9(w io.Writer) (*AblationResult, error) {
 		return nil, err
 	}
 	full := env.Clydesdale(nil)
-	noBlock := env.Clydesdale(&core.Features{ColumnarStorage: true, BlockIteration: false, MultiThreaded: true})
-	noCol := env.Clydesdale(&core.Features{ColumnarStorage: false, BlockIteration: true, MultiThreaded: true})
-	noMT := env.Clydesdale(&core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: false})
+	noBlock := env.Clydesdale(&core.Features{ColumnarStorage: true, BlockIteration: false, MultiThreaded: true, InMapperCombining: true})
+	noCol := env.Clydesdale(&core.Features{ColumnarStorage: false, BlockIteration: true, MultiThreaded: true, InMapperCombining: true})
+	noMT := env.Clydesdale(&core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: false, InMapperCombining: true})
+	noIMC := env.Clydesdale(&core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: false})
 
 	out := &AblationResult{}
 	for _, q := range ssb.Queries() {
@@ -217,9 +233,14 @@ func (h *Harness) RunFigure9(w io.Writer) (*AblationResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		ni, err := h.timeQuery(noIMC, q)
+		if err != nil {
+			return nil, err
+		}
 		row.NoBlockIteration = float64(nb) / float64(base)
 		row.NoColumnar = float64(nc) / float64(base)
 		row.NoMultiThreading = float64(nm) / float64(base)
+		row.NoInMapperCombining = float64(ni) / float64(base)
 		out.Rows = append(out.Rows, row)
 	}
 	if w != nil {
@@ -260,12 +281,12 @@ func (h *Harness) medianTime(fn func() (time.Duration, error)) (time.Duration, e
 
 func printAblation(w io.Writer, a *AblationResult) {
 	fmt.Fprintf(w, "\nFigure 9: impact of disabling individual techniques (slowdown vs full Clydesdale, cluster A)\n")
-	fmt.Fprintf(w, "%-6s %12s %12s %12s %12s\n", "Query", "baseline", "-blockiter", "-columnar", "-multithread")
+	fmt.Fprintf(w, "%-6s %12s %12s %12s %12s %12s\n", "Query", "baseline", "-blockiter", "-columnar", "-multithread", "-combining")
 	for _, r := range a.Rows {
-		fmt.Fprintf(w, "%-6s %12s %11.2fx %11.2fx %11.2fx\n",
+		fmt.Fprintf(w, "%-6s %12s %11.2fx %11.2fx %11.2fx %11.2fx\n",
 			r.Query, r.Baseline.Round(time.Millisecond),
-			r.NoBlockIteration, r.NoColumnar, r.NoMultiThreading)
+			r.NoBlockIteration, r.NoColumnar, r.NoMultiThreading, r.NoInMapperCombining)
 	}
 	nb, nc, nm := a.Average()
-	fmt.Fprintf(w, "%-6s %12s %11.2fx %11.2fx %11.2fx\n", "avg", "", nb, nc, nm)
+	fmt.Fprintf(w, "%-6s %12s %11.2fx %11.2fx %11.2fx %11.2fx\n", "avg", "", nb, nc, nm, a.AverageNoCombining())
 }

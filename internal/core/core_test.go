@@ -308,11 +308,15 @@ func TestProbeOrderOptionAgrees(t *testing.T) {
 
 // TestCombinerShrinksShuffle checks the partial aggregation Figure 4
 // mentions: the combiner collapses per-task duplicate group keys, so the
-// shuffle moves less data than the raw map output.
+// shuffle moves less data than the raw map output. In-mapper combining is
+// disabled here so the combiner actually has duplicates to collapse — with
+// it on, map output is already one record per group per task and the
+// combiner is a no-op (TestInMapperCombiningShrinksMapOutput covers that).
 func TestCombinerShrinksShuffle(t *testing.T) {
 	e := newEnv(t, 2, 0.005)
 	q, _ := ssb.QueryByName("Q1.1") // grand aggregate: every task combines to one pair
-	_, rep, err := e.engine(core.Options{}).Execute(q)
+	feats := core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: false}
+	_, rep, err := e.engine(core.Options{Features: &feats}).Execute(q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -328,5 +332,50 @@ func TestCombinerShrinksShuffle(t *testing.T) {
 	if ctr.Get(mr.CtrCombineInput) <= ctr.Get(mr.CtrCombineOutput) {
 		t.Errorf("combiner in=%d out=%d; no collapsing",
 			ctr.Get(mr.CtrCombineInput), ctr.Get(mr.CtrCombineOutput))
+	}
+}
+
+// TestInMapperCombiningShrinksMapOutput runs the same queries with in-mapper
+// combining on and off and checks three things: the answers are identical,
+// the probe counters are identical — CtrProbeRows/CtrProbeEmits count fact
+// rows scanned and joined rows, not collector calls, so aggregating before
+// the collector must not change them — and the map output actually shrinks
+// to (at most) one record per group per probe thread.
+func TestInMapperCombiningShrinksMapOutput(t *testing.T) {
+	e := newEnv(t, 3, 0.005)
+	for _, name := range []string{"Q1.1", "Q2.1"} { // grand aggregate + grouped
+		q, err := ssb.QueryByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		on := core.AllFeatures()
+		off := core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: false}
+		rsOn, repOn, err := e.engine(core.Options{Features: &on}).Execute(q)
+		if err != nil {
+			t.Fatalf("%s combining on: %v", name, err)
+		}
+		rsOff, repOff, err := e.engine(core.Options{Features: &off}).Execute(q)
+		if err != nil {
+			t.Fatalf("%s combining off: %v", name, err)
+		}
+		if ok, why := results.Equivalent(rsOn, rsOff, 1e-9); !ok {
+			t.Errorf("%s: combining changed answers: %s", name, why)
+		}
+		cOn, cOff := repOn.Job.Counters, repOff.Job.Counters
+		for _, ctr := range []string{core.CtrProbeRows, core.CtrProbeEmits} {
+			if cOn.Get(ctr) != cOff.Get(ctr) {
+				t.Errorf("%s: %s = %d with combining, %d without; must not depend on the emit path",
+					name, ctr, cOn.Get(ctr), cOff.Get(ctr))
+			}
+		}
+		mapOn, mapOff := cOn.Get(mr.CtrMapOutputRecords), cOff.Get(mr.CtrMapOutputRecords)
+		if mapOff != cOff.Get(core.CtrProbeEmits) {
+			t.Errorf("%s: without combining map output %d records, want one per emit (%d)",
+				name, mapOff, cOff.Get(core.CtrProbeEmits))
+		}
+		if mapOn >= mapOff {
+			t.Errorf("%s: map output %d records with combining vs %d without; no shrink",
+				name, mapOn, mapOff)
+		}
 	}
 }

@@ -27,11 +27,18 @@ type Features struct {
 	// off runs ordinary single-threaded tasks that each build private hash
 	// tables.
 	MultiThreaded bool
+	// InMapperCombining accumulates the algebraic sum aggregate in a
+	// per-thread hash table inside the map task, emitting one record per
+	// group at reader close instead of one per joined row (the combiner
+	// then sees ~|groups| entries, and sort/combine/spill shrink
+	// proportionally); off emits per joined row and leaves all map-side
+	// aggregation to the combiner.
+	InMapperCombining bool
 }
 
 // AllFeatures returns the full Clydesdale configuration.
 func AllFeatures() Features {
-	return Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true}
+	return Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: true}
 }
 
 // Options configures the engine.

@@ -13,24 +13,167 @@ import (
 // (§4.2): key = dimension primary key, value = the auxiliary columns the
 // query references. Rows failing the dimension predicate are not inserted,
 // so probing performs the semi-join filter and the projection at once.
-// After Build completes the table is read-only and safe for concurrent
-// probes by all of a node's threads.
+//
+// The layout is an open-addressing table (power-of-two capacity, linear
+// probing) over flat arrays: keys and arena offsets live in parallel slices
+// and the aux values of all entries share one arena, auxWidth values per
+// entry. Compared to a Go map[int64][]Value this removes the per-entry
+// slice allocation, keeps probes on contiguous memory, and makes the
+// resident size directly measurable. After the build completes the table is
+// read-only and safe for concurrent probes by all of a node's threads.
 type DimHashTable struct {
 	Table string
-	m     map[int64][]records.Value
-	// MemBytes estimates the table's resident size for node memory
-	// accounting.
+
+	slots []dimSlot // power-of-two sized
+	// tags mirrors slots: 0 = empty, else 0x80 | top bits of the key hash.
+	// Probes scan tags first, so misses resolve on dense byte reads and
+	// slot cache lines are touched only on a tag match.
+	tags []uint8
+	// arena holds every entry's aux values back to back, auxWidth per
+	// entry. Probe returns a subslice, so entries are never copied out.
+	arena    []records.Value
+	auxWidth int
+	mask     uint64
+	n        int
+	growAt   int
+
+	// MemBytes is the table's resident size for node memory accounting,
+	// computed from the actual slot array and arena by finalize.
 	MemBytes int64
 }
 
+// dimSlot interleaves key and arena offset so a probe step touches one
+// cache line, not two parallel arrays.
+type dimSlot struct {
+	key int64
+	off int32
+}
+
+// Tag values: an occupied slot's tag always has the high bit set, so 0
+// unambiguously means empty (keys may legitimately be zero or negative,
+// which is why the sentinel lives outside the key array).
+const (
+	tagEmpty    = uint8(0)
+	tagOccupied = uint8(0x80)
+)
+
+// newDimHashTable returns an empty table sized for about sizeHint entries.
+func newDimHashTable(table string, auxWidth, sizeHint int) *DimHashTable {
+	h := &DimHashTable{Table: table, auxWidth: auxWidth}
+	capacity := 16
+	for capacity*7/10 < sizeHint {
+		capacity *= 2
+	}
+	h.alloc(capacity)
+	if auxWidth > 0 {
+		h.arena = make([]records.Value, 0, sizeHint*auxWidth)
+	}
+	return h
+}
+
+func (h *DimHashTable) alloc(capacity int) {
+	h.slots = make([]dimSlot, capacity)
+	h.tags = make([]uint8, capacity)
+	h.mask = uint64(capacity - 1)
+	h.growAt = capacity * 7 / 10
+}
+
+// mix64 is a splitmix64-style finalizer: full-avalanche, so sequential
+// dimension keys spread across the slot array instead of clustering.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // Len returns the number of qualifying dimension rows.
-func (h *DimHashTable) Len() int { return len(h.m) }
+func (h *DimHashTable) Len() int { return h.n }
 
 // Probe looks up a foreign key; aux is nil for dimensions with no
-// auxiliary columns.
+// auxiliary columns. The returned slice aliases the table's arena and must
+// not be modified.
 func (h *DimHashTable) Probe(fk int64) (aux []records.Value, ok bool) {
-	aux, ok = h.m[fk]
-	return aux, ok
+	tags := h.tags
+	// mask recomputed from len(tags) so the compiler can prove i&mask is
+	// in bounds and drop the bounds check in the loop.
+	mask := uint64(len(tags) - 1)
+	hv := mix64(uint64(fk))
+	tag := uint8(hv>>56) | tagOccupied
+	for i := hv & mask; ; i = (i + 1) & mask {
+		t := tags[i]
+		if t == tagEmpty {
+			return nil, false
+		}
+		if t != tag {
+			continue
+		}
+		if s := h.slots[i]; s.key == fk {
+			if h.auxWidth == 0 {
+				return nil, true
+			}
+			end := s.off + int32(h.auxWidth)
+			return h.arena[s.off:end:end], true
+		}
+	}
+}
+
+// insert adds one entry during the build. A duplicate key overwrites the
+// earlier aux values in place (last write wins, matching map semantics).
+func (h *DimHashTable) insert(k int64, aux []records.Value) {
+	if h.n >= h.growAt {
+		h.grow()
+	}
+	hv := mix64(uint64(k))
+	tag := uint8(hv>>56) | tagOccupied
+	for i := hv & h.mask; ; i = (i + 1) & h.mask {
+		if h.tags[i] == tagEmpty {
+			h.tags[i] = tag
+			s := &h.slots[i]
+			s.key = k
+			if h.auxWidth > 0 {
+				s.off = int32(len(h.arena))
+				h.arena = append(h.arena, aux...)
+			}
+			h.n++
+			return
+		}
+		if s := &h.slots[i]; h.tags[i] == tag && s.key == k {
+			if h.auxWidth > 0 {
+				copy(h.arena[s.off:s.off+int32(h.auxWidth)], aux)
+			}
+			return
+		}
+	}
+}
+
+// grow doubles the slot array and rehashes. Arena offsets are untouched —
+// only the key→slot mapping moves.
+func (h *DimHashTable) grow() {
+	oldSlots, oldTags := h.slots, h.tags
+	h.alloc(len(oldSlots) * 2)
+	for j, t := range oldTags {
+		if t == tagEmpty {
+			continue
+		}
+		i := mix64(uint64(oldSlots[j].key)) & h.mask
+		for h.tags[i] != tagEmpty {
+			i = (i + 1) & h.mask
+		}
+		h.tags[i] = t
+		h.slots[i] = oldSlots[j]
+	}
+}
+
+// finalize computes MemBytes from the actual backing arrays: the slot and
+// tag arrays plus the arena values, including string payloads.
+func (h *DimHashTable) finalize() {
+	h.MemBytes = int64(len(h.slots))*16 + int64(len(h.tags))
+	for i := range h.arena {
+		h.MemBytes += h.arena[i].MemSize()
+	}
 }
 
 // BuildDimHashTable builds the hash table for one dimension spec from the
@@ -63,7 +206,8 @@ func BuildDimHashTable(fs *hdfs.FileSystem, node *cluster.Node, dimDir string, s
 		auxIx[i] = schema.MustIndex(a)
 	}
 
-	h := &DimHashTable{Table: spec.Table, m: make(map[int64][]records.Value)}
+	h := newDimHashTable(spec.Table, len(auxIx), 64)
+	aux := make([]records.Value, len(auxIx))
 	pos := 0
 	for pos < len(data) {
 		rec, n, err := records.DecodeRecord(data[pos:], schema)
@@ -74,32 +218,38 @@ func BuildDimHashTable(fs *hdfs.FileSystem, node *cluster.Node, dimDir string, s
 		if pred != nil && !pred(rec) {
 			continue
 		}
-		var aux []records.Value
-		if len(auxIx) > 0 {
-			aux = make([]records.Value, len(auxIx))
-			for i, ix := range auxIx {
-				aux[i] = rec.At(ix)
-			}
+		for i, ix := range auxIx {
+			aux[i] = rec.At(ix)
 		}
-		h.m[rec.At(pkIx).Int64()] = aux
-		// Map entry ≈ key (8) + bucket overhead (~40) + aux values.
-		entry := int64(48)
-		for _, v := range aux {
-			entry += v.MemSize()
-		}
-		h.MemBytes += entry
+		h.insert(rec.At(pkIx).Int64(), aux)
 	}
+	h.finalize()
 	return h, nil
+}
+
+// dimTableCapacity returns the slot-array capacity the open-addressing
+// table ends up with after inserting n entries: the smallest power of two
+// (at least 16) whose 0.7 load threshold admits n. It must mirror
+// newDimHashTable/grow exactly, so size estimates match what builds
+// actually reserve.
+func dimTableCapacity(n int64) int64 {
+	c := int64(16)
+	for c*7/10 < n {
+		c *= 2
+	}
+	return c
 }
 
 // EstimateDimHashBytes computes the memory each of a query's dimension hash
 // tables would occupy (one entry per dimension, in query order), by
 // evaluating the dimension predicates over rows supplied by each(table).
-// The benchmark harness uses it (with the SSB generator as the row source,
-// so no I/O is charged) to calibrate the memory budgets that decide which
-// mapjoin plans OOM (§6.4): Clydesdale holds the *sum* resident per node,
-// while a mapjoin task holds one dimension at a time, so its constraint is
-// the *maximum*.
+// It mirrors the open-addressing layout exactly — slot and tag arrays at
+// the capacity the build ends with, plus the aux-value arena — so the
+// estimate equals the MemBytes a real build reserves. The benchmark
+// harness uses it (with the SSB generator as the row source, so no I/O is
+// charged) to size the Clydesdale residency constraint: a node holds the
+// *sum* of the query's tables (§6.4). Mapjoin budgets use the boxed-map
+// model in package hive instead.
 func EstimateDimHashBytes(q *Query, each func(table string, fn func(records.Record) error) error) ([]int64, error) {
 	out := make([]int64, len(q.Dims))
 	for i := range q.Dims {
@@ -116,20 +266,22 @@ func EstimateDimHashBytes(q *Query, each func(table string, fn func(records.Reco
 		for j, a := range spec.Aux {
 			auxIx[j] = spec.Schema.MustIndex(a)
 		}
+		var entries, auxBytes int64
 		err := each(spec.Table, func(rec records.Record) error {
 			if pred != nil && !pred(rec) {
 				return nil
 			}
-			entry := int64(48)
+			entries++
 			for _, ix := range auxIx {
-				entry += rec.At(ix).MemSize()
+				auxBytes += rec.At(ix).MemSize()
 			}
-			out[i] += entry
 			return nil
 		})
 		if err != nil {
 			return nil, err
 		}
+		// 16 bytes per slot + 1 tag byte, plus the arena.
+		out[i] = dimTableCapacity(entries)*17 + auxBytes
 	}
 	return out, nil
 }

@@ -1,0 +1,216 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"clydesdale/internal/records"
+)
+
+// TestDimHashTableMatchesMapOracle drives the open-addressing table and a
+// map[int64][]Value oracle with the same randomized insert stream —
+// duplicates, zero and negative keys included — then checks every present
+// key probes to the oracle's (last-written) aux values and absent keys miss.
+func TestDimHashTableMatchesMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := newDimHashTable("oracle", 2, 0) // sizeHint 0: force growth from min capacity
+	oracle := make(map[int64][]records.Value)
+
+	keyPool := make([]int64, 500)
+	for i := range keyPool {
+		switch i {
+		case 0:
+			keyPool[i] = 0
+		case 1:
+			keyPool[i] = -1
+		case 2:
+			keyPool[i] = -(1 << 40)
+		default:
+			keyPool[i] = rng.Int63n(1<<50) - (1 << 49)
+		}
+	}
+	for i := 0; i < 2000; i++ { // 4x pool size: plenty of duplicate overwrites
+		k := keyPool[rng.Intn(len(keyPool))]
+		aux := []records.Value{records.Int(int64(i)), records.Str(fmt.Sprintf("v%d", i))}
+		h.insert(k, aux)
+		oracle[k] = append([]records.Value(nil), aux...)
+	}
+	h.finalize()
+
+	if h.Len() != len(oracle) {
+		t.Fatalf("Len = %d, oracle has %d keys", h.Len(), len(oracle))
+	}
+	for k, want := range oracle {
+		aux, ok := h.Probe(k)
+		if !ok {
+			t.Fatalf("Probe(%d) missed, oracle has it", k)
+		}
+		if len(aux) != len(want) || aux[0].Int64() != want[0].Int64() || aux[1].Str() != want[1].Str() {
+			t.Fatalf("Probe(%d) = %v, want %v", k, aux, want)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		k := rng.Int63()
+		if _, present := oracle[k]; present {
+			continue
+		}
+		if _, ok := h.Probe(k); ok {
+			t.Fatalf("Probe(%d) hit, oracle lacks it", k)
+		}
+	}
+}
+
+// TestDimHashTableDenseSequentialKeys packs sequential keys to high load so
+// linear-probe clusters and tag collisions actually occur, and checks a
+// window around the key range for phantom hits.
+func TestDimHashTableDenseSequentialKeys(t *testing.T) {
+	const n = 10_000
+	h := newDimHashTable("dense", 0, n)
+	for i := int64(0); i < n; i++ {
+		h.insert(i, nil)
+	}
+	h.finalize()
+	for i := int64(-100); i < n+100; i++ {
+		_, ok := h.Probe(i)
+		if want := i >= 0 && i < n; ok != want {
+			t.Fatalf("Probe(%d) = %v, want %v", i, ok, want)
+		}
+	}
+}
+
+// TestDimHashTableNoAuxColumns covers the auxWidth-0 shape (dimensions used
+// purely as semi-join filters): Probe must report membership with nil aux.
+func TestDimHashTableNoAuxColumns(t *testing.T) {
+	h := newDimHashTable("noaux", 0, 4)
+	h.insert(42, nil)
+	h.finalize()
+	if aux, ok := h.Probe(42); !ok || aux != nil {
+		t.Fatalf("Probe(42) = (%v, %v), want (nil, true)", aux, ok)
+	}
+	if _, ok := h.Probe(43); ok {
+		t.Fatal("Probe(43) hit an empty neighborhood")
+	}
+	if h.MemBytes != int64(len(h.slots))*16+int64(len(h.tags)) {
+		t.Fatalf("MemBytes = %d with no arena, want slots+tags only", h.MemBytes)
+	}
+}
+
+// TestDimHashTableMemBytesMatchesEstimate checks the residency contract the
+// budget calibration depends on: a built table's MemBytes equals
+// dimTableCapacity(n)*17 plus the arena's value sizes, regardless of the
+// sizeHint it started from.
+func TestDimHashTableMemBytesMatchesEstimate(t *testing.T) {
+	for _, hint := range []int{0, 8, 1000} {
+		h := newDimHashTable("est", 1, hint)
+		var auxBytes int64
+		const n = 777
+		for i := int64(0); i < n; i++ {
+			v := records.Str(fmt.Sprintf("value-%d", i))
+			h.insert(i*31, []records.Value{v})
+			auxBytes += v.MemSize()
+		}
+		h.finalize()
+		want := dimTableCapacity(n)*17 + auxBytes
+		if h.MemBytes != want {
+			t.Fatalf("hint %d: MemBytes = %d, want %d", hint, h.MemBytes, want)
+		}
+		if int64(len(h.slots)) != dimTableCapacity(n) {
+			t.Fatalf("hint %d: capacity %d, want %d", hint, len(h.slots), dimTableCapacity(n))
+		}
+	}
+}
+
+// TestDimHashTableDuplicateOverwriteInPlace checks that overwriting a key
+// reuses its arena span instead of appending (the arena must not grow with
+// duplicate inserts, or MemBytes would charge dead values).
+func TestDimHashTableDuplicateOverwriteInPlace(t *testing.T) {
+	h := newDimHashTable("dup", 1, 4)
+	h.insert(5, []records.Value{records.Int(1)})
+	arenaLen := len(h.arena)
+	h.insert(5, []records.Value{records.Int(2)})
+	if len(h.arena) != arenaLen {
+		t.Fatalf("arena grew from %d to %d on duplicate insert", arenaLen, len(h.arena))
+	}
+	if aux, _ := h.Probe(5); aux[0].Int64() != 2 {
+		t.Fatalf("Probe(5) = %v after overwrite, want 2", aux[0])
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d after duplicate insert, want 1", h.Len())
+	}
+}
+
+// TestNodeTableGroupSingleflight spins many goroutines per node at once; the
+// build function must run exactly once per node and everyone must share the
+// winner's tables, with all but one caller reporting reuse.
+func TestNodeTableGroupSingleflight(t *testing.T) {
+	var g nodeTableGroup
+	var builds atomic.Int64
+	release := make(chan struct{})
+	const callers = 16
+
+	var wg sync.WaitGroup
+	results := make([][]*DimHashTable, callers)
+	reuses := make([]bool, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			hts, reused, err := g.do("node-1", func() ([]*DimHashTable, error) {
+				builds.Add(1)
+				<-release // hold the build so every other caller piles up
+				return []*DimHashTable{{Table: "d"}}, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = hts
+			reuses[i] = reused
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want 1", n)
+	}
+	reuseCount := 0
+	for i := range results {
+		if results[i][0] != results[0][0] {
+			t.Fatal("callers got different table instances")
+		}
+		if reuses[i] {
+			reuseCount++
+		}
+	}
+	if reuseCount != callers-1 {
+		t.Fatalf("%d callers reported reuse, want %d", reuseCount, callers-1)
+	}
+}
+
+// TestNodeTableGroupRetriesAfterError: a failed build must not be cached —
+// the next task on that node retries and can succeed.
+func TestNodeTableGroupRetriesAfterError(t *testing.T) {
+	var g nodeTableGroup
+	boom := errors.New("dim cache missing")
+	if _, _, err := g.do("node-1", func() ([]*DimHashTable, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	hts, reused, err := g.do("node-1", func() ([]*DimHashTable, error) {
+		return []*DimHashTable{{Table: "d"}}, nil
+	})
+	if err != nil || reused || hts[0].Table != "d" {
+		t.Fatalf("retry after error: hts=%v reused=%v err=%v", hts, reused, err)
+	}
+	// And a third call on the same node now shares the cached success.
+	hts2, reused2, err := g.do("node-1", func() ([]*DimHashTable, error) {
+		t.Fatal("build ran again despite cached success")
+		return nil, nil
+	})
+	if err != nil || !reused2 || hts2[0] != hts[0] {
+		t.Fatalf("cached success not shared: reused=%v err=%v", reused2, err)
+	}
+}

@@ -28,12 +28,18 @@ const (
 // reuses the node's dimension hash tables, unpacks its multi-split into one
 // reader per thread, and runs the probe phase over all of them, sharing the
 // single copy of the hash tables.
+//
+// One runner instance serves every task of the job (see Engine.Execute), so
+// the table group below is the per-job, per-node build cache — the Go
+// equivalent of the paper's JVM statics, minus the race two concurrent
+// tasks on one node would have hitting a load-then-store cache.
 type starJoinRunner struct {
 	eng        *Engine
 	q          *Query
 	factSchema *records.Schema // the projected fact schema the reader yields
 	groupSrcs  []groupSrc
 	gschema    *records.Schema
+	tables     nodeTableGroup
 }
 
 // groupSrc locates one group-by column inside a dimension's aux values.
@@ -64,31 +70,73 @@ func newStarJoinRunner(eng *Engine, q *Query, factSchema *records.Schema) (*star
 	}, nil
 }
 
+// nodeTableGroup deduplicates hash-table builds across the concurrently
+// running tasks of one job: per node, the first caller builds and every
+// other caller blocks until that build finishes, then shares the result.
+// Without this, two tasks launched together on one node both miss the
+// cache, build duplicate tables, and double-reserve node memory.
+type nodeTableGroup struct {
+	mu    sync.Mutex
+	calls map[string]*tableCall
+}
+
+type tableCall struct {
+	done chan struct{}
+	hts  []*DimHashTable
+	err  error
+}
+
+// do returns the node's tables, invoking build exactly once per node even
+// under concurrent callers; reused reports whether this caller shared a
+// winner's tables. A failed build is not cached — the next task retries it.
+func (g *nodeTableGroup) do(node string, build func() ([]*DimHashTable, error)) (hts []*DimHashTable, reused bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*tableCall)
+	}
+	if c, ok := g.calls[node]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.hts, c.err == nil, c.err
+	}
+	c := &tableCall{done: make(chan struct{})}
+	g.calls[node] = c
+	g.mu.Unlock()
+
+	c.hts, c.err = build()
+	if c.err != nil {
+		g.mu.Lock()
+		delete(g.calls, node)
+		g.mu.Unlock()
+	}
+	close(c.done)
+	return c.hts, false, c.err
+}
+
 // hashTables returns the node's hash tables, building them on first use.
-// With multi-threading enabled the tables live in the JVM's static store,
-// so consecutive tasks of the job on this node (JVM reuse) and all threads
-// of this task share one copy; with it disabled each task builds privately,
-// reproducing the Figure 9 ablation.
+// With multi-threading enabled the tables are shared per node across
+// consecutive and concurrent tasks of the job; with it disabled each task
+// builds privately, reproducing the Figure 9 ablation. Either way the
+// caller's task reserves the resident size, since the tables occupy node
+// memory while the task runs.
 func (r *starJoinRunner) hashTables(ctx *mr.TaskContext) ([]*DimHashTable, error) {
 	if !r.eng.feats.MultiThreaded {
-		return r.buildHashTables(ctx)
-	}
-	const key = "clydesdale/hashtables"
-	if v, ok := ctx.JVM().Statics.Load(key); ok {
-		ctx.Counters.Add(CtrHashReuses, 1)
-		hts := v.([]*DimHashTable)
-		// The resident tables still occupy node memory while this task runs.
-		if err := r.reserve(ctx, hts); err != nil {
+		hts, err := r.buildHashTables(ctx)
+		if err != nil {
 			return nil, err
 		}
-		return hts, nil
+		return hts, r.reserve(ctx, hts)
 	}
-	hts, err := r.buildHashTables(ctx)
+	hts, reused, err := r.tables.do(ctx.Node().ID(), func() ([]*DimHashTable, error) {
+		return r.buildHashTables(ctx)
+	})
 	if err != nil {
 		return nil, err
 	}
-	ctx.JVM().Statics.Store(key, hts)
-	return hts, nil
+	if reused {
+		ctx.Counters.Add(CtrHashReuses, 1)
+	}
+	return hts, r.reserve(ctx, hts)
 }
 
 func (r *starJoinRunner) buildHashTables(ctx *mr.TaskContext) ([]*DimHashTable, error) {
@@ -109,9 +157,6 @@ func (r *starJoinRunner) buildHashTables(ctx *mr.TaskContext) ([]*DimHashTable, 
 	}
 	ctx.Counters.Add(CtrHashBuildNanos, time.Since(start).Nanoseconds())
 	ctx.Span(obs.PhaseHashBuild, start, "tables", fmt.Sprint(len(hts)))
-	if err := r.reserve(ctx, hts); err != nil {
-		return nil, err
-	}
 	return hts, nil
 }
 
@@ -121,6 +166,77 @@ func (r *starJoinRunner) reserve(ctx *mr.TaskContext, hts []*DimHashTable) error
 		total += h.MemBytes
 	}
 	return ctx.ReserveMemory(total)
+}
+
+// probeScratch is one probe thread's reusable state: the per-row join
+// buffers, the boxed key/value records the legacy emit path hands to the
+// collector (safe to reuse — the map collector serializes immediately and
+// retains nothing), and the in-mapper aggregator when combining is on.
+type probeScratch struct {
+	auxRow  [][]records.Value
+	fkCols  [][]int64
+	keyVals []records.Value
+	keyRec  records.Record // wraps keyVals
+	valVals []records.Value
+	valRec  records.Record // wraps valVals
+	keyBuf  []byte
+	agg     *groupAgg
+}
+
+func (r *starJoinRunner) newScratch() *probeScratch {
+	sc := &probeScratch{
+		auxRow:  make([][]records.Value, len(r.q.Dims)),
+		fkCols:  make([][]int64, len(r.q.Dims)),
+		keyVals: make([]records.Value, len(r.groupSrcs)),
+		valVals: make([]records.Value, 1),
+	}
+	sc.keyRec = records.Make(r.gschema, sc.keyVals...)
+	sc.valRec = records.Make(aggValueSchema, sc.valVals...)
+	if r.eng.feats.InMapperCombining {
+		sc.agg = newGroupAgg()
+	}
+	return sc
+}
+
+// groupAgg is a per-thread in-mapper combiner for the algebraic sum
+// aggregate (legal precisely because partial sums merge associatively —
+// the job's combiner and reducer still run over the flushed partials).
+// Groups are keyed by encoded group-key bytes; SSB group-by cardinality is
+// tiny, so the map stays small while absorbing one update per joined row.
+type groupAgg struct {
+	idx  map[string]int
+	keys [][]byte
+	sums []float64
+}
+
+func newGroupAgg() *groupAgg { return &groupAgg{idx: make(map[string]int)} }
+
+// add folds one measure into the group for key (borrowed bytes; copied only
+// on first sight of the group).
+func (a *groupAgg) add(key []byte, measure float64) {
+	if i, ok := a.idx[string(key)]; ok { // no-alloc lookup
+		a.sums[i] += measure
+		return
+	}
+	kb := append([]byte(nil), key...)
+	a.idx[string(kb)] = len(a.sums)
+	a.keys = append(a.keys, kb)
+	a.sums = append(a.sums, measure)
+}
+
+// flush emits one (group, partial sum) record pair per accumulated group,
+// in first-seen order.
+func (a *groupAgg) flush(gschema *records.Schema, out mr.Collector) error {
+	for i, kb := range a.keys {
+		key, _, err := records.DecodeRecord(kb, gschema)
+		if err != nil {
+			return fmt.Errorf("core: decoding aggregated group key: %w", err)
+		}
+		if err := out.Collect(key, records.Make(aggValueSchema, records.Float(a.sums[i]))); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Run implements mr.MapRunner.
@@ -165,11 +281,17 @@ func (r *starJoinRunner) Run(ctx *mr.TaskContext, reader mr.RecordReader, out mr
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			sc := r.newScratch()
 			for rd := range queue {
-				if err := r.probe(ctx, rd, hts, order, out); err != nil {
+				if err := r.probe(ctx, rd, hts, order, sc, out); err != nil {
 					errs[i] = err
 					return
 				}
+			}
+			if sc.agg != nil {
+				// In-mapper combining: the boxed records exist only now,
+				// one pair per group instead of one per joined row.
+				errs[i] = sc.agg.flush(r.gschema, out)
 			}
 		}(i)
 	}
@@ -186,11 +308,11 @@ func (r *starJoinRunner) Run(ctx *mr.TaskContext, reader mr.RecordReader, out mr
 
 // probe drains one reader, choosing the block-iteration path when enabled
 // and available (§5.3).
-func (r *starJoinRunner) probe(ctx *mr.TaskContext, rd mr.RecordReader, hts []*DimHashTable, order []int, out mr.Collector) error {
+func (r *starJoinRunner) probe(ctx *mr.TaskContext, rd mr.RecordReader, hts []*DimHashTable, order []int, sc *probeScratch, out mr.Collector) error {
 	if br, ok := rd.(colstore.BlockReader); ok && r.eng.feats.BlockIteration {
-		return r.probeBlocks(ctx, br, hts, order, out)
+		return r.probeBlocks(ctx, br, hts, order, sc, out)
 	}
-	return r.probeRows(ctx, rd, hts, order, out)
+	return r.probeRows(ctx, rd, hts, order, sc, out)
 }
 
 // probeOrder returns the dimension visit order for the early-out probe:
@@ -211,12 +333,12 @@ func probeOrder(hts []*DimHashTable, selectiveFirst bool) []int {
 
 // probeBlocks is the B-CIF path: one reader call per block, tight loops
 // over typed column vectors, no per-row boxing before the join filter.
-func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReader, hts []*DimHashTable, order []int, out mr.Collector) error {
+func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReader, hts []*DimHashTable, order []int, sc *probeScratch, out mr.Collector) error {
 	var pred expr.BlockPred
 	var agg expr.BlockNum
 	var fkIdx []int
 	compiled := false
-	auxRow := make([][]records.Value, len(hts))
+	auxRow := sc.auxRow
 	var rows, emits int64
 
 	for {
@@ -251,7 +373,7 @@ func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReade
 			}
 			compiled = true
 		}
-		fkCols := make([][]int64, len(fkIdx))
+		fkCols := sc.fkCols
 		for i, ix := range fkIdx {
 			fkCols[i] = blk.Col(ix).Ints
 		}
@@ -270,7 +392,7 @@ func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReade
 				}
 				auxRow[d] = aux
 			}
-			if err := r.emit(out, auxRow, agg(blk, i)); err != nil {
+			if err := r.emit(sc, out, agg(blk, i)); err != nil {
 				return err
 			}
 			emits++
@@ -283,12 +405,12 @@ func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReade
 
 // probeRows is the row-at-a-time CIF path: one reader call and one boxed
 // record per row.
-func (r *starJoinRunner) probeRows(ctx *mr.TaskContext, rd mr.RecordReader, hts []*DimHashTable, order []int, out mr.Collector) error {
+func (r *starJoinRunner) probeRows(ctx *mr.TaskContext, rd mr.RecordReader, hts []*DimHashTable, order []int, sc *probeScratch, out mr.Collector) error {
 	var pred expr.RowPred
 	var agg expr.RowNum
 	var fkIdx []int
 	compiled := false
-	auxRow := make([][]records.Value, len(hts))
+	auxRow := sc.auxRow
 	var rows, emits int64
 
 rowLoop:
@@ -335,7 +457,7 @@ rowLoop:
 			}
 			auxRow[d] = aux
 		}
-		if err := r.emit(out, auxRow, agg(rec)); err != nil {
+		if err := r.emit(sc, out, agg(rec)); err != nil {
 			return err
 		}
 		emits++
@@ -345,15 +467,21 @@ rowLoop:
 	return nil
 }
 
-// emit constructs the group key from the joined aux values and collects
-// (key, measure).
-func (r *starJoinRunner) emit(out mr.Collector, auxRow [][]records.Value, measure float64) error {
-	keyVals := make([]records.Value, len(r.groupSrcs))
+// emit gathers the group key from the joined aux values and either folds
+// the measure into the thread's aggregator (in-mapper combining) or
+// collects a (key, measure) pair through the reusable scratch records —
+// both paths allocation-free per row.
+func (r *starJoinRunner) emit(sc *probeScratch, out mr.Collector, measure float64) error {
 	for gi, src := range r.groupSrcs {
-		keyVals[gi] = auxRow[src.dim][src.aux]
+		sc.keyVals[gi] = sc.auxRow[src.dim][src.aux]
 	}
-	key := records.Make(r.gschema, keyVals...)
-	return out.Collect(key, records.Make(aggValueSchema, records.Float(measure)))
+	if sc.agg != nil {
+		sc.keyBuf = records.AppendRecord(sc.keyBuf[:0], sc.keyRec)
+		sc.agg.add(sc.keyBuf, measure)
+		return nil
+	}
+	sc.valVals[0] = records.Float(measure)
+	return out.Collect(sc.keyRec, sc.valRec)
 }
 
 // aggValueSchema is the map-output value: one partial aggregate.

@@ -173,6 +173,10 @@ func (e *Engine) runStagedJoinPass(q *Query, spec *DimSpec, inDir string, inSche
 	}
 	eng := e
 	specCopy := *spec
+	// One table group per pass: all of the pass's mappers share it, so each
+	// node builds this dimension's table once even when tasks run
+	// concurrently.
+	group := &nodeTableGroup{}
 
 	cfg := e.mr.Cluster().Config()
 	conf := mr.NewJobConf()
@@ -190,7 +194,7 @@ func (e *Engine) runStagedJoinPass(q *Query, spec *DimSpec, inDir string, inSche
 		Output: &colstore.RowOutput{Dir: outDir, Schema: outSchema},
 		NewMapper: func() mr.Mapper {
 			return &stagedJoinMapper{
-				eng: eng, spec: &specCopy, dimDir: dimDir,
+				eng: eng, spec: &specCopy, dimDir: dimDir, group: group,
 				factPred: factPred, fkIdx: fkIdx, carryIdx: carryIdx, outSchema: outSchema,
 			}
 		},
@@ -204,6 +208,7 @@ type stagedJoinMapper struct {
 	eng       *Engine
 	spec      *DimSpec
 	dimDir    string
+	group     *nodeTableGroup
 	factPred  expr.RowPred
 	fkIdx     int
 	carryIdx  []int
@@ -213,32 +218,42 @@ type stagedJoinMapper struct {
 }
 
 // Setup implements mr.Mapper: fetch or build the node's shared table for
-// this single dimension (JVM statics + one task per node, as in the main
-// path).
+// this single dimension. The pass-wide table group guarantees one build per
+// node even for concurrently launched tasks, as in the main path.
 func (m *stagedJoinMapper) Setup(ctx *mr.TaskContext) error {
-	key := "clydesdale/staged/" + m.spec.Table
-	if m.eng.feats.MultiThreaded {
-		if v, ok := ctx.JVM().Statics.Load(key); ok {
-			ctx.Counters.Add(CtrHashReuses, 1)
-			m.hash = v.(*DimHashTable)
-			return ctx.ReserveMemory(m.hash.MemBytes)
+	build := func() (*DimHashTable, error) {
+		start := time.Now()
+		h, err := BuildDimHashTable(ctx.FS, ctx.Node(), m.dimDir, m.spec)
+		if err != nil {
+			return nil, err
 		}
+		ctx.Counters.Add(CtrHashTablesBuilt, 1)
+		ctx.Counters.Add(CtrHashBuildNanos, time.Since(start).Nanoseconds())
+		return h, nil
 	}
-	start := time.Now()
-	h, err := BuildDimHashTable(ctx.FS, ctx.Node(), m.dimDir, m.spec)
+	if !m.eng.feats.MultiThreaded {
+		h, err := build()
+		if err != nil {
+			return err
+		}
+		m.hash = h
+		return ctx.ReserveMemory(h.MemBytes)
+	}
+	hts, reused, err := m.group.do(ctx.Node().ID(), func() ([]*DimHashTable, error) {
+		h, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return []*DimHashTable{h}, nil
+	})
 	if err != nil {
 		return err
 	}
-	ctx.Counters.Add(CtrHashTablesBuilt, 1)
-	ctx.Counters.Add(CtrHashBuildNanos, time.Since(start).Nanoseconds())
-	if err := ctx.ReserveMemory(h.MemBytes); err != nil {
-		return err
+	if reused {
+		ctx.Counters.Add(CtrHashReuses, 1)
 	}
-	if m.eng.feats.MultiThreaded {
-		ctx.JVM().Statics.Store(key, h)
-	}
-	m.hash = h
-	return nil
+	m.hash = hts[0]
+	return ctx.ReserveMemory(m.hash.MemBytes)
 }
 
 // Map implements mr.Mapper.

@@ -178,3 +178,45 @@ func (m *mapJoinMapper) Map(_, v records.Record, out mr.Collector) error {
 
 // Cleanup implements mr.Mapper.
 func (m *mapJoinMapper) Cleanup(mr.Collector) error { return nil }
+
+// EstimateMapJoinHashBytes computes the memory one deserialized mapjoin
+// hash-table copy occupies per query dimension (in query order), by
+// evaluating the dimension predicates over rows supplied by each(table).
+// The model is the boxed map mapJoinMapper.Setup builds — ~48 bytes of map
+// entry overhead plus the aux values per row — and must mirror Setup's
+// accounting, since the benchmark harness calibrates the §6.4 OOM budgets
+// from it: each mapjoin task holds one dimension at a time, so its
+// constraint is the *maximum* dimension.
+func EstimateMapJoinHashBytes(q *core.Query, each func(table string, fn func(records.Record) error) error) ([]int64, error) {
+	out := make([]int64, len(q.Dims))
+	for i := range q.Dims {
+		spec := &q.Dims[i]
+		var pred expr.RowPred
+		if spec.Pred != nil {
+			p, err := expr.CompilePred(spec.Pred, spec.Schema)
+			if err != nil {
+				return nil, err
+			}
+			pred = p
+		}
+		auxIx := make([]int, len(spec.Aux))
+		for j, a := range spec.Aux {
+			auxIx[j] = spec.Schema.MustIndex(a)
+		}
+		err := each(spec.Table, func(rec records.Record) error {
+			if pred != nil && !pred(rec) {
+				return nil
+			}
+			entry := int64(48)
+			for _, ix := range auxIx {
+				entry += rec.At(ix).MemSize()
+			}
+			out[i] += entry
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"sort"
@@ -69,12 +70,32 @@ func (e *Engine) Metrics() *obs.Registry { return e.opts.Metrics }
 // SetMetrics attaches a metrics registry. Call between jobs, not during one.
 func (e *Engine) SetMetrics(r *obs.Registry) { e.opts.Metrics = r }
 
-// kvEntry is one serialized map-output pair. The key stays decoded for
-// sorting; size accounts for the serialized key+value bytes.
+// kvEntry is one serialized map-output pair. Both key and value are wire
+// bytes: the sort and the grouping compare key bytes directly (the codec is
+// deterministic, so equal keys have identical encodings) and the key is
+// decoded once per group, not once per comparison. seq preserves emit order
+// among equal keys, standing in for a stable sort.
 type kvEntry struct {
-	key  records.Record
-	val  []byte
-	size int
+	key []byte
+	val []byte
+	seq uint64
+}
+
+// kvByKey sorts entries by raw key bytes with emit order breaking ties. The
+// byte order differs from records.Record.Compare order (varints are not
+// order-preserving), which is fine: reducers only need equal keys adjacent,
+// and the driver applies any user-visible ordering itself. The one caveat:
+// float keys whose Compare treats distinct bit patterns as equal (NaN, ±0.0)
+// encode differently and would land in separate groups.
+type kvByKey []kvEntry
+
+func (s kvByKey) Len() int { return len(s) }
+func (s kvByKey) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s kvByKey) Less(i, j int) bool {
+	if c := bytes.Compare(s[i].key, s[j].key); c != 0 {
+		return c < 0
+	}
+	return s[i].seq < s[j].seq
 }
 
 // mapOutput is the spilled, sorted, combined output of one map task,
@@ -87,7 +108,7 @@ type mapOutput struct {
 func (mo *mapOutput) partBytes(p int) int64 {
 	var n int64
 	for _, e := range mo.parts[p] {
-		n += int64(e.size)
+		n += int64(len(e.key) + len(e.val))
 	}
 	return n
 }
@@ -699,11 +720,15 @@ func (c *writerCollector) Collect(k, v records.Record) error {
 }
 
 // mapCollector partitions and buffers map output, then sorts and combines.
+// Collect serializes immediately and retains no records, so mappers and map
+// runners may reuse key/value records (and their backing value slices)
+// across Collect calls.
 type mapCollector struct {
 	mu          sync.Mutex
 	parts       [][]kvEntry
 	partitioner Partitioner
 	counters    *Counters
+	seq         uint64
 }
 
 func newMapCollector(numParts int, p Partitioner, c *Counters) *mapCollector {
@@ -720,7 +745,8 @@ func (c *mapCollector) Collect(k, v records.Record) error {
 		return fmt.Errorf("mr: partitioner returned %d of %d", p, len(c.parts))
 	}
 	c.mu.Lock()
-	c.parts[p] = append(c.parts[p], kvEntry{key: k, val: vb, size: len(kb) + len(vb)})
+	c.seq++
+	c.parts[p] = append(c.parts[p], kvEntry{key: kb, val: vb, seq: c.seq})
 	c.mu.Unlock()
 	c.counters.Add(CtrMapOutputRecords, 1)
 	c.counters.Add(CtrMapOutputBytes, int64(len(kb)+len(vb)))
@@ -731,9 +757,7 @@ func (c *mapCollector) Collect(k, v records.Record) error {
 func (c *mapCollector) finish(ctx *TaskContext, job *Job) (*mapOutput, error) {
 	out := &mapOutput{node: ctx.node.ID(), parts: make([][]kvEntry, len(c.parts))}
 	for p, entries := range c.parts {
-		sort.SliceStable(entries, func(i, j int) bool {
-			return entries[i].key.Compare(entries[j].key) < 0
-		})
+		sort.Sort(kvByKey(entries))
 		if job.NewCombiner != nil && len(entries) > 0 {
 			combined, err := runCombiner(ctx, job, entries)
 			if err != nil {
@@ -752,10 +776,9 @@ func runCombiner(ctx *TaskContext, job *Job, entries []kvEntry) ([]kvEntry, erro
 	if err := comb.Setup(ctx); err != nil {
 		return nil, err
 	}
-	sink := &entrySink{valueSchema: job.ValueSchema}
+	sink := &entrySink{}
 	ctx.Counters.Add(CtrCombineInput, int64(len(entries)))
-	if err := forEachGroup(entries, job.ValueSchema, func(key records.Record, vals Values) error {
-		sink.key = key
+	if err := forEachGroup(entries, job.KeySchema, job.ValueSchema, func(key records.Record, vals Values) error {
 		return comb.Reduce(key, vals, sink)
 	}); err != nil {
 		return nil, err
@@ -767,37 +790,37 @@ func runCombiner(ctx *TaskContext, job *Job, entries []kvEntry) ([]kvEntry, erro
 	// Combiner output for a sorted input with grouped keys is still sorted
 	// as long as the combiner emits one pair per group in order, which the
 	// grouping loop guarantees; re-sort defensively anyway.
-	sort.SliceStable(sink.out, func(i, j int) bool {
-		return sink.out[i].key.Compare(sink.out[j].key) < 0
-	})
+	sort.Sort(kvByKey(sink.out))
 	return sink.out, nil
 }
 
 // entrySink collects combiner output back into entries.
 type entrySink struct {
-	key         records.Record
-	valueSchema *records.Schema
-	out         []kvEntry
+	out []kvEntry
 }
 
 func (s *entrySink) Collect(k, v records.Record) error {
-	kb := k.Encode()
-	vb := v.Encode()
-	s.out = append(s.out, kvEntry{key: k, val: vb, size: len(kb) + len(vb)})
+	s.out = append(s.out, kvEntry{key: k.Encode(), val: v.Encode(), seq: uint64(len(s.out))})
 	return nil
 }
 
 // forEachGroup walks sorted entries and invokes fn once per distinct key
-// with an iterator over that key's values.
-func forEachGroup(entries []kvEntry, valueSchema *records.Schema, fn func(key records.Record, vals Values) error) error {
+// with an iterator over that key's values. Keys group by byte equality and
+// are decoded once per group against keySchema (nil yields a positional
+// record, matching jobs that set no KeySchema).
+func forEachGroup(entries []kvEntry, keySchema, valueSchema *records.Schema, fn func(key records.Record, vals Values) error) error {
 	i := 0
 	for i < len(entries) {
 		j := i + 1
-		for j < len(entries) && entries[j].key.Compare(entries[i].key) == 0 {
+		for j < len(entries) && bytes.Equal(entries[j].key, entries[i].key) {
 			j++
 		}
+		key, _, err := records.DecodeRecord(entries[i].key, keySchema)
+		if err != nil {
+			return fmt.Errorf("mr: decoding group key: %w", err)
+		}
 		it := &sliceValues{entries: entries[i:j], schema: valueSchema}
-		if err := fn(entries[i].key, it); err != nil {
+		if err := fn(key, it); err != nil {
 			return err
 		}
 		if it.err != nil {

@@ -1,11 +1,17 @@
-# Standard developer checks. `make check` is the gate used before sending
-# changes: vet, a full build, and the test suite under the race detector.
+# Standard developer checks. `make check` (the default goal) is the gate
+# used before sending changes: formatting, vet, a full build, and the
+# concurrency-heavy packages (serve, core, mr) under the race detector.
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke clean
+.PHONY: check fmt vet build test race race-concurrency bench bench-smoke clean
 
-check: vet build race
+check: fmt vet build race-concurrency
+
+# Fail if any file is not gofmt-clean, listing the offenders.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -18,6 +24,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The serving layer, engine and MapReduce runtime are where the shared
+# mutable state lives (table cache, admission queue, scheduler); their tests
+# run under -race on every check.
+race-concurrency:
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/mr/...
 
 # Probe-path regression guard (see DESIGN.md "Probe hot path"): the table
 # probe/build microbenchmarks and the per-row emit benchmark, with allocation

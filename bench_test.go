@@ -7,6 +7,7 @@
 package clydesdale_bench
 
 import (
+	"context"
 	"os"
 	"sync"
 	"testing"
@@ -212,32 +213,32 @@ func benchQuery(b *testing.B, engine func(q *ssb.Query) error, name string) {
 // BenchmarkClydesdaleQ21 measures one Clydesdale execution of Q2.1.
 func BenchmarkClydesdaleQ21(b *testing.B) {
 	env := sharedEnv(b)
-	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.cly.Execute(q); return err }, "Q2.1")
+	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.cly.Execute(context.Background(), q); return err }, "Q2.1")
 }
 
 // BenchmarkClydesdaleQ31 measures Q3.1 (three dims with a big customer
 // hash).
 func BenchmarkClydesdaleQ31(b *testing.B) {
 	env := sharedEnv(b)
-	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.cly.Execute(q); return err }, "Q3.1")
+	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.cly.Execute(context.Background(), q); return err }, "Q3.1")
 }
 
 // BenchmarkClydesdaleQ43 measures Q4.3 (all four dims).
 func BenchmarkClydesdaleQ43(b *testing.B) {
 	env := sharedEnv(b)
-	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.cly.Execute(q); return err }, "Q4.3")
+	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.cly.Execute(context.Background(), q); return err }, "Q4.3")
 }
 
 // BenchmarkHiveMapjoinQ21 measures the mapjoin plan on Q2.1.
 func BenchmarkHiveMapjoinQ21(b *testing.B) {
 	env := sharedEnv(b)
-	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.mapj.Execute(q); return err }, "Q2.1")
+	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.mapj.Execute(context.Background(), q); return err }, "Q2.1")
 }
 
 // BenchmarkHiveRepartitionQ21 measures the repartition plan on Q2.1.
 func BenchmarkHiveRepartitionQ21(b *testing.B) {
 	env := sharedEnv(b)
-	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.repart.Execute(q); return err }, "Q2.1")
+	benchQuery(b, func(q *ssb.Query) error { _, _, err := env.repart.Execute(context.Background(), q); return err }, "Q2.1")
 }
 
 // ---------------------------------------------------------------------
@@ -438,7 +439,7 @@ func BenchmarkShuffleWordCount(b *testing.B) {
 			KeySchema:      wordSchema,
 			ValueSchema:    one,
 		}
-		if _, err := engine.Submit(job); err != nil {
+		if _, err := engine.Submit(context.Background(), job); err != nil {
 			b.Fatal(err)
 		}
 		if len(out.Pairs()) != 5 {
@@ -469,7 +470,7 @@ func benchProbeOrder(b *testing.B, selectiveFirst bool) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eng.Execute(q); err != nil {
+		if _, _, err := eng.Execute(context.Background(), q); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -487,14 +488,14 @@ func BenchmarkStagedVsSingleJob(b *testing.B) {
 	}
 	b.Run("single-job", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := eng.Execute(q); err != nil {
+			if _, _, err := eng.Execute(context.Background(), q); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("staged", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := eng.ExecuteStaged(q); err != nil {
+			if _, _, err := eng.ExecuteStaged(context.Background(), q); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -10,12 +10,15 @@
 //	clydesdale -query Q2.1 -timeline                  # per-node span timeline
 //	clydesdale -query Q2.1 -trace spans.jsonl         # export spans as JSONL
 //	clydesdale -query Q2.1 -json result.json          # job result as JSON
+//	clydesdale -query all -serve -concurrency 8       # concurrent serving mode
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"clydesdale/internal/cluster"
@@ -23,6 +26,8 @@ import (
 	"clydesdale/internal/hdfs"
 	"clydesdale/internal/mr"
 	"clydesdale/internal/obs"
+	"clydesdale/internal/results"
+	"clydesdale/internal/serve"
 	"clydesdale/internal/sql"
 	"clydesdale/internal/ssb"
 )
@@ -43,6 +48,8 @@ func main() {
 		tracePath = flag.String("trace", "", "write spans of every query run to this JSONL file")
 		timeline  = flag.Bool("timeline", false, "print a per-node span timeline after each query")
 		jsonPath  = flag.String("json", "", "write the last query's job result as JSON to this file ('-' for stdout)")
+		serveMode = flag.Bool("serve", false, "run the queries concurrently through a serving session (shared table cache + admission control)")
+		conc      = flag.Int("concurrency", 4, "serving mode: max queries executing simultaneously")
 	)
 	flag.Parse()
 
@@ -88,7 +95,7 @@ func main() {
 	fs.Observe(tracer, metrics)
 
 	mreng := mr.NewEngine(c, fs, mr.Options{Tracer: tracer, Metrics: metrics})
-	eng := core.New(mreng, lay.Catalog(), core.Options{Features: &feats})
+	eng := core.New(mreng, lay.Catalog(), core.Options{Features: feats})
 
 	queries := ssb.Queries()
 	switch {
@@ -107,13 +114,18 @@ func main() {
 		queries = []*ssb.Query{q}
 	}
 
+	if *serveMode {
+		runServe(mreng, lay.Catalog(), feats, queries, *conc, *rowsMax)
+		return
+	}
+
 	var lastJob *mr.JobResult
 	for _, q := range queries {
 		fmt.Printf("\n== %s\n", q)
 		if memSink != nil {
 			memSink.Reset()
 		}
-		rs, rep, err := eng.Execute(q)
+		rs, rep, err := eng.Execute(context.Background(), q)
 		if err != nil {
 			fatal(err)
 		}
@@ -169,6 +181,70 @@ func main() {
 		if err := lastJob.WriteJSON(w); err != nil {
 			fatal(err)
 		}
+	}
+}
+
+// runServe pushes every query through one serving session at the given
+// concurrency, so later queries probe the dimension tables earlier ones
+// built, then prints per-query summaries and the session's cache and
+// admission statistics.
+func runServe(mreng *mr.Engine, cat *core.Catalog, feats core.Features, queries []*ssb.Query, conc, rowsMax int) {
+	sess := serve.New(mreng, cat, serve.Options{
+		Engine:        core.Options{Features: feats},
+		MaxConcurrent: conc,
+	})
+	fmt.Printf("\nserving %d queries (max %d concurrent)...\n", len(queries), conc)
+	type outcome struct {
+		rs    *results.ResultSet
+		rep   *core.Report
+		err   error
+		total time.Duration
+	}
+	outs := make([]outcome, len(queries))
+	var wg sync.WaitGroup
+	wallStart := time.Now()
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q *ssb.Query) {
+			defer wg.Done()
+			start := time.Now()
+			rs, rep, err := sess.Query(context.Background(), q)
+			outs[i] = outcome{rs: rs, rep: rep, err: err, total: time.Since(start)}
+		}(i, q)
+	}
+	wg.Wait()
+	wall := time.Since(wallStart)
+
+	for i, q := range queries {
+		o := outs[i]
+		if o.err != nil {
+			fatal(fmt.Errorf("%s: %w", q.Name, o.err))
+		}
+		fmt.Printf("\n== %s\n", q)
+		printed := 0
+		fmt.Println(header(o.rs.Schema.Names()))
+		for _, r := range o.rs.Rows {
+			if printed >= rowsMax {
+				fmt.Printf("... (%d more rows)\n", len(o.rs.Rows)-printed)
+				break
+			}
+			fmt.Println(r)
+			printed++
+		}
+		ctr := o.rep.Job.Counters
+		fmt.Printf("-- %s in %v (wall %v): %d map tasks, %d hash builds, %d probe rows\n",
+			q.Name, o.rep.Total.Round(time.Millisecond), o.total.Round(time.Millisecond),
+			ctr.Get(mr.CtrMapTasks), ctr.Get(core.CtrHashTablesBuilt), ctr.Get(core.CtrProbeRows))
+	}
+
+	st := sess.Stats()
+	fmt.Printf("\n-- serving session: %d queries in %v wall\n", len(queries), wall.Round(time.Millisecond))
+	fmt.Printf("   table cache: %d builds, %d hits, %d misses, %d evictions, %d bytes resident\n",
+		st.Builds, st.Hits, st.Misses, st.Evictions, st.ResidentBytes)
+	fmt.Printf("   admission:   %d admitted, %d rejected, peak %d concurrent\n",
+		st.Admitted, st.Rejected, st.PeakConcurrent)
+	if err := sess.Close(); err != nil {
+		fatal(err)
 	}
 }
 

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -75,7 +76,7 @@ func main() {
 
 	for _, q := range queries {
 		fmt.Printf("\n== %s (%s plan)\n", q, strat)
-		rs, rep, err := eng.Execute(q)
+		rs, rep, err := eng.Execute(context.Background(), q)
 		if err != nil {
 			fmt.Printf("-- %s FAILED: %v\n", q.Name, err)
 			continue

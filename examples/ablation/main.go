@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -56,10 +57,10 @@ func main() {
 		"configuration", "time", "vs full", "bytes read", "hash builds", "map tasks")
 	for i, cfgCase := range configs {
 		feats := cfgCase.feats
-		eng := core.New(engine, lay.Catalog(), core.Options{Features: &feats})
+		eng := core.New(engine, lay.Catalog(), core.Options{Features: feats})
 
 		before := fs.Metrics().Snapshot()
-		_, rep, err := eng.Execute(q)
+		_, rep, err := eng.Execute(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

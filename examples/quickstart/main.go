@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -96,7 +97,7 @@ func main() {
 		GroupBy: []string{"name"},
 		OrderBy: []core.OrderKey{{Col: "name"}},
 	}
-	rs, report, err := engine.Execute(q)
+	rs, report, err := engine.Execute(context.Background(), q)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -120,14 +121,14 @@ func main() {
 
 	for _, q := range queries {
 		fmt.Printf("\n== %s\n", q.Name)
-		rs, crep, err := cly.Execute(q)
+		rs, crep, err := cly.Execute(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, row := range rs.Rows {
 			fmt.Println("  ", row)
 		}
-		hrs, hrep, err := hv.Execute(q)
+		hrs, hrep, err := hv.Execute(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

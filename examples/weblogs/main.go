@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -98,7 +99,7 @@ func main() {
 	}
 
 	run := func(label string) {
-		rs, rep, err := engine.Execute(q)
+		rs, rep, err := engine.Execute(context.Background(), q)
 		if err != nil {
 			log.Fatal(err)
 		}

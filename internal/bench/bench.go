@@ -282,7 +282,7 @@ func (h *Harness) setupCluster(profile string, relaxMemory bool) (*Env, error) {
 }
 
 // Clydesdale builds a Clydesdale engine over the env.
-func (e *Env) Clydesdale(feats *core.Features) *core.Engine {
+func (e *Env) Clydesdale(feats core.Features) *core.Engine {
 	return core.New(e.MR, e.Layout.Catalog(), core.Options{Features: feats})
 }
 

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -67,7 +68,7 @@ func (h *Harness) RunBreakdown(queryName string, w io.Writer) (*BreakdownResult,
 	env.MR.SetTracer(obs.NewTracer(sink))
 
 	before := env.FS.Metrics().Snapshot()
-	_, crep, err := env.Clydesdale(nil).Execute(q)
+	_, crep, err := env.Clydesdale(core.DefaultFeatures()).Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}
@@ -88,7 +89,7 @@ func (h *Harness) RunBreakdown(queryName string, w io.Writer) (*BreakdownResult,
 	}
 	out.ClyBytesRead = (after.LocalBytesRead + after.RemoteBytesRead) - (before.LocalBytesRead + before.RemoteBytesRead)
 
-	if _, mrep, err := env.Hive(hive.MapJoin).Execute(q); err != nil {
+	if _, mrep, err := env.Hive(hive.MapJoin).Execute(context.Background(), q); err != nil {
 		out.MapjoinOOM = true
 	} else {
 		out.MapjoinTotal = mrep.Total
@@ -99,7 +100,7 @@ func (h *Harness) RunBreakdown(queryName string, w io.Writer) (*BreakdownResult,
 		out.MapjoinInterRows = mrep.Counters.Get(hive.CtrIntermediateRows)
 	}
 
-	_, rrep, err := env.Hive(hive.Repartition).Execute(q)
+	_, rrep, err := env.Hive(hive.Repartition).Execute(context.Background(), q)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -74,7 +75,7 @@ func (h *Harness) RunFigure(profile string, w io.Writer) (*FigureResult, error) 
 	}
 	out := &FigureResult{Figure: fig, Cluster: profile}
 
-	cly := env.Clydesdale(nil)
+	cly := env.Clydesdale(core.DefaultFeatures())
 	rep := env.Hive(hive.Repartition)
 	mj := env.Hive(hive.MapJoin)
 
@@ -83,7 +84,7 @@ func (h *Harness) RunFigure(profile string, w io.Writer) (*FigureResult, error) 
 		row := QueryRow{Query: q.Name}
 
 		t, err := h.medianTime(func() (time.Duration, error) {
-			_, rep, err := cly.Execute(q)
+			_, rep, err := cly.Execute(context.Background(), q)
 			if err != nil {
 				return 0, err
 			}
@@ -95,7 +96,7 @@ func (h *Harness) RunFigure(profile string, w io.Writer) (*FigureResult, error) 
 		row.Clydesdale = t
 
 		t, err = h.medianTime(func() (time.Duration, error) {
-			_, rep, err := rep.Execute(q)
+			_, rep, err := rep.Execute(context.Background(), q)
 			if err != nil {
 				return 0, err
 			}
@@ -107,7 +108,7 @@ func (h *Harness) RunFigure(profile string, w io.Writer) (*FigureResult, error) 
 		row.HiveRepartition = t
 
 		t, err = h.medianTime(func() (time.Duration, error) {
-			_, rep, err := mj.Execute(q)
+			_, rep, err := mj.Execute(context.Background(), q)
 			if err != nil {
 				return 0, err
 			}
@@ -206,11 +207,11 @@ func (h *Harness) RunFigure9(w io.Writer) (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	full := env.Clydesdale(nil)
-	noBlock := env.Clydesdale(&core.Features{ColumnarStorage: true, BlockIteration: false, MultiThreaded: true, InMapperCombining: true})
-	noCol := env.Clydesdale(&core.Features{ColumnarStorage: false, BlockIteration: true, MultiThreaded: true, InMapperCombining: true})
-	noMT := env.Clydesdale(&core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: false, InMapperCombining: true})
-	noIMC := env.Clydesdale(&core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: false})
+	full := env.Clydesdale(core.DefaultFeatures())
+	noBlock := env.Clydesdale(core.Features{ColumnarStorage: true, BlockIteration: false, MultiThreaded: true, InMapperCombining: true})
+	noCol := env.Clydesdale(core.Features{ColumnarStorage: false, BlockIteration: true, MultiThreaded: true, InMapperCombining: true})
+	noMT := env.Clydesdale(core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: false, InMapperCombining: true})
+	noIMC := env.Clydesdale(core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: false})
 
 	out := &AblationResult{}
 	for _, q := range ssb.Queries() {
@@ -251,7 +252,7 @@ func (h *Harness) RunFigure9(w io.Writer) (*AblationResult, error) {
 
 func (h *Harness) timeQuery(e *core.Engine, q *core.Query) (time.Duration, error) {
 	return h.medianTime(func() (time.Duration, error) {
-		_, rep, err := e.Execute(q)
+		_, rep, err := e.Execute(context.Background(), q)
 		if err != nil {
 			return 0, err
 		}

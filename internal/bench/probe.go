@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -90,10 +91,10 @@ func RunProbeBench(factRows int64, workers int, seed uint64, w io.Writer) (*Prob
 			"Query", "total_ns", "probe_ns", "build_ns", "rows", "emits", "ns/row")
 	}
 	for _, q := range ssb.Queries() {
-		if _, _, err := eng.Execute(q); err != nil { // warm-up
+		if _, _, err := eng.Execute(context.Background(), q); err != nil { // warm-up
 			return nil, fmt.Errorf("bench: probe warm-up %s: %w", q.Name, err)
 		}
-		_, rep, err := eng.Execute(q)
+		_, rep, err := eng.Execute(context.Background(), q)
 		if err != nil {
 			return nil, fmt.Errorf("bench: probe %s: %w", q.Name, err)
 		}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -64,7 +65,7 @@ func (h *Harness) RunTable1(profile string, fileMB int64, w io.Writer) (*DFSIORe
 			return &dfsioWriteMapper{size: size}
 		},
 	}
-	if _, err := env.MR.Submit(writeJob); err != nil {
+	if _, err := env.MR.Submit(context.Background(), writeJob); err != nil {
 		return nil, fmt.Errorf("bench: dfsio write: %w", err)
 	}
 
@@ -78,7 +79,7 @@ func (h *Harness) RunTable1(profile string, fileMB int64, w io.Writer) (*DFSIORe
 			return &dfsioReadMapper{size: size}
 		},
 	}
-	if _, err := env.MR.Submit(readJob); err != nil {
+	if _, err := env.MR.Submit(context.Background(), readJob); err != nil {
 		return nil, fmt.Errorf("bench: dfsio read: %w", err)
 	}
 

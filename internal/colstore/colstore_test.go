@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -63,7 +64,7 @@ func scanAll(t *testing.T, e *env, input mr.InputFormat, conf *mr.JobConf) []rec
 			})
 		},
 	}
-	if _, err := e.engine.Submit(job); err != nil {
+	if _, err := e.engine.Submit(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	var rows []records.Record
@@ -449,7 +450,7 @@ func TestRowOutputFormat(t *testing.T) {
 			})
 		},
 	}
-	if _, err := e.engine.Submit(job); err != nil {
+	if _, err := e.engine.Submit(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	rows := scanAll(t, e, &RowInput{Dir: "/dst"}, nil)

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"clydesdale/internal/cluster"
@@ -44,7 +45,7 @@ func TestAllQueriesMatchReference(t *testing.T) {
 	e := newEnv(t, 3, 0.002)
 	eng := e.engine(core.Options{})
 	for _, q := range ssb.Queries() {
-		rs, rep, err := eng.Execute(q)
+		rs, rep, err := eng.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s: %v", q.Name, err)
 		}
@@ -79,12 +80,12 @@ func TestAblationConfigsAgree(t *testing.T) {
 		"no-block":     {ColumnarStorage: true, BlockIteration: false, MultiThreaded: true},
 		"no-columnar":  {ColumnarStorage: false, BlockIteration: true, MultiThreaded: true},
 		"no-threading": {ColumnarStorage: true, BlockIteration: true, MultiThreaded: false},
-		"none":         {},
+		"none":         core.NoFeatures(),
 	}
 	for name, f := range configs {
 		feats := f
-		eng := e.engine(core.Options{Features: &feats})
-		rs, _, err := eng.Execute(q)
+		eng := e.engine(core.Options{Features: feats})
+		rs, _, err := eng.Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -102,7 +103,7 @@ func TestHashTablesBuiltOncePerNode(t *testing.T) {
 	q, _ := ssb.QueryByName("Q3.1")
 
 	eng := e.engine(core.Options{})
-	_, rep, err := eng.Execute(q)
+	_, rep, err := eng.Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestHashTablesBuiltOncePerNode(t *testing.T) {
 
 	// Without multi-threading every map task builds privately.
 	feats := core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: false}
-	_, rep2, err := e.engine(core.Options{Features: &feats}).Execute(q)
+	_, rep2, err := e.engine(core.Options{Features: feats}).Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,8 +142,8 @@ func TestColumnarPruningReadsFewerBytes(t *testing.T) {
 
 	readDelta := func(feats core.Features) int64 {
 		before := e.fs.Metrics().Snapshot()
-		eng := e.engine(core.Options{Features: &feats})
-		if _, _, err := eng.Execute(q); err != nil {
+		eng := e.engine(core.Options{Features: feats})
+		if _, _, err := eng.Execute(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}
 		after := e.fs.Metrics().Snapshot()
@@ -159,7 +160,7 @@ func TestColumnarPruningReadsFewerBytes(t *testing.T) {
 func TestMultiThreadedRunsOneTaskPerNode(t *testing.T) {
 	e := newEnv(t, 3, 0.002)
 	q, _ := ssb.QueryByName("Q2.1")
-	_, rep, err := e.engine(core.Options{}).Execute(q)
+	_, rep, err := e.engine(core.Options{}).Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +211,7 @@ func TestDimCache(t *testing.T) {
 	}
 	e.cluster.Node("node-1").Revive()
 	q, _ := ssb.QueryByName("Q1.2")
-	rs, _, err := e.engine(core.Options{}).Execute(q)
+	rs, _, err := e.engine(core.Options{}).Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestDimCache(t *testing.T) {
 func TestMemoryReservedDuringQuery(t *testing.T) {
 	e := newEnv(t, 2, 0.002)
 	q, _ := ssb.QueryByName("Q4.1")
-	if _, _, err := e.engine(core.Options{}).Execute(q); err != nil {
+	if _, _, err := e.engine(core.Options{}).Execute(context.Background(), q); err != nil {
 		t.Fatal(err)
 	}
 	for _, n := range e.cluster.Nodes() {
@@ -246,7 +247,7 @@ func TestQueryOOMWhenHashTablesExceedNode(t *testing.T) {
 	}
 	eng := core.New(mr.NewEngine(c, fs, mr.Options{}), lay.Catalog(), core.Options{})
 	q, _ := ssb.QueryByName("Q3.1") // large-ish customer hash
-	if _, _, err := eng.Execute(q); err == nil {
+	if _, _, err := eng.Execute(context.Background(), q); err == nil {
 		t.Error("expected OOM with a 2 KB node budget")
 	}
 }
@@ -278,7 +279,7 @@ func TestValidationErrors(t *testing.T) {
 	e := newEnv(t, 1, 0.002)
 	eng := e.engine(core.Options{})
 	bad := &core.Query{Name: "no-agg"}
-	if _, _, err := eng.Execute(bad); err == nil {
+	if _, _, err := eng.Execute(context.Background(), bad); err == nil {
 		t.Error("expected validation error")
 	}
 }
@@ -292,11 +293,11 @@ func TestProbeOrderOptionAgrees(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		base, _, err := e.engine(core.Options{}).Execute(query)
+		base, _, err := e.engine(core.Options{}).Execute(context.Background(), query)
 		if err != nil {
 			t.Fatal(err)
 		}
-		reord, _, err := e.engine(core.Options{ProbeMostSelectiveFirst: true}).Execute(query)
+		reord, _, err := e.engine(core.Options{ProbeMostSelectiveFirst: true}).Execute(context.Background(), query)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -316,7 +317,7 @@ func TestCombinerShrinksShuffle(t *testing.T) {
 	e := newEnv(t, 2, 0.005)
 	q, _ := ssb.QueryByName("Q1.1") // grand aggregate: every task combines to one pair
 	feats := core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: false}
-	_, rep, err := e.engine(core.Options{Features: &feats}).Execute(q)
+	_, rep, err := e.engine(core.Options{Features: feats}).Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,11 +351,11 @@ func TestInMapperCombiningShrinksMapOutput(t *testing.T) {
 		}
 		on := core.AllFeatures()
 		off := core.Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: false}
-		rsOn, repOn, err := e.engine(core.Options{Features: &on}).Execute(q)
+		rsOn, repOn, err := e.engine(core.Options{Features: on}).Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s combining on: %v", name, err)
 		}
-		rsOff, repOff, err := e.engine(core.Options{Features: &off}).Execute(q)
+		rsOff, repOff, err := e.engine(core.Options{Features: off}).Execute(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s combining off: %v", name, err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -12,6 +13,12 @@ import (
 	"clydesdale/internal/records"
 	"clydesdale/internal/results"
 )
+
+// ErrOOM marks a query that failed because dimension hash tables (or task
+// state) exceeded the node memory budget; check with errors.Is. It aliases
+// cluster.ErrOutOfMemory, so errors surfaced straight from the cluster
+// match too.
+var ErrOOM = cluster.ErrOutOfMemory
 
 // Features toggles the techniques §6.5 ablates. All on is Clydesdale
 // proper.
@@ -34,17 +41,66 @@ type Features struct {
 	// proportionally); off emits per joined row and leaves all map-side
 	// aggregation to the combiner.
 	InMapperCombining bool
+
+	// explicit distinguishes a deliberately constructed Features value from
+	// the zero value: NoFeatures() sets it, so "everything off" survives the
+	// Options normalization that maps the plain zero value to defaults.
+	explicit bool
+}
+
+// DefaultFeatures returns the full Clydesdale configuration (every
+// technique on). This is what a zero Options.Features resolves to.
+func DefaultFeatures() Features {
+	return Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: true, explicit: true}
 }
 
 // AllFeatures returns the full Clydesdale configuration.
-func AllFeatures() Features {
-	return Features{ColumnarStorage: true, BlockIteration: true, MultiThreaded: true, InMapperCombining: true}
+//
+// Deprecated: use DefaultFeatures.
+func AllFeatures() Features { return DefaultFeatures() }
+
+// NoFeatures returns the everything-off ablation baseline. It is NOT the
+// zero value: a zero Options.Features means "defaults", so the all-off
+// configuration must be requested explicitly.
+func NoFeatures() Features { return Features{explicit: true} }
+
+// Mode selects the execution strategy Run uses.
+type Mode int
+
+const (
+	// ModeAuto runs the single-pass plan and falls back to the staged plan
+	// when the dimension tables exceed node memory (§5.1). The default.
+	ModeAuto Mode = iota
+	// ModeSinglePass always runs the one-job star join.
+	ModeSinglePass
+	// ModeStaged always runs one join pass per dimension.
+	ModeStaged
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSinglePass:
+		return "single-pass"
+	case ModeStaged:
+		return "staged"
+	default:
+		return "auto"
+	}
 }
 
 // Options configures the engine.
 type Options struct {
-	// Features selects the ablation configuration; zero value means all on.
-	Features *Features
+	// Features selects the ablation configuration. The zero value means all
+	// techniques on (DefaultFeatures); use NoFeatures() for the all-off
+	// baseline.
+	Features Features
+	// Mode selects the plan Run executes; zero value is ModeAuto.
+	Mode Mode
+	// Tables, when non-nil, supplies the dimension hash tables for the
+	// single-pass plan instead of per-job builds — the hook a serving layer
+	// uses to share tables across queries. The provider owns node memory
+	// accounting and build instrumentation for the tables it hands out.
+	Tables TableProvider
 	// Reducers is the grouped-aggregation parallelism; <= 0 uses one per
 	// worker node (the paper's one reduce slot per node).
 	Reducers int
@@ -72,9 +128,9 @@ type Engine struct {
 
 // New creates an engine over a MapReduce engine and a catalog.
 func New(mrEngine *mr.Engine, cat *Catalog, opts Options) *Engine {
-	feats := AllFeatures()
-	if opts.Features != nil {
-		feats = *opts.Features
+	feats := opts.Features
+	if feats == (Features{}) {
+		feats = DefaultFeatures()
 	}
 	if opts.Reducers <= 0 {
 		opts.Reducers = len(mrEngine.Cluster().Nodes())
@@ -97,11 +153,58 @@ type Report struct {
 	Job      *mr.JobResult
 	Total    time.Duration
 	SortTime time.Duration
+	// Staged reports whether the staged (one pass per dimension) plan ran,
+	// either by explicit ModeStaged or by ModeAuto's OOM fallback.
+	Staged bool
 }
 
-// Execute runs the query: one MapReduce job for the join + aggregation,
-// then the driver-side final sort (Figure 4 line 33).
-func (e *Engine) Execute(q *Query) (*results.ResultSet, *Report, error) {
+// Run executes the query under the engine's configured Options.Mode: the
+// single-pass star join, the staged per-dimension plan, or (the default)
+// single-pass with automatic staged fallback on memory exhaustion. ctx
+// cancels the query; the error then matches the context cause and
+// mr.ErrCanceled.
+func (e *Engine) Run(ctx context.Context, q *Query) (*results.ResultSet, *Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	switch e.opts.Mode {
+	case ModeSinglePass:
+		return e.executeSinglePass(ctx, q)
+	case ModeStaged:
+		return e.executeStaged(ctx, q)
+	default:
+		rs, rep, err := e.executeSinglePass(ctx, q)
+		if err == nil || !errors.Is(err, ErrOOM) || ctx.Err() != nil {
+			return rs, rep, err
+		}
+		return e.executeStaged(ctx, q)
+	}
+}
+
+// Execute runs the single-pass plan regardless of Options.Mode.
+//
+// Deprecated: use Run with Options.Mode set to ModeSinglePass.
+func (e *Engine) Execute(ctx context.Context, q *Query) (*results.ResultSet, *Report, error) {
+	return e.executeSinglePass(ctx, q)
+}
+
+// ExecuteAuto runs the single-pass plan with staged fallback on OOM,
+// regardless of Options.Mode; the bool reports whether the fallback ran.
+//
+// Deprecated: use Run with Options.Mode set to ModeAuto (the zero value)
+// and read Report.Staged.
+func (e *Engine) ExecuteAuto(ctx context.Context, q *Query) (*results.ResultSet, *Report, bool, error) {
+	rs, rep, err := e.executeSinglePass(ctx, q)
+	if err == nil || !errors.Is(err, ErrOOM) || ctx.Err() != nil {
+		return rs, rep, false, err
+	}
+	rs, rep, err = e.executeStaged(ctx, q)
+	return rs, rep, true, err
+}
+
+// executeSinglePass runs the query: one MapReduce job for the join +
+// aggregation, then the driver-side final sort (Figure 4 line 33).
+func (e *Engine) executeSinglePass(ctx context.Context, q *Query) (*results.ResultSet, *Report, error) {
 	start := time.Now()
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
@@ -155,7 +258,7 @@ func (e *Engine) Execute(q *Query) (*results.ResultSet, *Report, error) {
 		ValueSchema:    aggValueSchema,
 	}
 
-	res, err := e.mr.Submit(job)
+	res, err := e.mr.Submit(ctx, job)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s: %w", q.Name, err)
 	}
@@ -207,6 +310,3 @@ func (e *Engine) collect(q *Query, out *mr.MemoryOutput) *results.ResultSet {
 	}
 	return rs
 }
-
-// isOOM reports whether err is a node/task memory exhaustion.
-func isOOM(err error) bool { return errors.Is(err, cluster.ErrOutOfMemory) }

@@ -34,6 +34,19 @@ type DimSpec struct {
 	Aux []string
 }
 
+// Fingerprint identifies the hash table this spec builds over a given
+// dimension directory: the join key, the build-time predicate, and the
+// projected aux columns. Two specs with equal fingerprints over the same
+// directory produce byte-identical tables, so a cross-query cache may share
+// one build between them.
+func (d *DimSpec) Fingerprint() string {
+	p := "TRUE"
+	if d.Pred != nil {
+		p = d.Pred.String()
+	}
+	return d.DimPK + "|" + p + "|" + strings.Join(d.Aux, ",")
+}
+
 // OrderKey is one ORDER BY term; Col may name a group-by column or the
 // aggregate output.
 type OrderKey struct {

@@ -113,30 +113,68 @@ func (g *nodeTableGroup) do(node string, build func() ([]*DimHashTable, error)) 
 	return c.hts, false, c.err
 }
 
-// hashTables returns the node's hash tables, building them on first use.
-// With multi-threading enabled the tables are shared per node across
-// consecutive and concurrent tasks of the job; with it disabled each task
-// builds privately, reproducing the Figure 9 ablation. Either way the
-// caller's task reserves the resident size, since the tables occupy node
-// memory while the task runs.
-func (r *starJoinRunner) hashTables(ctx *mr.TaskContext) ([]*DimHashTable, error) {
+// TableProvider supplies ready-to-probe dimension hash tables, decoupling
+// table lifetime from job lifetime: a serving layer implements it to keep
+// tables resident across queries. The provider owns the node memory
+// reservation and the build instrumentation (counters, hash-build spans)
+// for every table it hands out; release unpins the table and must be called
+// exactly once when the task stops probing it.
+type TableProvider interface {
+	AcquireDimTable(ctx *mr.TaskContext, dimDir string, spec *DimSpec) (ht *DimHashTable, release func(), err error)
+}
+
+// hashTables returns the node's hash tables, building them on first use,
+// plus a release the caller runs when probing ends. With a TableProvider
+// configured the tables come from (and are accounted by) the provider;
+// otherwise, with multi-threading enabled the tables are shared per node
+// across consecutive and concurrent tasks of the job, and with it disabled
+// each task builds privately, reproducing the Figure 9 ablation. In the
+// provider-less paths the caller's task reserves the resident size (the
+// release is then a no-op: the reservation falls with the task).
+func (r *starJoinRunner) hashTables(ctx *mr.TaskContext) ([]*DimHashTable, func(), error) {
+	noop := func() {}
+	if p := r.eng.opts.Tables; p != nil {
+		hts := make([]*DimHashTable, len(r.q.Dims))
+		releases := make([]func(), 0, len(r.q.Dims))
+		releaseAll := func() {
+			for _, rel := range releases {
+				rel()
+			}
+		}
+		for i := range r.q.Dims {
+			spec := &r.q.Dims[i]
+			dir, err := r.eng.cat.DimDir(spec.Table)
+			if err != nil {
+				releaseAll()
+				return nil, nil, err
+			}
+			ht, rel, err := p.AcquireDimTable(ctx, dir, spec)
+			if err != nil {
+				releaseAll()
+				return nil, nil, err
+			}
+			hts[i] = ht
+			releases = append(releases, rel)
+		}
+		return hts, releaseAll, nil
+	}
 	if !r.eng.feats.MultiThreaded {
 		hts, err := r.buildHashTables(ctx)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return hts, r.reserve(ctx, hts)
+		return hts, noop, r.reserve(ctx, hts)
 	}
 	hts, reused, err := r.tables.do(ctx.Node().ID(), func() ([]*DimHashTable, error) {
 		return r.buildHashTables(ctx)
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if reused {
 		ctx.Counters.Add(CtrHashReuses, 1)
 	}
-	return hts, r.reserve(ctx, hts)
+	return hts, noop, r.reserve(ctx, hts)
 }
 
 func (r *starJoinRunner) buildHashTables(ctx *mr.TaskContext) ([]*DimHashTable, error) {
@@ -241,10 +279,11 @@ func (a *groupAgg) flush(gschema *records.Schema, out mr.Collector) error {
 
 // Run implements mr.MapRunner.
 func (r *starJoinRunner) Run(ctx *mr.TaskContext, reader mr.RecordReader, out mr.Collector) error {
-	hts, err := r.hashTables(ctx)
+	hts, release, err := r.hashTables(ctx)
 	if err != nil {
 		return err
 	}
+	defer release()
 
 	readers := []mr.RecordReader{reader}
 	if multi, ok := reader.(mr.MultiReader); ok && r.eng.feats.MultiThreaded {
@@ -342,6 +381,9 @@ func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReade
 	var rows, emits int64
 
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		blk, ok, err := br.NextBlock()
 		if err != nil {
 			return err
@@ -415,6 +457,11 @@ func (r *starJoinRunner) probeRows(ctx *mr.TaskContext, rd mr.RecordReader, hts 
 
 rowLoop:
 	for {
+		if rows%1024 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		_, rec, ok, err := rd.Next()
 		if err != nil {
 			return err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -27,8 +28,15 @@ import (
 
 var stagedSeq atomic.Int64
 
-// ExecuteStaged runs the query with one join pass per dimension.
-func (e *Engine) ExecuteStaged(q *Query) (*results.ResultSet, *Report, error) {
+// ExecuteStaged runs the staged plan regardless of Options.Mode.
+//
+// Deprecated: use Run with Options.Mode set to ModeStaged.
+func (e *Engine) ExecuteStaged(ctx context.Context, q *Query) (*results.ResultSet, *Report, error) {
+	return e.executeStaged(ctx, q)
+}
+
+// executeStaged runs the query with one join pass per dimension.
+func (e *Engine) executeStaged(ctx context.Context, q *Query) (*results.ResultSet, *Report, error) {
 	start := time.Now()
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
@@ -54,7 +62,7 @@ func (e *Engine) ExecuteStaged(q *Query) (*results.ResultSet, *Report, error) {
 	}
 
 	agg := mr.NewCounters()
-	report := &Report{Query: q.Name}
+	report := &Report{Query: q.Name, Staged: true}
 	var curDir string // "" means the fact table
 
 	for i := range q.Dims {
@@ -62,7 +70,7 @@ func (e *Engine) ExecuteStaged(q *Query) (*results.ResultSet, *Report, error) {
 		outSchema := stagedOutSchema(curSchema, spec, i == 0, factPredCols, measures, q, i)
 		outDir := fmt.Sprintf("%s/pass-%d", tmp, i+1)
 
-		res, err := e.runStagedJoinPass(q, spec, curDir, curSchema, outDir, outSchema, i == 0)
+		res, err := e.runStagedJoinPass(ctx, q, spec, curDir, curSchema, outDir, outSchema, i == 0)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: %s staged pass %d (%s): %w", q.Name, i+1, spec.Table, err)
 		}
@@ -70,7 +78,7 @@ func (e *Engine) ExecuteStaged(q *Query) (*results.ResultSet, *Report, error) {
 		curDir, curSchema = outDir, outSchema
 	}
 
-	rs, res, err := e.runStagedAggregation(q, curDir, curSchema)
+	rs, res, err := e.runStagedAggregation(ctx, q, curDir, curSchema)
 	if err != nil {
 		return nil, nil, fmt.Errorf("core: %s staged aggregation: %w", q.Name, err)
 	}
@@ -138,7 +146,7 @@ func predOnlyColumn(col string, factPredCols, measures []string, q *Query, stage
 
 // runStagedJoinPass joins the current intermediate (or the fact table) with
 // one dimension as a map-only job.
-func (e *Engine) runStagedJoinPass(q *Query, spec *DimSpec, inDir string, inSchema *records.Schema, outDir string, outSchema *records.Schema, firstPass bool) (*mr.JobResult, error) {
+func (e *Engine) runStagedJoinPass(ctx context.Context, q *Query, spec *DimSpec, inDir string, inSchema *records.Schema, outDir string, outSchema *records.Schema, firstPass bool) (*mr.JobResult, error) {
 	var input mr.InputFormat
 	if inDir == "" {
 		cols := inSchema.Names()
@@ -200,7 +208,7 @@ func (e *Engine) runStagedJoinPass(q *Query, spec *DimSpec, inDir string, inSche
 		},
 		NumReduceTasks: 0,
 	}
-	return e.mr.Submit(job)
+	return e.mr.Submit(ctx, job)
 }
 
 // stagedJoinMapper probes one per-node shared dimension hash table.
@@ -277,7 +285,7 @@ func (m *stagedJoinMapper) Map(_, v records.Record, out mr.Collector) error {
 func (m *stagedJoinMapper) Cleanup(mr.Collector) error { return nil }
 
 // runStagedAggregation sums the measure grouped by the group-by columns.
-func (e *Engine) runStagedAggregation(q *Query, inDir string, inSchema *records.Schema) (*results.ResultSet, *mr.JobResult, error) {
+func (e *Engine) runStagedAggregation(ctx context.Context, q *Query, inDir string, inSchema *records.Schema) (*results.ResultSet, *mr.JobResult, error) {
 	aggFn, err := expr.CompileNum(q.AggExpr, inSchema)
 	if err != nil {
 		return nil, nil, err
@@ -317,24 +325,9 @@ func (e *Engine) runStagedAggregation(q *Query, inDir string, inSchema *records.
 		KeySchema:      gschema,
 		ValueSchema:    aggValueSchema,
 	}
-	res, err := e.mr.Submit(job)
+	res, err := e.mr.Submit(ctx, job)
 	if err != nil {
 		return nil, nil, err
 	}
 	return e.collect(q, out), res, nil
-}
-
-// ExecuteAuto runs the single-job plan and, if it fails because the
-// dimension hash tables exceed the node memory budget, falls back to the
-// staged plan (§5.1). The report notes which path ran.
-func (e *Engine) ExecuteAuto(q *Query) (*results.ResultSet, *Report, bool, error) {
-	rs, rep, err := e.Execute(q)
-	if err == nil {
-		return rs, rep, false, nil
-	}
-	if !isOOM(err) {
-		return nil, nil, false, err
-	}
-	rs, rep, err = e.ExecuteStaged(q)
-	return rs, rep, true, err
 }

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"testing"
 
 	"clydesdale/internal/cluster"
@@ -19,7 +20,7 @@ func TestStagedMatchesReference(t *testing.T) {
 	e := newEnv(t, 3, 0.002)
 	eng := e.engine(core.Options{})
 	for _, q := range ssb.Queries() {
-		rs, rep, err := eng.ExecuteStaged(q)
+		rs, rep, err := eng.ExecuteStaged(context.Background(), q)
 		if err != nil {
 			t.Fatalf("%s: %v", q.Name, err)
 		}
@@ -72,12 +73,12 @@ func TestStagedSurvivesTightMemory(t *testing.T) {
 	eng := core.New(mr.NewEngine(c, fs, mr.Options{}), lay.Catalog(), core.Options{})
 
 	// Single-job plan must OOM.
-	if _, _, err := eng.Execute(q); err == nil {
+	if _, _, err := eng.Execute(context.Background(), q); err == nil {
 		t.Fatal("expected single-job OOM under tight budget")
 	}
 
 	// Staged plan completes with correct answers.
-	rs, _, err := eng.ExecuteStaged(q)
+	rs, _, err := eng.ExecuteStaged(context.Background(), q)
 	if err != nil {
 		t.Fatalf("staged: %v", err)
 	}
@@ -87,7 +88,7 @@ func TestStagedSurvivesTightMemory(t *testing.T) {
 	}
 
 	// ExecuteAuto picks the staged path automatically.
-	rs2, _, staged, err := eng.ExecuteAuto(q)
+	rs2, _, staged, err := eng.ExecuteAuto(context.Background(), q)
 	if err != nil {
 		t.Fatalf("auto: %v", err)
 	}
@@ -115,7 +116,7 @@ func TestExecuteAutoPrefersSinglePass(t *testing.T) {
 	e := newEnv(t, 2, 0.002)
 	eng := e.engine(core.Options{})
 	q, _ := ssb.QueryByName("Q2.1")
-	_, _, staged, err := eng.ExecuteAuto(q)
+	_, _, staged, err := eng.ExecuteAuto(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +131,7 @@ func TestExecuteAutoPropagatesNonOOM(t *testing.T) {
 	e := newEnv(t, 1, 0.002)
 	eng := e.engine(core.Options{})
 	bad := &core.Query{Name: "bad"} // fails validation, not OOM
-	if _, _, _, err := eng.ExecuteAuto(bad); err == nil {
+	if _, _, _, err := eng.ExecuteAuto(context.Background(), bad); err == nil {
 		t.Error("expected validation error")
 	}
 }

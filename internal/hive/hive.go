@@ -21,6 +21,7 @@
 package hive
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -105,7 +106,7 @@ type Report struct {
 }
 
 // Execute runs the staged plan and returns the ordered result.
-func (e *Engine) Execute(q *core.Query) (*results.ResultSet, *Report, error) {
+func (e *Engine) Execute(ctx context.Context, q *core.Query) (*results.ResultSet, *Report, error) {
 	start := time.Now()
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
@@ -123,9 +124,9 @@ func (e *Engine) Execute(q *core.Query) (*results.ResultSet, *Report, error) {
 		stStart := time.Now()
 		var res *mr.JobResult
 		if e.opts.Strategy == MapJoin {
-			res, err = e.runMapJoinStage(q, plan, st, cur)
+			res, err = e.runMapJoinStage(ctx, q, plan, st, cur)
 		} else {
-			res, err = e.runRepartitionStage(q, plan, st, cur)
+			res, err = e.runRepartitionStage(ctx, q, plan, st, cur)
 		}
 		if err != nil {
 			return nil, report, fmt.Errorf("hive: %s stage %d (%s): %w", q.Name, i+1, st.dim.Table, err)
@@ -140,7 +141,7 @@ func (e *Engine) Execute(q *core.Query) (*results.ResultSet, *Report, error) {
 
 	// Group-by stage.
 	gbStart := time.Now()
-	gbOut, gbRes, err := e.runGroupByStage(q, plan, cur)
+	gbOut, gbRes, err := e.runGroupByStage(ctx, q, plan, cur)
 	if err != nil {
 		return nil, report, fmt.Errorf("hive: %s group-by: %w", q.Name, err)
 	}
@@ -157,7 +158,7 @@ func (e *Engine) Execute(q *core.Query) (*results.ResultSet, *Report, error) {
 	// to the collected rows.
 	if len(q.OrderBy) > 0 {
 		obStart := time.Now()
-		obRes, err := e.runOrderByStage(q, plan, rs)
+		obRes, err := e.runOrderByStage(ctx, q, plan, rs)
 		if err != nil {
 			return nil, report, fmt.Errorf("hive: %s order-by: %w", q.Name, err)
 		}

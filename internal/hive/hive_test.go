@@ -1,6 +1,7 @@
 package hive_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -46,7 +47,7 @@ func TestAllQueriesMatchReference(t *testing.T) {
 	for _, strategy := range []hive.JoinStrategy{hive.Repartition, hive.MapJoin} {
 		eng := e.engine(strategy)
 		for _, q := range ssb.Queries() {
-			rs, rep, err := eng.Execute(q)
+			rs, rep, err := eng.Execute(context.Background(), q)
 			if err != nil {
 				t.Fatalf("%s/%s: %v", strategy, q.Name, err)
 			}
@@ -76,7 +77,7 @@ func TestAllQueriesMatchReference(t *testing.T) {
 func TestMapJoinLoadsHashPerTask(t *testing.T) {
 	e := newEnv(t, 2, 0.001)
 	q, _ := ssb.QueryByName("Q2.1")
-	_, rep, err := e.engine(hive.MapJoin).Execute(q)
+	_, rep, err := e.engine(hive.MapJoin).Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,11 +103,11 @@ func TestRepartitionShufflesBothTables(t *testing.T) {
 	e := newEnv(t, 2, 0.001)
 	q, _ := ssb.QueryByName("Q1.1")
 
-	_, repRep, err := e.engine(hive.Repartition).Execute(q)
+	_, repRep, err := e.engine(hive.Repartition).Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, repMap, err := e.engine(hive.MapJoin).Execute(q)
+	_, repMap, err := e.engine(hive.MapJoin).Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,13 +147,13 @@ func TestMapJoinOOMOnConstrainedCluster(t *testing.T) {
 
 	// Mapjoin: each map task needs oneCopy within allowance budget/slots →
 	// OOM.
-	_, _, err = hive.New(eng, lay.RCCatalog(), hive.Options{Strategy: hive.MapJoin}).Execute(q)
+	_, _, err = hive.New(eng, lay.RCCatalog(), hive.Options{Strategy: hive.MapJoin}).Execute(context.Background(), q)
 	if !errors.Is(err, cluster.ErrOutOfMemory) {
 		t.Errorf("mapjoin: expected OOM, got %v", err)
 	}
 
 	// Repartition succeeds (no big hash tables).
-	rs, _, err := hive.New(eng, lay.RCCatalog(), hive.Options{Strategy: hive.Repartition}).Execute(q)
+	rs, _, err := hive.New(eng, lay.RCCatalog(), hive.Options{Strategy: hive.Repartition}).Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("repartition: %v", err)
 	}
@@ -162,7 +163,7 @@ func TestMapJoinOOMOnConstrainedCluster(t *testing.T) {
 	}
 
 	// Clydesdale succeeds: one shared copy per node fits.
-	crs, _, err := core.New(eng, lay.Catalog(), core.Options{}).Execute(q)
+	crs, _, err := core.New(eng, lay.Catalog(), core.Options{}).Execute(context.Background(), q)
 	if err != nil {
 		t.Fatalf("clydesdale: %v", err)
 	}
@@ -178,7 +179,7 @@ func TestIntermediateResultsRoundTripHDFS(t *testing.T) {
 	e := newEnv(t, 2, 0.001)
 	q, _ := ssb.QueryByName("Q2.1")
 	before := e.fs.Metrics().Snapshot()
-	_, rep, err := e.engine(hive.MapJoin).Execute(q)
+	_, rep, err := e.engine(hive.MapJoin).Execute(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package hive
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -20,7 +21,7 @@ import (
 // phase.
 
 // runMapJoinStage executes one broadcast join stage.
-func (e *Engine) runMapJoinStage(q *core.Query, p *plan, st *joinStage, in stageInput) (*mr.JobResult, error) {
+func (e *Engine) runMapJoinStage(ctx context.Context, q *core.Query, p *plan, st *joinStage, in stageInput) (*mr.JobResult, error) {
 	bigInput, err := e.bigSideInput(in)
 	if err != nil {
 		return nil, err
@@ -101,7 +102,7 @@ func (e *Engine) runMapJoinStage(q *core.Query, p *plan, st *joinStage, in stage
 		},
 		NumReduceTasks: 0,
 	}
-	res, err := e.mr.Submit(job)
+	res, err := e.mr.Submit(ctx, job)
 	if err != nil {
 		return nil, err
 	}

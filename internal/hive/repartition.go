@@ -1,6 +1,7 @@
 package hive
 
 import (
+	"context"
 	"fmt"
 
 	"clydesdale/internal/colstore"
@@ -78,7 +79,7 @@ func (r *taggedReader) Close() error { return r.inner.Close() }
 var joinKeySchema = records.NewSchema(records.F("k", records.KindInt64))
 
 // runRepartitionStage executes one repartition join stage.
-func (e *Engine) runRepartitionStage(q *core.Query, p *plan, st *joinStage, in stageInput) (*mr.JobResult, error) {
+func (e *Engine) runRepartitionStage(ctx context.Context, q *core.Query, p *plan, st *joinStage, in stageInput) (*mr.JobResult, error) {
 	bigInput, err := e.bigSideInput(in)
 	if err != nil {
 		return nil, err
@@ -179,7 +180,7 @@ func (e *Engine) runRepartitionStage(q *core.Query, p *plan, st *joinStage, in s
 		NumReduceTasks: e.opts.Reducers,
 		KeySchema:      joinKeySchema,
 	}
-	res, err := e.mr.Submit(job)
+	res, err := e.mr.Submit(ctx, job)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package hive
 
 import (
+	"context"
 	"fmt"
 
 	"clydesdale/internal/colstore"
@@ -15,7 +16,7 @@ import (
 // (group key, measure), a combiner pre-aggregates, reducers produce the
 // final sums. This is the separate MapReduce job Hive launches after the
 // join chain (§6.3: "one for the group by").
-func (e *Engine) runGroupByStage(q *core.Query, p *plan, in stageInput) (*mr.MemoryOutput, *mr.JobResult, error) {
+func (e *Engine) runGroupByStage(ctx context.Context, q *core.Query, p *plan, in stageInput) (*mr.MemoryOutput, *mr.JobResult, error) {
 	input, err := e.bigSideInput(in)
 	if err != nil {
 		return nil, nil, err
@@ -60,7 +61,7 @@ func (e *Engine) runGroupByStage(q *core.Query, p *plan, in stageInput) (*mr.Mem
 		KeySchema:      gschema,
 		ValueSchema:    hiveAggSchema,
 	}
-	res, err := e.mr.Submit(job)
+	res, err := e.mr.Submit(ctx, job)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -86,7 +87,7 @@ func (hiveSumReducer) Reduce(key records.Record, values mr.Values, out mr.Collec
 // emitted in order. The driver applies the authoritative ordering to the
 // collected result separately; this stage exists to charge the plan's real
 // cost and produce its counters.
-func (e *Engine) runOrderByStage(q *core.Query, p *plan, rs *results.ResultSet) (*mr.JobResult, error) {
+func (e *Engine) runOrderByStage(ctx context.Context, q *core.Query, p *plan, rs *results.ResultSet) (*mr.JobResult, error) {
 	schema := q.ResultSchema()
 	dir := p.tmpDir + "/groupby-out"
 	e.mr.FS().DeletePrefix(dir)
@@ -125,5 +126,5 @@ func (e *Engine) runOrderByStage(q *core.Query, p *plan, rs *results.ResultSet) 
 		NumReduceTasks: 1,
 		KeySchema:      schema,
 	}
-	return e.mr.Submit(job)
+	return e.mr.Submit(ctx, job)
 }

@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -82,6 +83,7 @@ type TaskContext struct {
 	memReserved int64
 	allowance   int64
 	superseded  func() bool
+	runCtx      context.Context
 
 	phaseMu sync.Mutex
 	phases  map[string]time.Duration
@@ -139,6 +141,25 @@ func (t *TaskContext) Span(name string, start time.Time, attrs ...string) {
 // their work.
 func (t *TaskContext) Superseded() bool {
 	return t.superseded != nil && t.superseded()
+}
+
+// Context returns the context the job was submitted under. Mappers,
+// runners, and formats doing long or blocking work should watch it: when it
+// is done the job is being torn down and the attempt should return Err().
+func (t *TaskContext) Context() context.Context {
+	if t.runCtx == nil {
+		return context.Background()
+	}
+	return t.runCtx
+}
+
+// Err is a cheap poll of the submission context: nil while the job is live,
+// the context's error once the job has been canceled.
+func (t *TaskContext) Err() error {
+	if t.runCtx == nil {
+		return nil
+	}
+	return t.runCtx.Err()
 }
 
 // Node returns the cluster node the task runs on.

@@ -2,6 +2,7 @@ package mr
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -89,7 +90,7 @@ type kvEntry struct {
 // encode differently and would land in separate groups.
 type kvByKey []kvEntry
 
-func (s kvByKey) Len() int { return len(s) }
+func (s kvByKey) Len() int      { return len(s) }
 func (s kvByKey) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
 func (s kvByKey) Less(i, j int) bool {
 	if c := bytes.Compare(s[i].key, s[j].key); c != 0 {
@@ -113,10 +114,17 @@ func (mo *mapOutput) partBytes(p int) int64 {
 	return n
 }
 
+// ErrCanceled marks a job that was stopped because its submission context
+// was canceled or timed out. Errors returned by Submit for such jobs match
+// both errors.Is(err, ErrCanceled) and the context's own cause
+// (context.Canceled / context.DeadlineExceeded).
+var ErrCanceled = errors.New("mr: job canceled")
+
 // jobRun carries the state of one executing job.
 type jobRun struct {
 	engine   *Engine
 	job      *Job
+	ctx      context.Context
 	jobID    string
 	jctx     *JobContext
 	counters *Counters
@@ -135,8 +143,15 @@ type jobRun struct {
 	reuse   bool
 }
 
-// Submit runs the job to completion and returns its result.
-func (e *Engine) Submit(job *Job) (*JobResult, error) {
+// Submit runs the job to completion and returns its result. A canceled or
+// expired ctx aborts the job: queued task attempts are never launched,
+// running attempts stop at their next poll point, and every byte the job
+// reserved on cluster nodes is released before Submit returns. The returned
+// error then matches both ErrCanceled and ctx.Err() under errors.Is.
+func (e *Engine) Submit(ctx context.Context, job *Job) (*JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	start := time.Now()
 	jobID := fmt.Sprintf("job-%d", e.jobSeq.Add(1))
 	counters := NewCounters()
@@ -166,6 +181,7 @@ func (e *Engine) Submit(job *Job) (*JobResult, error) {
 	run := &jobRun{
 		engine:     e,
 		job:        job,
+		ctx:        ctx,
 		jobID:      jobID,
 		jctx:       jctx,
 		counters:   counters,
@@ -180,14 +196,23 @@ func (e *Engine) Submit(job *Job) (*JobResult, error) {
 		run.taskMem = cfg.MemoryPerNode / int64(cfg.MapSlots)
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, run.cancelErr(err)
+	}
 	if err := run.localizeCacheFiles(); err != nil {
 		return nil, fmt.Errorf("mr: %s: distributed cache: %w", jobID, err)
 	}
 	if err := run.mapPhase(); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, run.cancelErr(cerr)
+		}
 		return nil, fmt.Errorf("mr: %s: map phase: %w", jobID, err)
 	}
 	if job.NumReduceTasks > 0 {
 		if err := run.reducePhase(); err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, run.cancelErr(cerr)
+			}
 			return nil, fmt.Errorf("mr: %s: reduce phase: %w", jobID, err)
 		}
 	}
@@ -198,6 +223,12 @@ func (e *Engine) Submit(job *Job) (*JobResult, error) {
 		Tasks:    run.reports,
 		Duration: time.Since(start),
 	}, nil
+}
+
+// cancelErr shapes the error Submit returns for a canceled job so that
+// errors.Is matches both ErrCanceled and the context cause.
+func (run *jobRun) cancelErr(cause error) error {
+	return fmt.Errorf("mr: %s: %w: %w", run.jobID, ErrCanceled, cause)
 }
 
 // localizeCacheFiles copies each distributed-cache file to every live node
@@ -466,10 +497,23 @@ func (s *taskSched) complete(task int, node string, err error, maxAttempts int) 
 		// A backup attempt is still running; let it decide the task's fate
 		// instead of requeueing a duplicate.
 	case s.attempts[task] >= maxAttempts:
-		s.aborted = fmt.Errorf("task %s-%d failed %d times, last: %w", s.kind, task, s.attempts[task], err)
+		if s.aborted == nil {
+			s.aborted = fmt.Errorf("task %s-%d failed %d times, last: %w", s.kind, task, s.attempts[task], err)
+		}
 	default:
 		s.pending[task] = true
 		s.readyAt[task] = time.Now()
+	}
+	s.cond.Broadcast()
+}
+
+// cancel aborts the phase: no further tasks are assigned and all blocked
+// slot workers wake and exit. The first abort cause sticks.
+func (s *taskSched) cancel(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aborted == nil {
+		s.aborted = err
 	}
 	s.cond.Broadcast()
 }
@@ -498,6 +542,10 @@ func (run *jobRun) mapPhase() error {
 	// OutputFormat, where a losing attempt's partial output would duplicate
 	// rows (Hadoop guards that case with an output committer).
 	sched.speculative = run.job.conf().GetBool(ConfSpeculative, false) && run.job.NumReduceTasks > 0
+	stop := context.AfterFunc(run.ctx, func() {
+		sched.cancel(run.cancelErr(run.ctx.Err()))
+	})
+	defer stop()
 
 	var wg sync.WaitGroup
 	for _, node := range run.engine.cluster.Alive() {
@@ -515,7 +563,7 @@ func (run *jobRun) mapPhase() error {
 					start := time.Now()
 					run.emitSpan(obs.PhaseQueueWait, n.ID(), taskID, start.Add(-qwait), start)
 					run.observeDur("mr.queue_wait_ns", qwait)
-					superseded := func() bool { return sched.isCompleted(task) }
+					superseded := func() bool { return sched.isCompleted(task) || run.ctx.Err() != nil }
 					out, phases, err := run.executeMapAttempt(task, n, attempt, local, qwait, superseded)
 					switch {
 					case err == nil:
@@ -532,6 +580,9 @@ func (run *jobRun) mapPhase() error {
 						run.observeDur("mr.map.duration_ns", dur)
 					case errors.Is(err, errSuperseded):
 						// Abandoned backup; not a retryable failure.
+					case run.ctx.Err() != nil:
+						// Job canceled; the ctx watcher aborts the scheduler,
+						// so this is not a retryable failure either.
 					default:
 						run.counters.Add(CtrTaskRetries, 1)
 					}
@@ -559,6 +610,9 @@ func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, 
 		run.counters.Add(CtrDataLocalMaps, 1)
 	} else {
 		run.counters.Add(CtrRemoteMaps, 1)
+	}
+	if cerr := run.ctx.Err(); cerr != nil {
+		return nil, nil, run.cancelErr(cerr)
 	}
 	if run.job.FailureInjector != nil {
 		if ferr := run.job.FailureInjector(taskID, attempt); ferr != nil {
@@ -591,6 +645,7 @@ func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, 
 		job:        run.job,
 		allowance:  run.taskMem,
 		superseded: superseded,
+		runCtx:     run.ctx,
 	}
 	ctx.ObservePhase(obs.PhaseQueueWait, qwait)
 	if launchDur > 0 {
@@ -693,8 +748,13 @@ func (r *defaultMapRunner) Run(ctx *TaskContext, reader RecordReader, out Collec
 			break
 		}
 		n++
-		if n%128 == 0 && ctx.Superseded() {
-			return errSuperseded
+		if n%128 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if ctx.Superseded() {
+				return errSuperseded
+			}
 		}
 		ctx.Counters.Add(CtrMapInputRecords, 1)
 		if err := m.Map(k, v, out); err != nil {

@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -81,7 +82,7 @@ func TestWordCount(t *testing.T) {
 		[]string{"b", "a"},
 		[]string{"c", "c", "c"},
 	)
-	res, err := e.Submit(wordCountJob(splits, out, 2))
+	res, err := e.Submit(context.Background(), wordCountJob(splits, out, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestWordCountWithCombiner(t *testing.T) {
 	splits := wordSplits(nil, []string{"x", "x", "x", "y"}, []string{"x", "y"})
 	job := wordCountJob(splits, out, 1)
 	job.NewCombiner = job.NewReducer
-	res, err := e.Submit(job)
+	res, err := e.Submit(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestMapOnlyJob(t *testing.T) {
 		},
 		NumReduceTasks: 0,
 	}
-	res, err := e.Submit(job)
+	res, err := e.Submit(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +178,7 @@ func TestJobValidation(t *testing.T) {
 		{Input: in, Output: out, NewMapper: mapper, NumReduceTasks: 2}, // no reducer
 	}
 	for i, job := range cases {
-		if _, err := e.Submit(job); err == nil {
+		if _, err := e.Submit(context.Background(), job); err == nil {
 			t.Errorf("case %d: expected validation error", i)
 		}
 	}
@@ -193,7 +194,7 @@ func TestLocalityPreference(t *testing.T) {
 		[]string{"d"}, []string{"e"}, []string{"f"},
 	)
 	out := &MemoryOutput{}
-	res, err := e.Submit(wordCountJob(splits, out, 1))
+	res, err := e.Submit(context.Background(), wordCountJob(splits, out, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestCapacitySchedulerOneTaskPerNode(t *testing.T) {
 			mu.Unlock()
 		}}
 	}
-	if _, err := e.Submit(job); err != nil {
+	if _, err := e.Submit(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	if maxPerNode > 1 {
@@ -285,7 +286,7 @@ func TestJVMReuseSharesStatics(t *testing.T) {
 	}
 
 	builds.Store(0)
-	if _, err := e.Submit(makeJob(true, &MemoryOutput{})); err != nil {
+	if _, err := e.Submit(context.Background(), makeJob(true, &MemoryOutput{})); err != nil {
 		t.Fatal(err)
 	}
 	if got := builds.Load(); got != 1 {
@@ -293,7 +294,7 @@ func TestJVMReuseSharesStatics(t *testing.T) {
 	}
 
 	builds.Store(0)
-	if _, err := e.Submit(makeJob(false, &MemoryOutput{})); err != nil {
+	if _, err := e.Submit(context.Background(), makeJob(false, &MemoryOutput{})); err != nil {
 		t.Fatal(err)
 	}
 	if got := builds.Load(); got != 4 {
@@ -331,7 +332,7 @@ func TestTaskRetrySucceedsAfterTransientFailure(t *testing.T) {
 		}
 		return nil
 	}
-	res, err := e.Submit(job)
+	res, err := e.Submit(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -356,7 +357,7 @@ func TestTaskFailsJobAfterMaxAttempts(t *testing.T) {
 		}
 		return nil
 	}
-	if _, err := e.Submit(job); err == nil || !strings.Contains(err.Error(), "permanent failure") {
+	if _, err := e.Submit(context.Background(), job); err == nil || !strings.Contains(err.Error(), "permanent failure") {
 		t.Errorf("expected permanent failure, got %v", err)
 	}
 }
@@ -371,7 +372,7 @@ func TestReduceTaskRetry(t *testing.T) {
 		}
 		return nil
 	}
-	if _, err := e.Submit(job); err != nil {
+	if _, err := e.Submit(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	if got := countsFrom(out); got["a"] != 1 {
@@ -390,7 +391,7 @@ func TestMapperErrorPropagates(t *testing.T) {
 			})
 		},
 	}
-	if _, err := e.Submit(job); err == nil || !strings.Contains(err.Error(), "boom") {
+	if _, err := e.Submit(context.Background(), job); err == nil || !strings.Contains(err.Error(), "boom") {
 		t.Errorf("expected mapper error, got %v", err)
 	}
 }
@@ -406,7 +407,7 @@ func TestMapperPanicIsCaught(t *testing.T) {
 			})
 		},
 	}
-	if _, err := e.Submit(job); err == nil || !strings.Contains(err.Error(), "kaboom") {
+	if _, err := e.Submit(context.Background(), job); err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Errorf("expected panic error, got %v", err)
 	}
 }
@@ -423,7 +424,7 @@ func TestTaskMemoryReservationOOM(t *testing.T) {
 			return &oomMapper{want: nodeMem/slots + 1} // exceeds default allowance
 		},
 	}
-	_, err := e.Submit(job)
+	_, err := e.Submit(context.Background(), job)
 	if err == nil || !errors.Is(err, cluster.ErrOutOfMemory) {
 		t.Errorf("expected OOM, got %v", err)
 	}
@@ -436,7 +437,7 @@ func TestTaskMemoryReservationOOM(t *testing.T) {
 			return &oomMapper{want: nodeMem/slots + 1}
 		},
 	}
-	if _, err := e.Submit(job2); err != nil {
+	if _, err := e.Submit(context.Background(), job2); err != nil {
 		t.Errorf("expected success with larger allowance: %v", err)
 	}
 	// Node memory fully released afterwards.
@@ -470,7 +471,7 @@ func TestDistributedCache(t *testing.T) {
 			return &cacheMapper{saw: &sawData}
 		},
 	}
-	res, err := e.Submit(job)
+	res, err := e.Submit(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -504,7 +505,7 @@ func TestShuffleCountersAndByteAccounting(t *testing.T) {
 	e := newTestEngine(2)
 	out := &MemoryOutput{}
 	splits := wordSplits(nil, []string{"a", "b", "c"}, []string{"d", "e"})
-	res, err := e.Submit(wordCountJob(splits, out, 2))
+	res, err := e.Submit(context.Background(), wordCountJob(splits, out, 2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -536,7 +537,7 @@ func TestReducerSeesSortedGroups(t *testing.T) {
 			return c.Collect(k, records.Make(countSchema, records.Int(n)))
 		})
 	}
-	if _, err := e.Submit(job); err != nil {
+	if _, err := e.Submit(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{"a", "k", "m", "z"}
@@ -566,7 +567,7 @@ func TestNodeDeathDuringShuffleReexecutesMaps(t *testing.T) {
 		}
 		return nil
 	}
-	res, err := e.Submit(job)
+	res, err := e.Submit(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}

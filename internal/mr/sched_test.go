@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -158,7 +159,7 @@ func TestWordCountMatchesInMemoryQuick(t *testing.T) {
 			s.Pairs = append(s.Pairs, KV{Value: records.Make(wordSchema, records.Str(w))})
 		}
 		out := &MemoryOutput{}
-		if _, err := e.Submit(wordCountJob(splits, out, reducers)); err != nil {
+		if _, err := e.Submit(context.Background(), wordCountJob(splits, out, reducers)); err != nil {
 			t.Log(err)
 			return false
 		}
@@ -199,7 +200,7 @@ func TestPartitionerOutOfRangeFails(t *testing.T) {
 	e := newTestEngine(1)
 	job := wordCountJob(wordSplits(nil, []string{"a"}), &MemoryOutput{}, 2)
 	job.Partitioner = func(records.Record, int) int { return 99 }
-	if _, err := e.Submit(job); err == nil {
+	if _, err := e.Submit(context.Background(), job); err == nil {
 		t.Error("expected partitioner range error")
 	}
 }

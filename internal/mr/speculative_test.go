@@ -1,6 +1,7 @@
 package mr
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -67,7 +68,7 @@ func TestSpeculativeExecutionMitigatesStraggler(t *testing.T) {
 		ValueSchema:    countSchema,
 	}
 	start := time.Now()
-	res, err := e.Submit(job)
+	res, err := e.Submit(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestSpeculationDisabledByDefault(t *testing.T) {
 	e := newTestEngine(2)
 	out := &MemoryOutput{}
 	splits := wordSplits(nil, []string{"a", "b"}, []string{"c"})
-	res, err := e.Submit(wordCountJob(splits, out, 1))
+	res, err := e.Submit(context.Background(), wordCountJob(splits, out, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestSpeculationIgnoredForMapOnlyJobs(t *testing.T) {
 		},
 		Output: out,
 	}
-	res, err := e.Submit(job)
+	res, err := e.Submit(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}

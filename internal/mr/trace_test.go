@@ -2,6 +2,7 @@ package mr
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -37,7 +38,7 @@ func TestTraceStraggler(t *testing.T) {
 			return c.Collect(v, records.Make(countSchema, records.Int(1)))
 		})
 	}
-	res, err := e.Submit(job)
+	res, err := e.Submit(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestTaskReportPhases(t *testing.T) {
 	e := newTestEngine(2)
 	out := &MemoryOutput{}
 	splits := wordSplits(nil, []string{"a", "b"}, []string{"b", "c"})
-	res, err := e.Submit(wordCountJob(splits, out, 1))
+	res, err := e.Submit(context.Background(), wordCountJob(splits, out, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -168,7 +169,7 @@ func TestWriteJSON(t *testing.T) {
 	e := newTestEngine(2)
 	out := &MemoryOutput{}
 	splits := wordSplits(nil, []string{"a"}, []string{"b"})
-	res, err := e.Submit(wordCountJob(splits, out, 1))
+	res, err := e.Submit(context.Background(), wordCountJob(splits, out, 1))
 	if err != nil {
 		t.Fatal(err)
 	}

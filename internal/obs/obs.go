@@ -51,6 +51,10 @@ const (
 	// PhaseHDFSRead is one filesystem read (no task attribution; carries
 	// path and local/remote byte attrs).
 	PhaseHDFSRead = "hdfs-read"
+	// PhaseAdmissionWait is the time a query spent queued in the serving
+	// layer's admission controller before its memory reservation was
+	// granted (no task attribution; carries the query name).
+	PhaseAdmissionWait = "admission-wait"
 )
 
 // Span is one completed timed event. TaskID is empty for events not

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrQueueFull is returned by Session.Query when the admission queue is at
+// QueueDepth; callers shed load instead of piling up. Check with errors.Is.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// admitter is the FIFO admission controller: a query runs only while the
+// concurrency cap holds and its estimated memory cost fits the remaining
+// budget; otherwise it queues. One escape valve prevents starvation: a
+// query whose cost alone exceeds the budget is admitted once nothing else
+// is in flight (it will then either fit in practice or fail over to the
+// staged plan, rather than wait forever).
+type admitter struct {
+	budget  int64
+	maxConc int
+	depth   int
+
+	mu       sync.Mutex
+	reserved int64
+	inFlight int
+	waiters  []*waiter
+
+	admitted     int64
+	rejected     int64
+	peakInFlight int
+}
+
+type waiter struct {
+	cost    int64
+	granted chan struct{}
+}
+
+func newAdmitter(budget int64, maxConc, depth int) *admitter {
+	return &admitter{budget: budget, maxConc: maxConc, depth: depth}
+}
+
+func (a *admitter) canRunLocked(cost int64) bool {
+	if a.inFlight >= a.maxConc {
+		return false
+	}
+	return a.reserved+cost <= a.budget || a.inFlight == 0
+}
+
+func (a *admitter) grantLocked(cost int64) {
+	a.reserved += cost
+	a.inFlight++
+	if a.inFlight > a.peakInFlight {
+		a.peakInFlight = a.inFlight
+	}
+	a.admitted++
+}
+
+// admit blocks until the query may run, the queue overflows, or ctx ends.
+// On success the returned release must be called exactly once when the
+// query finishes (however it finishes).
+func (a *admitter) admit(ctx context.Context, cost int64) (func(), error) {
+	a.mu.Lock()
+	if len(a.waiters) == 0 && a.canRunLocked(cost) {
+		a.grantLocked(cost)
+		a.mu.Unlock()
+		return func() { a.release(cost) }, nil
+	}
+	if len(a.waiters) >= a.depth {
+		a.rejected++
+		a.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	w := &waiter{cost: cost, granted: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.granted:
+		return func() { a.release(cost) }, nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.granted:
+			// Granted concurrently with cancellation: give the slot back.
+			a.releaseLocked(cost)
+			a.mu.Unlock()
+			return nil, ctx.Err()
+		default:
+		}
+		for i, q := range a.waiters {
+			if q == w {
+				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+				break
+			}
+		}
+		a.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admitter) release(cost int64) {
+	a.mu.Lock()
+	a.releaseLocked(cost)
+	a.mu.Unlock()
+}
+
+func (a *admitter) releaseLocked(cost int64) {
+	a.reserved -= cost
+	a.inFlight--
+	// Wake queued queries strictly in FIFO order: stop at the first that
+	// still does not fit, preserving arrival fairness over utilization.
+	for len(a.waiters) > 0 && a.canRunLocked(a.waiters[0].cost) {
+		w := a.waiters[0]
+		a.waiters = a.waiters[1:]
+		a.grantLocked(w.cost)
+		close(w.granted)
+	}
+}
+
+// snapshot returns (running, queued, admitted, rejected, peak).
+func (a *admitter) snapshot() (int, int, int64, int64, int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inFlight, len(a.waiters), a.admitted, a.rejected, a.peakInFlight
+}

@@ -1,0 +1,270 @@
+// Package serve is the query-serving layer over core.Engine: it makes
+// concurrent star-join workloads first-class. The paper's §8 leaves the
+// multi-workload setting as future work; this layer supplies the three
+// pieces that setting needs. (1) A cross-query dimension hash-table cache:
+// per-node tables keyed by (dimDir, DimSpec fingerprint) survive job
+// completion in a residency-accounted LRU, so query N+1 probes the tables
+// query N built. (2) Admission control: a query's estimated table memory is
+// checked against a per-node budget before submission, and over-budget
+// queries queue FIFO under a concurrency cap instead of racing node
+// reservations into deadlock-by-OOM. (3) Cancellation: the caller's context
+// flows through core.Engine.Run and mr.Engine.Submit down to task attempts,
+// so abandoning a query provably releases every byte it reserved.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/core"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/obs"
+	"clydesdale/internal/records"
+	"clydesdale/internal/results"
+)
+
+// ErrClosed is returned by Query after Close; check with errors.Is.
+var ErrClosed = errors.New("serve: session closed")
+
+// Options configures a Session.
+type Options struct {
+	// Engine is the underlying core engine configuration. Tables is
+	// overwritten with the session's cross-query cache.
+	Engine core.Options
+	// MaxConcurrent caps queries executing simultaneously; <= 0 uses 4.
+	MaxConcurrent int
+	// QueueDepth bounds queries waiting for admission before Query returns
+	// ErrQueueFull; < 0 means no queue (immediate rejection), 0 uses 32.
+	QueueDepth int
+	// CacheBudget is the per-node byte bound on resident cached tables;
+	// <= 0 uses half the node memory.
+	CacheBudget int64
+	// AdmissionBudget is the per-node byte budget admission reserves
+	// against; <= 0 uses CacheBudget.
+	AdmissionBudget int64
+	// TaskMemory is an additional per-query admission charge for working
+	// state beyond the dimension tables; 0 charges tables only.
+	TaskMemory int64
+}
+
+// Stats is a point-in-time snapshot of the session's serving counters.
+type Stats struct {
+	// Table cache.
+	Hits, Misses, Builds, Evictions int64
+	ResidentBytes                   int64
+	// Admission control.
+	Admitted, Rejected int64
+	Running, Queued    int
+	PeakConcurrent     int
+}
+
+// Session serves queries over one cluster, sharing dimension hash tables
+// across them. Safe for concurrent use.
+type Session struct {
+	mrEng *mr.Engine
+	cat   *core.Catalog
+	eng   *core.Engine
+	cache *tableCache
+	adm   *admitter
+	opts  Options
+
+	mu     sync.Mutex
+	closed bool
+	wg     sync.WaitGroup
+
+	estMu     sync.Mutex
+	estimates map[string]int64 // tableKey → estimated build bytes
+}
+
+// New creates a serving session over a MapReduce engine and catalog.
+func New(mrEngine *mr.Engine, cat *core.Catalog, opts Options) *Session {
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 4
+	}
+	switch {
+	case opts.QueueDepth == 0:
+		opts.QueueDepth = 32
+	case opts.QueueDepth < 0:
+		opts.QueueDepth = 0
+	}
+	if opts.CacheBudget <= 0 {
+		opts.CacheBudget = mrEngine.Cluster().Config().MemoryPerNode / 2
+	}
+	if opts.AdmissionBudget <= 0 {
+		opts.AdmissionBudget = opts.CacheBudget
+	}
+	cache := newTableCache(opts.CacheBudget)
+	engOpts := opts.Engine
+	engOpts.Tables = cache
+	return &Session{
+		mrEng:     mrEngine,
+		cat:       cat,
+		eng:       core.New(mrEngine, cat, engOpts),
+		cache:     cache,
+		adm:       newAdmitter(opts.AdmissionBudget, opts.MaxConcurrent, opts.QueueDepth),
+		opts:      opts,
+		estimates: make(map[string]int64),
+	}
+}
+
+// Engine exposes the session's core engine (e.g. for catalog access).
+func (s *Session) Engine() *core.Engine { return s.eng }
+
+// Query runs one star query through admission control and the shared table
+// cache. It blocks while queued; ctx cancels both the wait and, once
+// running, the query itself.
+func (s *Session) Query(ctx context.Context, q *core.Query) (*results.ResultSet, *core.Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, nil, ErrClosed
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	cost, err := s.admissionCost(q)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	waitStart := time.Now()
+	release, err := s.adm.admit(ctx, cost)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: %s: %w", q.Name, err)
+	}
+	defer release()
+	s.observeQueueWait(q, waitStart)
+
+	return s.eng.Run(ctx, q)
+}
+
+// observeQueueWait surfaces the admission wait as a span and a histogram
+// sample on the MapReduce engine's tracer/registry.
+func (s *Session) observeQueueWait(q *core.Query, start time.Time) {
+	end := time.Now()
+	if tr := s.mrEng.Tracer(); tr.Enabled() {
+		tr.Emit(obs.Span{
+			Name:  obs.PhaseAdmissionWait,
+			Start: start,
+			End:   end,
+			Attrs: obs.Attrs("query", q.Name),
+		})
+	}
+	if m := s.mrEng.Metrics(); m != nil {
+		m.Histogram("serve.admission_wait_ns").ObserveDuration(end.Sub(start))
+	}
+}
+
+// admissionCost estimates the per-node bytes admitting the query adds: the
+// exact build size of each dimension table not already resident on every
+// live node (cached tables are free — that is the point of the cache),
+// plus the configured task working memory. Estimates reuse
+// core.EstimateDimHashBytes, which mirrors the build layout byte-for-byte,
+// over a driver-side scan of the dimension master copy; each (dimDir,
+// fingerprint) is estimated once per session.
+func (s *Session) admissionCost(q *core.Query) (int64, error) {
+	nodeIDs := s.aliveIDs()
+	var missing []int // dim indices needing a fresh estimate
+	keys := make([]string, len(q.Dims))
+	dirs := make([]string, len(q.Dims))
+	for i := range q.Dims {
+		dir, err := s.cat.DimDir(q.Dims[i].Table)
+		if err != nil {
+			return 0, err
+		}
+		dirs[i] = dir
+		keys[i] = tableKey(dir, &q.Dims[i])
+	}
+
+	s.estMu.Lock()
+	for i, k := range keys {
+		if _, ok := s.estimates[k]; !ok {
+			missing = append(missing, i)
+		}
+	}
+	s.estMu.Unlock()
+
+	if len(missing) > 0 {
+		need := make(map[string]string, len(missing)) // table → dir
+		for _, i := range missing {
+			need[q.Dims[i].Table] = dirs[i]
+		}
+		per, err := core.EstimateDimHashBytes(q, func(table string, fn func(records.Record) error) error {
+			dir, ok := need[table]
+			if !ok {
+				return nil // already estimated; contributes nothing here
+			}
+			return colstore.ScanRowTable(s.mrEng.FS(), dir, "", fn)
+		})
+		if err != nil {
+			return 0, fmt.Errorf("serve: estimating %s tables: %w", q.Name, err)
+		}
+		s.estMu.Lock()
+		for _, i := range missing {
+			s.estimates[keys[i]] = per[i]
+		}
+		s.estMu.Unlock()
+	}
+
+	var cost int64
+	s.estMu.Lock()
+	for _, k := range keys {
+		if s.cache.residentEverywhere(k, nodeIDs) {
+			continue
+		}
+		cost += s.estimates[k]
+	}
+	s.estMu.Unlock()
+	return cost + s.opts.TaskMemory, nil
+}
+
+func (s *Session) aliveIDs() []string {
+	nodes := s.mrEng.Cluster().Alive()
+	ids := make([]string, len(nodes))
+	for i, n := range nodes {
+		ids[i] = n.ID()
+	}
+	return ids
+}
+
+// Stats snapshots the serving counters.
+func (s *Session) Stats() Stats {
+	running, queued, admitted, rejected, peak := s.adm.snapshot()
+	return Stats{
+		Hits:           s.cache.hits.Load(),
+		Misses:         s.cache.misses.Load(),
+		Builds:         s.cache.builds.Load(),
+		Evictions:      s.cache.evictions.Load(),
+		ResidentBytes:  s.cache.residentBytes(),
+		Admitted:       admitted,
+		Rejected:       rejected,
+		Running:        running,
+		Queued:         queued,
+		PeakConcurrent: peak,
+	}
+}
+
+// Close drains in-flight queries, evicts every cached table (returning its
+// node memory reservation), and fails all future Query calls with
+// ErrClosed. Safe to call more than once.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.wg.Wait()
+	cl := s.mrEng.Cluster()
+	s.cache.evictAll(cl.Node)
+	return nil
+}

@@ -1,0 +1,324 @@
+package serve_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"clydesdale/internal/cluster"
+	"clydesdale/internal/core"
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/obs"
+	"clydesdale/internal/refexec"
+	"clydesdale/internal/results"
+	"clydesdale/internal/serve"
+	"clydesdale/internal/ssb"
+)
+
+type env struct {
+	cluster *cluster.Cluster
+	fs      *hdfs.FileSystem
+	mr      *mr.Engine
+	gen     *ssb.Generator
+	lay     *ssb.Layout
+}
+
+func newEnv(t *testing.T, workers int, sf float64, mropts mr.Options) *env {
+	t.Helper()
+	c := cluster.New(cluster.Testing(workers))
+	fs := hdfs.New(c, hdfs.Options{BlockSize: 1 << 16, Seed: 23})
+	gen := ssb.NewGenerator(sf, 42)
+	lay, err := ssb.Load(fs, gen, "/ssb", ssb.LoadOptions{SkipRC: true, PartitionRows: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &env{cluster: c, fs: fs, mr: mr.NewEngine(c, fs, mropts), gen: gen, lay: lay}
+}
+
+func (e *env) session(opts serve.Options) *serve.Session {
+	return serve.New(e.mr, e.lay.Catalog(), opts)
+}
+
+func (e *env) checkNoLeak(t *testing.T) {
+	t.Helper()
+	for _, n := range e.cluster.Nodes() {
+		if used := n.MemoryUsed(); used != 0 {
+			t.Errorf("node %s holds %d bytes after session close", n.ID(), used)
+		}
+	}
+}
+
+// distinctTables counts the distinct (dimDir, fingerprint) keys across the
+// queries — the number of builds the cache should perform per node.
+func distinctTables(t *testing.T, cat *core.Catalog, queries []*core.Query) int {
+	t.Helper()
+	seen := map[string]bool{}
+	for _, q := range queries {
+		for i := range q.Dims {
+			dir, err := cat.DimDir(q.Dims[i].Table)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seen[dir+"\x00"+q.Dims[i].Fingerprint()] = true
+		}
+	}
+	return len(seen)
+}
+
+// TestServeConcurrentQueries is the headline serving test: every SSB query
+// at once through one session must match the reference executor, each
+// dimension table must be built at most once per node across ALL queries
+// (the cross-query cache generalizing the per-job singleflight), and
+// closing the session must return every reserved byte.
+func TestServeConcurrentQueries(t *testing.T) {
+	const workers = 3
+	e := newEnv(t, workers, 0.002, mr.Options{})
+	s := e.session(serve.Options{MaxConcurrent: 8})
+
+	queries := ssb.Queries()
+	if len(queries) < 8 {
+		t.Fatalf("want >= 8 concurrent queries, SSB has %d", len(queries))
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(queries))
+	sets := make([]*results.ResultSet, len(queries))
+	for i, q := range queries {
+		wg.Add(1)
+		go func(i int, q *core.Query) {
+			defer wg.Done()
+			sets[i], _, errs[i] = s.Query(context.Background(), q)
+		}(i, q)
+	}
+	wg.Wait()
+
+	for i, q := range queries {
+		if errs[i] != nil {
+			t.Fatalf("%s: %v", q.Name, errs[i])
+		}
+		want, err := refexec.Run(e.gen, q)
+		if err != nil {
+			t.Fatalf("%s ref: %v", q.Name, err)
+		}
+		if ok, why := results.Equivalent(sets[i], want, 1e-9); !ok {
+			t.Errorf("%s under serving concurrency: %s", q.Name, why)
+		}
+	}
+
+	stats := s.Stats()
+	wantBuilds := int64(workers * distinctTables(t, e.lay.Catalog(), queries))
+	if stats.Builds != wantBuilds {
+		t.Errorf("cache built %d tables, want exactly %d (distinct tables x nodes)", stats.Builds, wantBuilds)
+	}
+	if stats.Evictions != 0 {
+		t.Errorf("unexpected evictions (%d) under default budget", stats.Evictions)
+	}
+	if stats.Hits == 0 {
+		t.Errorf("no cache hits across %d overlapping queries", len(queries))
+	}
+	if stats.Admitted != int64(len(queries)) {
+		t.Errorf("admitted %d, want %d", stats.Admitted, len(queries))
+	}
+	if stats.ResidentBytes == 0 {
+		t.Errorf("no resident table bytes after %d queries", len(queries))
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rb := s.Stats().ResidentBytes; rb != 0 {
+		t.Errorf("%d bytes still resident after close", rb)
+	}
+	e.checkNoLeak(t)
+
+	if _, _, err := s.Query(context.Background(), queries[0]); !errors.Is(err, serve.ErrClosed) {
+		t.Errorf("Query after Close: got %v, want ErrClosed", err)
+	}
+}
+
+// TestServeAdmissionSerializes proves the admission controller serializes
+// two queries whose combined cost exceeds the budget: with warm tables the
+// per-query cost is exactly TaskMemory, so two 600-byte queries against a
+// 1000-byte budget must never overlap.
+func TestServeAdmissionSerializes(t *testing.T) {
+	e := newEnv(t, 2, 0.002, mr.Options{})
+	s := e.session(serve.Options{
+		MaxConcurrent:   4,
+		AdmissionBudget: 1000,
+		TaskMemory:      600,
+	})
+	defer s.Close()
+
+	q, err := ssb.QueryByName("Q2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm-up: tables are cold, so this first query costs tables+600 and is
+	// admitted alone through the starvation escape valve.
+	if _, _, err := s.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if peak := s.Stats().PeakConcurrent; peak != 1 {
+		t.Fatalf("warm-up peak concurrency %d, want 1", peak)
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = s.Query(context.Background(), q)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+	}
+	stats := s.Stats()
+	if stats.PeakConcurrent != 1 {
+		t.Errorf("peak concurrency %d: over-budget queries ran together", stats.PeakConcurrent)
+	}
+	if stats.Admitted != 3 {
+		t.Errorf("admitted %d, want 3", stats.Admitted)
+	}
+}
+
+// cancelOnSpan cancels a context the first time a span with the given name
+// is emitted — a deterministic way to cancel a query provably mid-flight.
+type cancelOnSpan struct {
+	name   string
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (c *cancelOnSpan) Emit(sp obs.Span) {
+	if sp.Name == c.name {
+		c.once.Do(c.cancel)
+	}
+}
+
+// TestServeCancellationReleasesMemory cancels a query mid-flight — right
+// after its first hash-table build span — and verifies the error is the
+// typed cancellation and that closing the session leaves MemoryUsed() == 0
+// on every node.
+func TestServeCancellationReleasesMemory(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &cancelOnSpan{name: obs.PhaseHashBuild, cancel: cancel}
+	e := newEnv(t, 2, 0.002, mr.Options{Tracer: obs.NewTracer(sink)})
+	s := e.session(serve.Options{})
+
+	q, err := ssb.QueryByName("Q3.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = s.Query(ctx, q)
+	if err == nil {
+		t.Fatal("canceled query returned nil error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not match context.Canceled", err)
+	}
+	if !errors.Is(err, mr.ErrCanceled) {
+		t.Errorf("error %v does not match mr.ErrCanceled", err)
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e.checkNoLeak(t)
+
+	// The session still serves other callers' queries after one cancel: a
+	// fresh session on the same engine runs the query to completion.
+	s2 := e.session(serve.Options{})
+	defer s2.Close()
+	rs, _, err := s2.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := refexec.Run(e.gen, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := results.Equivalent(rs, want, 1e-9); !ok {
+		t.Errorf("after cancel: %s", why)
+	}
+}
+
+// TestServeCacheHitSkipsHashBuild runs the same query twice; the second run
+// must probe cached tables without emitting a single hash-build span.
+func TestServeCacheHitSkipsHashBuild(t *testing.T) {
+	sink := obs.NewMemorySink()
+	e := newEnv(t, 2, 0.002, mr.Options{Tracer: obs.NewTracer(sink)})
+	s := e.session(serve.Options{})
+	defer s.Close()
+
+	q, err := ssb.QueryByName("Q2.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if n := countSpans(sink.Spans(), obs.PhaseHashBuild); n == 0 {
+		t.Fatalf("cold run emitted no %s spans", obs.PhaseHashBuild)
+	}
+
+	sink.Reset()
+	rs, _, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := countSpans(sink.Spans(), obs.PhaseHashBuild); n != 0 {
+		t.Errorf("warm run emitted %d %s spans, want 0", n, obs.PhaseHashBuild)
+	}
+	if hits := s.Stats().Hits; hits == 0 {
+		t.Errorf("warm run recorded no cache hits")
+	}
+	want, err := refexec.Run(e.gen, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := results.Equivalent(rs, want, 1e-9); !ok {
+		t.Errorf("warm run: %s", why)
+	}
+}
+
+// TestServeQueueWaitObserved checks the admission wait surfaces through the
+// obs layer: every admitted query contributes one admission-wait span and
+// one histogram sample.
+func TestServeQueueWaitObserved(t *testing.T) {
+	sink := obs.NewMemorySink()
+	reg := obs.NewRegistry()
+	e := newEnv(t, 2, 0.002, mr.Options{Tracer: obs.NewTracer(sink), Metrics: reg})
+	s := e.session(serve.Options{})
+	defer s.Close()
+
+	q, err := ssb.QueryByName("Q1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if n := countSpans(sink.Spans(), obs.PhaseAdmissionWait); n != 1 {
+		t.Errorf("got %d %s spans, want 1", n, obs.PhaseAdmissionWait)
+	}
+	if c := reg.Histogram("serve.admission_wait_ns").Count(); c != 1 {
+		t.Errorf("admission-wait histogram has %d samples, want 1", c)
+	}
+}
+
+func countSpans(spans []obs.Span, name string) int {
+	n := 0
+	for _, sp := range spans {
+		if sp.Name == name {
+			n++
+		}
+	}
+	return n
+}

@@ -27,9 +27,11 @@ race:
 
 # The serving layer, engine and MapReduce runtime are where the shared
 # mutable state lives (table cache, admission queue, scheduler); their tests
-# run under -race on every check.
+# run under -race on every check. colstore rides along so the scan-path
+# property tests (encoding round-trips, zone-map oracle, v1 format compat)
+# run race-checked too.
 race-concurrency:
-	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/mr/...
+	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/mr/... ./internal/colstore/...
 
 # Probe-path regression guard (see DESIGN.md "Probe hot path"): the table
 # probe/build microbenchmarks and the per-row emit benchmark, with allocation
@@ -37,7 +39,7 @@ race-concurrency:
 # the comparison baseline — open vs gomap and inmapper/scratch vs boxed are
 # the ratios to watch. CI-friendly: short benchtime, no external state.
 bench:
-	$(GO) test -run '^$$' -bench 'Probe|HashBuild|Aggregate' -benchmem -benchtime 0.2s ./internal/core/ .
+	$(GO) test -run '^$$' -bench 'Probe|HashBuild|Aggregate|CIFScan' -benchmem -benchtime 0.2s ./internal/core/ ./internal/colstore/ .
 
 # One-iteration smoke run of every benchmark in the repo.
 bench-smoke:

@@ -9,6 +9,7 @@
 //	benchssb -figure breakdown -query Q2.1
 //	benchssb -figure breakdown -job-json job.json   # Clydesdale job history as JSON
 //	benchssb -figure probe                  # probe-path baseline → BENCH_probe.json
+//	benchssb -figure scan                   # scan-path baseline → BENCH_scan.json
 //	benchssb -factrows 300000 -dimscale 2   # bigger run
 package main
 
@@ -23,8 +24,9 @@ import (
 
 func main() {
 	var (
-		figure   = flag.String("figure", "all", "experiment: 7 | 8 | 9 | table1 | breakdown | probe | all")
+		figure   = flag.String("figure", "all", "experiment: 7 | 8 | 9 | table1 | breakdown | probe | scan | all")
 		probeOut = flag.String("probe-out", "BENCH_probe.json", "with -figure probe: write the probe baseline JSON here ('-' for stdout)")
+		scanOut  = flag.String("scan-out", "BENCH_scan.json", "with -figure scan: write the scan baseline JSON here ('-' for stdout)")
 		query    = flag.String("query", "Q2.1", "query for -figure breakdown")
 		dimScale = flag.Float64("dimscale", 0, "dimension scale (default 2)")
 		factRows = flag.Int64("factrows", 0, "fact rows (default 60000)")
@@ -90,6 +92,28 @@ func main() {
 		}
 		if *probeOut != "-" {
 			fmt.Printf("probe baseline written to %s\n", *probeOut)
+		}
+	}
+	// Like probe, the scan baseline runs only by name.
+	if *figure == "scan" {
+		res, err := bench.RunScanBench(*factRows, *workersA, *seed, os.Stdout)
+		if err != nil {
+			fatal(fmt.Errorf("scan: %w", err))
+		}
+		w := os.Stdout
+		if *scanOut != "-" {
+			f, err := os.Create(*scanOut)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := res.WriteJSON(w); err != nil {
+			fatal(err)
+		}
+		if *scanOut != "-" {
+			fmt.Printf("scan baseline written to %s\n", *scanOut)
 		}
 	}
 	run("breakdown", func() error {

@@ -7,6 +7,7 @@
 //	clydesdale -query Q2.1
 //	clydesdale -query all -workers 8 -factrows 120000
 //	clydesdale -query Q3.1 -no-blockiter -no-columnar -no-multithread -no-inmapper-combine   # ablation modes
+//	clydesdale -query Q1.1 -no-prune -no-latemat      # disable scan-side optimizations
 //	clydesdale -query Q2.1 -timeline                  # per-node span timeline
 //	clydesdale -query Q2.1 -trace spans.jsonl         # export spans as JSONL
 //	clydesdale -query Q2.1 -json result.json          # job result as JSON
@@ -45,6 +46,8 @@ func main() {
 		noCol     = flag.Bool("no-columnar", false, "disable columnar pruning")
 		noMT      = flag.Bool("no-multithread", false, "disable multi-threaded map tasks")
 		noIMC     = flag.Bool("no-inmapper-combine", false, "disable in-mapper combining (emit one record per joined row)")
+		noPrune   = flag.Bool("no-prune", false, "disable zone-map partition pruning")
+		noLateMat = flag.Bool("no-latemat", false, "disable late materialization in block scans")
 		tracePath = flag.String("trace", "", "write spans of every query run to this JSONL file")
 		timeline  = flag.Bool("timeline", false, "print a per-node span timeline after each query")
 		jsonPath  = flag.String("json", "", "write the last query's job result as JSON to this file ('-' for stdout)")
@@ -95,7 +98,11 @@ func main() {
 	fs.Observe(tracer, metrics)
 
 	mreng := mr.NewEngine(c, fs, mr.Options{Tracer: tracer, Metrics: metrics})
-	eng := core.New(mreng, lay.Catalog(), core.Options{Features: feats})
+	eng := core.New(mreng, lay.Catalog(), core.Options{
+		Features:              feats,
+		NoScanPruning:         *noPrune,
+		NoLateMaterialization: *noLateMat,
+	})
 
 	queries := ssb.Queries()
 	switch {
@@ -147,6 +154,10 @@ func main() {
 			ctr.Get(core.CtrHashTablesBuilt),
 			ctr.Get(core.CtrProbeRows), ctr.Get(core.CtrProbeEmits),
 			rep.SortTime.Round(time.Microsecond))
+		if rep.PartitionsPruned > 0 {
+			fmt.Printf("-- zone maps pruned %d partitions (%d bytes never read)\n",
+				rep.PartitionsPruned, rep.BytesSkipped)
+		}
 		if memSink != nil {
 			spans := memSink.Spans()
 			fmt.Printf("-- phase totals (measured):\n")

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"clydesdale/internal/cluster"
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/core"
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/ssb"
+)
+
+// ScanBenchConfig records the shape of the run a scan baseline came from.
+type ScanBenchConfig struct {
+	FactRows int64   `json:"fact_rows"`
+	DimScale float64 `json:"dim_scale"`
+	Workers  int     `json:"workers"`
+	Seed     uint64  `json:"seed"`
+}
+
+// ScanRunStats is one query execution's scan-path measurements under one
+// configuration. NsPerRow is TotalNs divided by the table's fact rows (not
+// the rows actually decoded), so skipping work via pruning or late
+// materialization shows up directly as a lower per-row cost.
+type ScanRunStats struct {
+	TotalNs          int64   `json:"total_ns"`
+	NsPerRow         float64 `json:"ns_per_row"`
+	RowsScanned      int64   `json:"rows_scanned"`
+	RowsPruned       int64   `json:"rows_pruned"`
+	RowsLateSkipped  int64   `json:"rows_late_skipped"`
+	PartitionsPruned int64   `json:"partitions_pruned"`
+	BytesSkipped     int64   `json:"bytes_skipped"`
+	ProbeRows        int64   `json:"probe_rows"`
+}
+
+// ScanQueryStats pairs the full scan path (zone-map pruning + late
+// materialization) against the plain scan for one query.
+type ScanQueryStats struct {
+	Query     string       `json:"query"`
+	Plain     ScanRunStats `json:"plain"`
+	Optimized ScanRunStats `json:"optimized"`
+	// Speedup is plain ns/row over optimized ns/row (> 1 is an improvement).
+	Speedup float64 `json:"speedup"`
+}
+
+// ScanBenchResult is the payload of BENCH_scan.json: the scan-path baseline
+// (see EXPERIMENTS.md for how to read and refresh it).
+type ScanBenchResult struct {
+	Config  ScanBenchConfig  `json:"config"`
+	Queries []ScanQueryStats `json:"queries"`
+}
+
+// WriteJSON writes the result as indented JSON.
+func (r *ScanBenchResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunScanBench measures the scan path on every SSB query twice: once with
+// zone-map pruning and late materialization disabled (every partition
+// decoded in full) and once with the full scan path. Both runs use the same
+// unthrottled cluster and warmed engines, so the difference is decode and
+// probe work actually avoided. The fact table is written by the standard
+// loader, so lo_orderdate is arrival-clustered and the date-driven queries
+// genuinely prune.
+func RunScanBench(factRows int64, workers int, seed uint64, w io.Writer) (*ScanBenchResult, error) {
+	if factRows <= 0 {
+		factRows = 120_000
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	gen := ssb.NewBenchGenerator(1, factRows, seed)
+	c := cluster.New(cluster.Testing(workers))
+	fs := hdfs.New(c, hdfs.Options{BlockSize: 256 << 10, Seed: int64(seed)})
+	lay, err := ssb.Load(fs, gen, "/ssb", ssb.LoadOptions{SkipRC: true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.EnsureCatalogCached(fs, lay.Catalog()); err != nil {
+		return nil, err
+	}
+	mrEng := mr.NewEngine(c, fs, mr.Options{})
+	plainEng := core.New(mrEng, lay.Catalog(), core.Options{
+		NoScanPruning:         true,
+		NoLateMaterialization: true,
+	})
+	optEng := core.New(mrEng, lay.Catalog(), core.Options{})
+
+	out := &ScanBenchResult{Config: ScanBenchConfig{
+		FactRows: factRows,
+		DimScale: 1,
+		Workers:  workers,
+		Seed:     seed,
+	}}
+	if w != nil {
+		fmt.Fprintf(w, "scan-path baseline: %d fact rows, %d workers\n", factRows, workers)
+		fmt.Fprintf(w, "%-6s %10s %10s %8s %10s %10s %12s %8s\n",
+			"Query", "plain/row", "opt/row", "pruned", "rows_prn", "late_skip", "bytes_skip", "speedup")
+	}
+	measure := func(eng *core.Engine, q *core.Query) (ScanRunStats, error) {
+		if _, _, err := eng.Execute(context.Background(), q); err != nil { // warm-up
+			return ScanRunStats{}, err
+		}
+		_, rep, err := eng.Execute(context.Background(), q)
+		if err != nil {
+			return ScanRunStats{}, err
+		}
+		ctr := rep.Job.Counters
+		st := ScanRunStats{
+			TotalNs:          rep.Total.Nanoseconds(),
+			RowsScanned:      ctr.Get(colstore.CtrRowsScanned),
+			RowsPruned:       ctr.Get(colstore.CtrRowsPruned),
+			RowsLateSkipped:  ctr.Get(colstore.CtrRowsLateSkipped),
+			PartitionsPruned: rep.PartitionsPruned,
+			BytesSkipped:     rep.BytesSkipped,
+			ProbeRows:        ctr.Get(core.CtrProbeRows),
+		}
+		st.NsPerRow = float64(st.TotalNs) / float64(factRows)
+		return st, nil
+	}
+	for _, q := range ssb.Queries() {
+		plain, err := measure(plainEng, q)
+		if err != nil {
+			return nil, fmt.Errorf("bench: plain scan %s: %w", q.Name, err)
+		}
+		opt, err := measure(optEng, q)
+		if err != nil {
+			return nil, fmt.Errorf("bench: optimized scan %s: %w", q.Name, err)
+		}
+		st := ScanQueryStats{Query: q.Name, Plain: plain, Optimized: opt}
+		if opt.NsPerRow > 0 {
+			st.Speedup = plain.NsPerRow / opt.NsPerRow
+		}
+		out.Queries = append(out.Queries, st)
+		if w != nil {
+			fmt.Fprintf(w, "%-6s %10.1f %10.1f %8d %10d %10d %12d %7.2fx\n",
+				st.Query, plain.NsPerRow, opt.NsPerRow, opt.PartitionsPruned,
+				opt.RowsPruned, opt.RowsLateSkipped, opt.BytesSkipped, st.Speedup)
+		}
+	}
+	return out, nil
+}

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"clydesdale/internal/expr"
 	"clydesdale/internal/hdfs"
 	"clydesdale/internal/mr"
 	"clydesdale/internal/obs"
@@ -20,16 +21,46 @@ import (
 //
 //	<dir>/_schema
 //	<dir>/p-00000/<column>.col
+//	<dir>/p-00000/_stats
 //	<dir>/p-00001/<column>.col ...
 //
-// A column file is magic "CCF1", uvarint row count, the encoded values,
-// and a trailing CRC-32 (IEEE) of everything before it — the checksum HDFS
-// keeps per block, letting readers detect corrupted replicas.
+// The column-file format is versioned by its magic:
+//
+//	v1 "CCF1": uvarint row count, a tagged records.AppendValue stream, and a
+//	trailing CRC-32 (IEEE) of everything before it — the checksum HDFS keeps
+//	per block, letting readers detect corrupted replicas.
+//	v2 "CCF2": uvarint row count, one Encoding byte, the encoded payload
+//	(see encoding.go), and the same CRC-32 trailer.
+//
+// The writer emits v2 plus a per-partition "_stats" zone-map sidecar (see
+// stats.go); the reader accepts both versions, so tables written before this
+// format existed keep working — they just decode plain and never prune.
 // The table prefix is registered with the co-locating placement policy so
 // all the column files of a partition replicate to the same nodes, keeping
 // column-pruned scans data-local (§4.1).
 
-var cifMagic = []byte{'C', 'C', 'F', '1'}
+var (
+	cifMagicV1 = []byte{'C', 'C', 'F', '1'}
+	cifMagicV2 = []byte{'C', 'C', 'F', '2'}
+)
+
+// Scan counters surfaced in job reports. The pruning set is charged by
+// CIFInput.Splits on the driver; the row set by readers on task nodes.
+const (
+	// CtrPartitionsPruned counts partitions dropped by zone maps pre-schedule.
+	CtrPartitionsPruned = "scan.partitions_pruned"
+	// CtrPartitionsScanned counts partitions that became splits.
+	CtrPartitionsScanned = "scan.partitions_scanned"
+	// CtrBytesSkipped is the projected-column bytes of pruned partitions.
+	CtrBytesSkipped = "scan.bytes_skipped"
+	// CtrRowsPruned is the row count of pruned partitions (from their stats).
+	CtrRowsPruned = "scan.rows_pruned"
+	// CtrRowsScanned counts rows decoded or predicate-inspected by readers.
+	CtrRowsScanned = "scan.rows_scanned"
+	// CtrRowsLateSkipped counts rows whose non-predicate columns were never
+	// materialized because the selection vector dropped them.
+	CtrRowsLateSkipped = "scan.rows_late_skipped"
+)
 
 // DefaultPartitionRows is the row count per CIF partition when unspecified.
 const DefaultPartitionRows = 65536
@@ -85,16 +116,19 @@ func (w *CIFWriter) flushPartition() error {
 	pdir := fmt.Sprintf("%s/p-%05d", w.dir, w.partition)
 	for i := 0; i < w.schema.Len(); i++ {
 		col := w.block.Col(i)
-		buf := append([]byte(nil), cifMagic...)
+		enc, payload := encodeColumn(col)
+		buf := append([]byte(nil), cifMagicV2...)
 		buf = binary.AppendUvarint(buf, uint64(col.Len()))
-		for row := 0; row < col.Len(); row++ {
-			buf = records.AppendValue(buf, col.Value(row))
-		}
+		buf = append(buf, byte(enc))
+		buf = append(buf, payload...)
 		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
 		path := fmt.Sprintf("%s/%s.col", pdir, w.schema.Field(i).Name)
 		if err := w.fs.WriteFile(path, "", buf); err != nil {
 			return err
 		}
+	}
+	if err := WritePartitionStats(w.fs, pdir, blockStats(w.block)); err != nil {
+		return err
 	}
 	w.partition++
 	w.block.Reset()
@@ -249,6 +283,12 @@ func (s *MultiSplit) Length() int64 {
 // The same input format serves the three execution modes the paper
 // evaluates: row-at-a-time (CIF) through Next, block iteration (B-CIF)
 // through NextBlock, and MultiCIF packing via mr.ConfMultiSplitPack.
+//
+// With Pred set the scan additionally skips work at two granularities:
+// Splits drops whole partitions whose zone maps prove Pred false everywhere,
+// and NextBlock late-materializes — predicate and eager columns are decoded
+// first, Pred is evaluated into a selection vector, and the remaining
+// columns are decoded only at selected positions.
 type CIFInput struct {
 	Dir     string
 	Columns []string // nil → all columns
@@ -256,10 +296,32 @@ type CIFInput struct {
 	// BlockRows is the rows per block for NextBlock (B-CIF); <= 0 uses 1024.
 	BlockRows int
 
+	// Pred is an optional row predicate over the projected columns. It is
+	// used for zone-map pruning and late materialization only: rows the scan
+	// delivers are guaranteed to satisfy it, but the consumer may safely
+	// re-check (rows are never added, only dropped).
+	Pred expr.Pred
+	// PrunePreds are additional predicates used only for zone-map pruning,
+	// never evaluated per row — e.g. foreign-key range hints derived from
+	// dimension predicates. Each must be implied by the query's real
+	// predicates for pruning to stay sound.
+	PrunePreds []expr.Pred
+	// EagerColumns names columns the consumer needs regardless of Pred
+	// (typically join FKs); they are decoded with the predicate columns.
+	EagerColumns []string
+	// DisablePruning and DisableLateMat turn off each optimization for
+	// ablation and debugging.
+	DisablePruning bool
+	DisableLateMat bool
+
 	projected *records.Schema
+	blockPred expr.BlockPred
+	earlyIdx  []int // projected-schema indexes decoded before selection
+	lateIdx   []int // projected-schema indexes decoded after selection
 }
 
-// Splits implements mr.InputFormat, optionally packing multi-splits.
+// Splits implements mr.InputFormat: it lists partitions, prunes those whose
+// zone maps refute the predicate, and optionally packs multi-splits.
 func (in *CIFInput) Splits(ctx *mr.JobContext) ([]mr.InputSplit, error) {
 	if err := in.resolve(ctx.FS); err != nil {
 		return nil, err
@@ -270,6 +332,10 @@ func (in *CIFInput) Splits(ctx *mr.JobContext) ([]mr.InputSplit, error) {
 	}
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("colstore: CIF table %s has no partitions", in.Dir)
+	}
+	parts, err = in.prunePartitions(ctx, parts)
+	if err != nil {
+		return nil, err
 	}
 	var raw []*CIFSplit
 	for _, pdir := range parts {
@@ -330,6 +396,69 @@ func (in *CIFInput) Splits(ctx *mr.JobContext) ([]mr.InputSplit, error) {
 	return out, nil
 }
 
+// prunePartitions drops partitions whose zone maps prove the predicate can
+// match no row. Missing or unreadable stats keep the partition (never prune
+// on uncertainty). Pruning counters and a "prune" span are charged to the
+// job even when nothing is pruned, so reports can show 0 explicitly.
+func (in *CIFInput) prunePartitions(ctx *mr.JobContext, parts []string) ([]string, error) {
+	preds := in.PrunePreds
+	if in.Pred != nil {
+		preds = append([]expr.Pred{in.Pred}, preds...)
+	}
+	if in.DisablePruning || len(preds) == 0 {
+		return parts, nil
+	}
+	start := time.Now()
+	kept := parts[:0]
+	var pruned, rowsPruned, bytesSkipped int64
+	for _, pdir := range parts {
+		ps, err := ReadPartitionStats(ctx.FS, pdir)
+		if err != nil || ps == nil {
+			kept = append(kept, pdir)
+			continue
+		}
+		drop := false
+		src := ps.RangeSource()
+		for _, p := range preds {
+			if expr.PredRange(p, src) == expr.RangeNever {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			kept = append(kept, pdir)
+			continue
+		}
+		pruned++
+		rowsPruned += ps.Rows
+		for i := 0; i < in.projected.Len(); i++ {
+			path := fmt.Sprintf("%s/%s.col", pdir, in.projected.Field(i).Name)
+			if info, err := ctx.FS.Stat(path); err == nil {
+				bytesSkipped += info.Size
+			}
+		}
+	}
+	if ctx.Counters != nil {
+		ctx.Counters.Add(CtrPartitionsPruned, pruned)
+		ctx.Counters.Add(CtrPartitionsScanned, int64(len(kept)))
+		ctx.Counters.Add(CtrBytesSkipped, bytesSkipped)
+		ctx.Counters.Add(CtrRowsPruned, rowsPruned)
+	}
+	if ctx.Tracer.Enabled() {
+		ctx.Tracer.Emit(obs.Span{
+			Job:   ctx.JobID,
+			Name:  obs.PhasePrune,
+			Start: start,
+			End:   time.Now(),
+			Attrs: obs.Attrs(
+				"kept", strconv.FormatInt(int64(len(kept)), 10),
+				"pruned", strconv.FormatInt(pruned, 10),
+				"bytes_skipped", strconv.FormatInt(bytesSkipped, 10)),
+		})
+	}
+	return kept, nil
+}
+
 func (in *CIFInput) resolve(fs *hdfs.FileSystem) error {
 	if in.Schema == nil {
 		s, err := ReadSchema(fs, in.Dir)
@@ -350,7 +479,43 @@ func (in *CIFInput) resolve(fs *hdfs.FileSystem) error {
 		return err
 	}
 	in.projected = proj
+	in.planLateMat()
 	return nil
+}
+
+// planLateMat splits the projected columns into the eager set (predicate
+// columns + EagerColumns, decoded before selection) and the late set
+// (decoded only at selected positions), and compiles the block predicate.
+// Any reason the plan cannot be built — no predicate, disabled, compile
+// failure, nothing to defer — degrades to eager decoding of every column.
+func (in *CIFInput) planLateMat() {
+	in.blockPred, in.earlyIdx, in.lateIdx = nil, nil, nil
+	if in.Pred == nil || in.DisableLateMat {
+		return
+	}
+	need := map[string]bool{}
+	for _, c := range expr.ColumnsOf(nil, []expr.Pred{in.Pred}) {
+		need[c] = true
+	}
+	for _, c := range in.EagerColumns {
+		need[c] = true
+	}
+	var early, late []int
+	for i := 0; i < in.projected.Len(); i++ {
+		if need[in.projected.Field(i).Name] {
+			early = append(early, i)
+		} else {
+			late = append(late, i)
+		}
+	}
+	if len(late) == 0 {
+		return // every column is needed up front; nothing to defer
+	}
+	bp, err := expr.CompileBlockPred(in.Pred, in.projected)
+	if err != nil {
+		return
+	}
+	in.blockPred, in.earlyIdx, in.lateIdx = bp, early, late
 }
 
 // Open implements mr.InputFormat. The returned reader also implements
@@ -365,11 +530,11 @@ func (in *CIFInput) Open(split mr.InputSplit, ctx *mr.TaskContext) (mr.RecordRea
 	}
 	switch s := split.(type) {
 	case *CIFSplit:
-		return newCIFReader(ctx, s, in.projected, blockRows), nil
+		return newCIFReader(ctx, s, in, blockRows), nil
 	case *MultiSplit:
 		children := make([]mr.RecordReader, len(s.Parts))
 		for i, p := range s.Parts {
-			children[i] = newCIFReader(ctx, p, in.projected, blockRows)
+			children[i] = newCIFReader(ctx, p, in, blockRows)
 		}
 		return &multiReader{children: children}, nil
 	default:
@@ -388,18 +553,21 @@ type BlockReader interface {
 type cifReader struct {
 	ctx       *mr.TaskContext
 	split     *CIFSplit
+	in        *CIFInput
 	schema    *records.Schema
 	blockRows int
 
-	loaded bool
-	chunks [][]byte // per column, remaining encoded values
-	rows   int64
-	pos    int64
-	block  *records.RowBlock
+	loaded  bool
+	decs    []*colDecoder // per projected column
+	rows    int64
+	pos     int64
+	block   *records.RowBlock
+	scratch []records.Value // Next's reused value slice
+	sel     []bool          // late materialization selection vector
 }
 
-func newCIFReader(ctx *mr.TaskContext, s *CIFSplit, schema *records.Schema, blockRows int) *cifReader {
-	return &cifReader{ctx: ctx, split: s, schema: schema, blockRows: blockRows}
+func newCIFReader(ctx *mr.TaskContext, s *CIFSplit, in *CIFInput, blockRows int) *cifReader {
+	return &cifReader{ctx: ctx, split: s, in: in, schema: in.projected, blockRows: blockRows}
 }
 
 // load fetches the partition's projected column files from HDFS (charging
@@ -424,7 +592,7 @@ func (r *cifReader) load() error {
 			"partition", r.split.PartitionDir,
 			"local", strconv.FormatBool(local))
 	}()
-	r.chunks = make([][]byte, r.schema.Len())
+	r.decs = make([]*colDecoder, r.schema.Len())
 	r.rows = -1
 	for i := 0; i < r.schema.Len(); i++ {
 		path := fmt.Sprintf("%s/%s.col", r.split.PartitionDir, r.schema.Field(i).Name)
@@ -432,28 +600,54 @@ func (r *cifReader) load() error {
 		if err != nil {
 			return err
 		}
-		if len(data) < len(cifMagic)+4 || string(data[:len(cifMagic)]) != string(cifMagic) {
+		if len(data) < len(cifMagicV1)+4 {
+			return fmt.Errorf("colstore: %s: short column file", path)
+		}
+		var v2 bool
+		switch string(data[:len(cifMagicV1)]) {
+		case string(cifMagicV1):
+		case string(cifMagicV2):
+			v2 = true
+		default:
 			return fmt.Errorf("colstore: %s: bad column magic", path)
 		}
 		body, sum := data[:len(data)-4], binary.LittleEndian.Uint32(data[len(data)-4:])
 		if crc32.ChecksumIEEE(body) != sum {
 			return fmt.Errorf("colstore: %s: checksum mismatch (corrupted replica?)", path)
 		}
-		count, n := binary.Uvarint(body[len(cifMagic):])
+		pos := len(cifMagicV1)
+		count, n := binary.Uvarint(body[pos:])
 		if n <= 0 {
 			return fmt.Errorf("colstore: %s: bad row count", path)
 		}
+		pos += n
 		if r.rows < 0 {
 			r.rows = int64(count)
 		} else if r.rows != int64(count) {
 			return fmt.Errorf("colstore: %s: %d rows, sibling columns have %d", path, count, r.rows)
 		}
-		r.chunks[i] = body[len(cifMagic)+n:]
+		enc := EncPlain
+		if v2 {
+			if pos >= len(body) {
+				return fmt.Errorf("colstore: %s: missing encoding byte", path)
+			}
+			enc = Encoding(body[pos])
+			pos++
+		}
+		dec, err := newColDecoder(r.schema.Field(i).Kind, enc, body[pos:])
+		if err != nil {
+			return fmt.Errorf("colstore: %s: %w", path, err)
+		}
+		r.decs[i] = dec
 	}
 	return nil
 }
 
-// Next implements mr.RecordReader (row-at-a-time CIF).
+// Next implements mr.RecordReader (row-at-a-time CIF). The returned record
+// shares a scratch value slice that is overwritten by the following Next
+// call; consumers that retain records across calls must Clone them. The
+// map runners satisfy this — records are serialized or probed before the
+// next read.
 func (r *cifReader) Next() (records.Record, records.Record, bool, error) {
 	if err := r.load(); err != nil {
 		return records.Record{}, records.Record{}, false, err
@@ -461,74 +655,138 @@ func (r *cifReader) Next() (records.Record, records.Record, bool, error) {
 	if r.pos >= r.rows {
 		return records.Record{}, records.Record{}, false, nil
 	}
-	vals := make([]records.Value, r.schema.Len())
-	for i := range r.chunks {
-		v, n, err := records.DecodeValue(r.chunks[i])
+	if r.scratch == nil {
+		r.scratch = make([]records.Value, r.schema.Len())
+	}
+	for i, dec := range r.decs {
+		v, err := dec.next()
 		if err != nil {
 			return records.Record{}, records.Record{}, false, err
 		}
-		r.chunks[i] = r.chunks[i][n:]
-		vals[i] = v
+		r.scratch[i] = v
 	}
 	r.pos++
-	return records.Record{}, records.Make(r.schema, vals...), true, nil
+	return records.Record{}, records.Make(r.schema, r.scratch...), true, nil
 }
 
-// NextBlock implements BlockReader (B-CIF): it fills the reusable block by
-// decoding a run of values from each column chunk in a tight loop.
+// NextBlock implements BlockReader (B-CIF): it fills the reusable block with
+// typed bulk decodes. With a late-materialization plan, only the eager
+// (predicate + FK) columns are decoded first; the block predicate selects
+// rows, and the remaining columns are materialized only at selected
+// positions. Blocks in which no row survives are skipped entirely.
 func (r *cifReader) NextBlock() (*records.RowBlock, bool, error) {
 	if err := r.load(); err != nil {
 		return nil, false, err
 	}
-	if r.pos >= r.rows {
-		return nil, false, nil
-	}
-	n := int64(r.blockRows)
-	if r.pos+n > r.rows {
-		n = r.rows - r.pos
-	}
-	if r.block == nil {
-		r.block = records.NewRowBlock(r.schema, r.blockRows)
-	}
-	r.block.Reset()
-	for c := range r.chunks {
-		col := r.block.Col(c)
-		chunk := r.chunks[c]
-		for i := int64(0); i < n; i++ {
-			v, used, err := records.DecodeValue(chunk)
-			if err != nil {
+	for r.pos < r.rows {
+		n := int64(r.blockRows)
+		if r.pos+n > r.rows {
+			n = r.rows - r.pos
+		}
+		if r.block == nil {
+			r.block = records.NewRowBlock(r.schema, r.blockRows)
+		}
+		r.block.Reset()
+		r.pos += n
+		if r.ctx.Counters != nil {
+			r.ctx.Counters.Add(CtrRowsScanned, n)
+		}
+		if r.in.blockPred == nil {
+			for c, dec := range r.decs {
+				if err := dec.decodeInto(r.block.Col(c), int(n)); err != nil {
+					return nil, false, err
+				}
+			}
+			r.block.SetLen(int(n))
+			return r.block, true, nil
+		}
+
+		// Late materialization: eager columns, then select, then the rest.
+		for _, c := range r.in.earlyIdx {
+			if err := r.decs[c].decodeInto(r.block.Col(c), int(n)); err != nil {
 				return nil, false, err
 			}
-			chunk = chunk[used:]
-			col.Append(v)
 		}
-		r.chunks[c] = chunk
+		if cap(r.sel) < int(n) {
+			r.sel = make([]bool, n)
+		}
+		sel := r.sel[:n]
+		selected := 0
+		for i := 0; i < int(n); i++ {
+			sel[i] = r.in.blockPred(r.block, i)
+			if sel[i] {
+				selected++
+			}
+		}
+		if r.ctx.Counters != nil {
+			r.ctx.Counters.Add(CtrRowsLateSkipped, n-int64(selected))
+		}
+		switch {
+		case selected == 0:
+			// Nothing survived: skip the late columns wholesale and move on.
+			for _, c := range r.in.lateIdx {
+				if err := r.decs[c].decodeFiltered(r.block.Col(c), sel); err != nil {
+					return nil, false, err
+				}
+			}
+			continue
+		case selected == int(n):
+			for _, c := range r.in.lateIdx {
+				if err := r.decs[c].decodeInto(r.block.Col(c), int(n)); err != nil {
+					return nil, false, err
+				}
+			}
+		default:
+			for _, c := range r.in.earlyIdx {
+				r.block.Col(c).Compact(sel)
+			}
+			for _, c := range r.in.lateIdx {
+				if err := r.decs[c].decodeFiltered(r.block.Col(c), sel); err != nil {
+					return nil, false, err
+				}
+			}
+		}
+		r.block.SetLen(selected)
+		return r.block, true, nil
 	}
-	r.pos += n
-	r.block.SetLen(int(n))
-	return r.block, true, nil
+	return nil, false, nil
 }
 
 // Close implements mr.RecordReader.
 func (r *cifReader) Close() error {
-	r.chunks = nil
+	r.decs = nil
 	return nil
 }
 
 // multiReader serves a multi-split: sequential Next for the default runner
-// and independent per-partition readers for multi-threaded runners.
+// and independent per-partition readers for multi-threaded runners. The two
+// access modes drain the same underlying children, so they are mutually
+// exclusive: whichever of Readers or Next is called first claims the reader,
+// and the other mode errors rather than silently double-reading partitions.
 type multiReader struct {
 	children []mr.RecordReader
 	cur      int
+	mode     int8 // 0 unclaimed, 1 Next, 2 Readers
 }
 
-// Readers implements mr.MultiReader.
+// Readers implements mr.MultiReader, claiming the reader for per-partition
+// access. It errors if sequential iteration already started.
 func (m *multiReader) Readers() ([]mr.RecordReader, error) {
+	if m.mode == 1 {
+		return nil, fmt.Errorf("colstore: multiReader.Readers after Next would re-read partitions")
+	}
+	m.mode = 2
 	return append([]mr.RecordReader(nil), m.children...), nil
 }
 
-// Next implements mr.RecordReader by draining children in order.
+// Next implements mr.RecordReader by draining children in order. It errors
+// if the children were already handed out via Readers.
 func (m *multiReader) Next() (records.Record, records.Record, bool, error) {
+	if m.mode == 2 {
+		return records.Record{}, records.Record{}, false,
+			fmt.Errorf("colstore: multiReader.Next after Readers would re-read partitions")
+	}
+	m.mode = 1
 	for m.cur < len(m.children) {
 		k, v, ok, err := m.children[m.cur].Next()
 		if err != nil || ok {

@@ -1,0 +1,324 @@
+package colstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"clydesdale/internal/records"
+)
+
+// Typed column encodings for the v2 ("CCF2") column-file format. The writer
+// buffers a whole partition, so it can inspect each column and pick the
+// cheapest encoding by actually computing the candidate sizes:
+//
+//	EncPlain — the v1 payload: a tagged records.AppendValue stream. Always
+//	           valid, always the fallback.
+//	EncDict  — low-cardinality strings: a uvarint entry count, the distinct
+//	           strings (uvarint length + bytes) in first-seen order, then one
+//	           uvarint index per row.
+//	EncDelta — integers: one zig-zag varint per row holding the delta from
+//	           the previous row (the first row's delta is from zero). Near-
+//	           monotone columns (sequence keys, arrival-ordered dates)
+//	           collapse to one or two bytes per row.
+//
+// Decoding is per-column-kind and unboxed: bulk decoders fill ColumnVector
+// slices directly, and the filtered decoder skips materialization (string
+// allocation, value boxing) at unselected positions — the decode half of
+// late materialization.
+
+// Encoding identifies a column payload's physical layout.
+type Encoding uint8
+
+const (
+	// EncPlain is a tagged AppendValue stream (any kind; the v1 payload).
+	EncPlain Encoding = 0
+	// EncDict is dictionary-coded strings.
+	EncDict Encoding = 1
+	// EncDelta is delta-varint integers.
+	EncDelta Encoding = 2
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncPlain:
+		return "plain"
+	case EncDict:
+		return "dict"
+	case EncDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("enc(%d)", uint8(e))
+	}
+}
+
+// maxDictEntries bounds the dictionary: beyond this the column is not
+// low-cardinality and the size comparison would rarely pay anyway.
+const maxDictEntries = 4096
+
+// encodeColumn picks the cheapest encoding for one buffered column and
+// returns the chosen encoding and its payload.
+func encodeColumn(cv *records.ColumnVector) (Encoding, []byte) {
+	plain := encodePlain(cv)
+	switch cv.Kind {
+	case records.KindInt64:
+		if d := encodeDelta(cv.Ints); len(d) < len(plain) {
+			return EncDelta, d
+		}
+	case records.KindString:
+		if d, ok := encodeDict(cv.Strs); ok && len(d) < len(plain) {
+			return EncDict, d
+		}
+	}
+	return EncPlain, plain
+}
+
+func encodePlain(cv *records.ColumnVector) []byte {
+	var buf []byte
+	for i := 0; i < cv.Len(); i++ {
+		buf = records.AppendValue(buf, cv.Value(i))
+	}
+	return buf
+}
+
+func encodeDelta(vals []int64) []byte {
+	buf := make([]byte, 0, len(vals)*2)
+	prev := int64(0)
+	for _, v := range vals {
+		buf = binary.AppendVarint(buf, v-prev)
+		prev = v
+	}
+	return buf
+}
+
+func encodeDict(vals []string) ([]byte, bool) {
+	idx := make(map[string]uint64, 64)
+	var entries []string
+	for _, v := range vals {
+		if _, ok := idx[v]; !ok {
+			if len(entries) >= maxDictEntries {
+				return nil, false
+			}
+			idx[v] = uint64(len(entries))
+			entries = append(entries, v)
+		}
+	}
+	var buf []byte
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = binary.AppendUvarint(buf, uint64(len(e)))
+		buf = append(buf, e...)
+	}
+	for _, v := range vals {
+		buf = binary.AppendUvarint(buf, idx[v])
+	}
+	return buf, true
+}
+
+// colDecoder streams one column payload. It supports three access styles:
+// boxed next() for the row-at-a-time path, bulk decodeInto for block
+// iteration, and decodeFiltered for late materialization (unselected
+// positions are parsed past but never materialized).
+type colDecoder struct {
+	kind records.Kind
+	enc  Encoding
+	buf  []byte
+	dict []string // EncDict only
+	prev int64    // EncDelta running value
+}
+
+func newColDecoder(kind records.Kind, enc Encoding, payload []byte) (*colDecoder, error) {
+	d := &colDecoder{kind: kind, enc: enc, buf: payload}
+	switch enc {
+	case EncPlain:
+	case EncDelta:
+		if kind != records.KindInt64 {
+			return nil, fmt.Errorf("colstore: delta encoding on %s column", kind)
+		}
+	case EncDict:
+		if kind != records.KindString {
+			return nil, fmt.Errorf("colstore: dict encoding on %s column", kind)
+		}
+		n, used := binary.Uvarint(d.buf)
+		if used <= 0 {
+			return nil, fmt.Errorf("colstore: bad dictionary size")
+		}
+		d.buf = d.buf[used:]
+		d.dict = make([]string, n)
+		for i := range d.dict {
+			l, used := binary.Uvarint(d.buf)
+			if used <= 0 || uint64(len(d.buf)-used) < l {
+				return nil, fmt.Errorf("colstore: bad dictionary entry")
+			}
+			d.dict[i] = string(d.buf[used : used+int(l)])
+			d.buf = d.buf[used+int(l):]
+		}
+	default:
+		return nil, fmt.Errorf("colstore: unknown column encoding %d", uint8(enc))
+	}
+	return d, nil
+}
+
+// next decodes one value boxed (the row-at-a-time path).
+func (d *colDecoder) next() (records.Value, error) {
+	switch d.enc {
+	case EncDict:
+		i, used := binary.Uvarint(d.buf)
+		if used <= 0 || i >= uint64(len(d.dict)) {
+			return records.Null, fmt.Errorf("colstore: bad dictionary index")
+		}
+		d.buf = d.buf[used:]
+		return records.Str(d.dict[i]), nil
+	case EncDelta:
+		delta, used := binary.Varint(d.buf)
+		if used <= 0 {
+			return records.Null, fmt.Errorf("colstore: bad delta varint")
+		}
+		d.buf = d.buf[used:]
+		d.prev += delta
+		return records.Int(d.prev), nil
+	default:
+		v, used, err := records.DecodeValue(d.buf)
+		if err != nil {
+			return records.Null, err
+		}
+		d.buf = d.buf[used:]
+		return v, nil
+	}
+}
+
+// decodeInto appends n decoded values to cv using the typed bulk path.
+func (d *colDecoder) decodeInto(cv *records.ColumnVector, n int) error {
+	switch d.enc {
+	case EncDict:
+		for i := 0; i < n; i++ {
+			idx, used := binary.Uvarint(d.buf)
+			if used <= 0 || idx >= uint64(len(d.dict)) {
+				return fmt.Errorf("colstore: bad dictionary index")
+			}
+			d.buf = d.buf[used:]
+			cv.Strs = append(cv.Strs, d.dict[idx])
+		}
+		return nil
+	case EncDelta:
+		prev := d.prev
+		for i := 0; i < n; i++ {
+			delta, used := binary.Varint(d.buf)
+			if used <= 0 {
+				return fmt.Errorf("colstore: bad delta varint")
+			}
+			d.buf = d.buf[used:]
+			prev += delta
+			cv.Ints = append(cv.Ints, prev)
+		}
+		d.prev = prev
+		return nil
+	default:
+		return d.decodePlainInto(cv, n, nil)
+	}
+}
+
+// decodeFiltered consumes len(sel) values, appending to cv only at positions
+// where sel is true. Unselected values are parsed past without
+// materialization (no string allocation, no boxing).
+func (d *colDecoder) decodeFiltered(cv *records.ColumnVector, sel []bool) error {
+	switch d.enc {
+	case EncDict:
+		for _, keep := range sel {
+			idx, used := binary.Uvarint(d.buf)
+			if used <= 0 || idx >= uint64(len(d.dict)) {
+				return fmt.Errorf("colstore: bad dictionary index")
+			}
+			d.buf = d.buf[used:]
+			if keep {
+				cv.Strs = append(cv.Strs, d.dict[idx])
+			}
+		}
+		return nil
+	case EncDelta:
+		prev := d.prev
+		for _, keep := range sel {
+			delta, used := binary.Varint(d.buf)
+			if used <= 0 {
+				return fmt.Errorf("colstore: bad delta varint")
+			}
+			d.buf = d.buf[used:]
+			prev += delta
+			if keep {
+				cv.Ints = append(cv.Ints, prev)
+			}
+		}
+		d.prev = prev
+		return nil
+	default:
+		return d.decodePlainInto(cv, len(sel), sel)
+	}
+}
+
+// decodePlainInto is the typed decoder of the tagged AppendValue stream.
+// With sel non-nil it appends only selected positions; skipped strings are
+// never allocated. Tag bytes not matching the column's kind fall back to the
+// boxed path (preserving v1 semantics for null or mixed-kind streams).
+func (d *colDecoder) decodePlainInto(cv *records.ColumnVector, n int, sel []bool) error {
+	buf := d.buf
+	for i := 0; i < n; i++ {
+		keep := sel == nil || sel[i]
+		if len(buf) == 0 {
+			return fmt.Errorf("colstore: short column payload")
+		}
+		if records.Kind(buf[0]) != d.kind {
+			// Rare path: boxed decode keeps exact v1 behavior.
+			v, used, err := records.DecodeValue(buf)
+			if err != nil {
+				return err
+			}
+			buf = buf[used:]
+			if keep {
+				cv.Append(v)
+			}
+			continue
+		}
+		rest := buf[1:]
+		switch d.kind {
+		case records.KindInt64:
+			v, used := binary.Varint(rest)
+			if used <= 0 {
+				return fmt.Errorf("colstore: bad int varint")
+			}
+			buf = rest[used:]
+			if keep {
+				cv.Ints = append(cv.Ints, v)
+			}
+		case records.KindBool:
+			v, used := binary.Varint(rest)
+			if used <= 0 {
+				return fmt.Errorf("colstore: bad bool varint")
+			}
+			buf = rest[used:]
+			if keep {
+				cv.Bools = append(cv.Bools, v != 0)
+			}
+		case records.KindFloat64:
+			if len(rest) < 8 {
+				return fmt.Errorf("colstore: short float")
+			}
+			if keep {
+				cv.Floats = append(cv.Floats, math.Float64frombits(binary.LittleEndian.Uint64(rest)))
+			}
+			buf = rest[8:]
+		case records.KindString:
+			l, used := binary.Uvarint(rest)
+			if used <= 0 || uint64(len(rest)-used) < l {
+				return fmt.Errorf("colstore: bad string")
+			}
+			if keep {
+				cv.Strs = append(cv.Strs, string(rest[used:used+int(l)]))
+			}
+			buf = rest[used+int(l):]
+		default:
+			return fmt.Errorf("colstore: cannot bulk-decode kind %s", d.kind)
+		}
+	}
+	d.buf = buf
+	return nil
+}

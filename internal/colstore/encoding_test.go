@@ -1,0 +1,200 @@
+package colstore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"clydesdale/internal/records"
+)
+
+// decodeAllWays round-trips one encoded column through every decoder access
+// style (boxed next, bulk decodeInto, decodeFiltered with a selection
+// vector) and fails the test on any divergence from the original vector.
+func decodeAllWays(t *testing.T, rng *rand.Rand, cv *records.ColumnVector, enc Encoding, payload []byte) {
+	t.Helper()
+	n := cv.Len()
+
+	// Boxed row-at-a-time.
+	d, err := newColDecoder(cv.Kind, enc, payload)
+	if err != nil {
+		t.Fatalf("%s decoder: %v", enc, err)
+	}
+	for i := 0; i < n; i++ {
+		v, err := d.next()
+		if err != nil {
+			t.Fatalf("%s next at %d: %v", enc, i, err)
+		}
+		if !v.Equal(cv.Value(i)) {
+			t.Fatalf("%s next at %d: got %v want %v", enc, i, v, cv.Value(i))
+		}
+	}
+
+	// Typed bulk, split at a random point to exercise decoder state carry.
+	d, err = newColDecoder(cv.Kind, enc, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := records.NewColumnVector(cv.Kind, n)
+	cut := rng.Intn(n + 1)
+	if err := d.decodeInto(out, cut); err != nil {
+		t.Fatalf("%s decodeInto: %v", enc, err)
+	}
+	if err := d.decodeInto(out, n-cut); err != nil {
+		t.Fatalf("%s decodeInto rest: %v", enc, err)
+	}
+	for i := 0; i < n; i++ {
+		if !out.Value(i).Equal(cv.Value(i)) {
+			t.Fatalf("%s decodeInto at %d: got %v want %v", enc, i, out.Value(i), cv.Value(i))
+		}
+	}
+
+	// Filtered: random selection vector must yield exactly the kept subset.
+	d, err = newColDecoder(cv.Kind, enc, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := make([]bool, n)
+	var want []records.Value
+	for i := range sel {
+		sel[i] = rng.Intn(2) == 0
+		if sel[i] {
+			want = append(want, cv.Value(i))
+		}
+	}
+	out = records.NewColumnVector(cv.Kind, len(want))
+	if err := d.decodeFiltered(out, sel); err != nil {
+		t.Fatalf("%s decodeFiltered: %v", enc, err)
+	}
+	if out.Len() != len(want) {
+		t.Fatalf("%s decodeFiltered kept %d values, want %d", enc, out.Len(), len(want))
+	}
+	for i, w := range want {
+		if !out.Value(i).Equal(w) {
+			t.Fatalf("%s decodeFiltered at %d: got %v want %v", enc, i, out.Value(i), w)
+		}
+	}
+}
+
+// TestEncodingRoundTripQuick: for randomly shaped columns, whatever encoding
+// the writer picks must decode back to the original values through every
+// access style. Column shapes are chosen to actually exercise all three
+// encodings, which uniformly random data would not.
+func TestEncodingRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(400) + 1
+
+		cols := []*records.ColumnVector{}
+
+		// Near-monotone ints (sequence keys, arrival-ordered dates) → delta.
+		cv := records.NewColumnVector(records.KindInt64, n)
+		v := rng.Int63n(1 << 30)
+		for i := 0; i < n; i++ {
+			v += rng.Int63n(200) - 20 // mostly increasing, occasional dips
+			cv.Ints = append(cv.Ints, v)
+		}
+		cols = append(cols, cv)
+
+		// Random large ints, including negatives.
+		cv = records.NewColumnVector(records.KindInt64, n)
+		for i := 0; i < n; i++ {
+			cv.Ints = append(cv.Ints, rng.Int63n(1<<40)-(1<<39))
+		}
+		cols = append(cols, cv)
+
+		// Low-cardinality strings → dict.
+		vocab := make([]string, rng.Intn(8)+1)
+		for i := range vocab {
+			vocab[i] = fmt.Sprintf("label-%d-%d", i, rng.Intn(1000))
+		}
+		cv = records.NewColumnVector(records.KindString, n)
+		for i := 0; i < n; i++ {
+			cv.Strs = append(cv.Strs, vocab[rng.Intn(len(vocab))])
+		}
+		cols = append(cols, cv)
+
+		// High-cardinality strings → plain (dictionary never pays).
+		cv = records.NewColumnVector(records.KindString, n)
+		for i := 0; i < n; i++ {
+			cv.Strs = append(cv.Strs, fmt.Sprintf("unique-%d-%d", i, rng.Int63()))
+		}
+		cols = append(cols, cv)
+
+		// Floats and bools always stay plain.
+		cv = records.NewColumnVector(records.KindFloat64, n)
+		for i := 0; i < n; i++ {
+			cv.Floats = append(cv.Floats, rng.NormFloat64()*1e6)
+		}
+		cols = append(cols, cv)
+		cv = records.NewColumnVector(records.KindBool, n)
+		for i := 0; i < n; i++ {
+			cv.Bools = append(cv.Bools, rng.Intn(2) == 0)
+		}
+		cols = append(cols, cv)
+
+		for _, cv := range cols {
+			enc, payload := encodeColumn(cv)
+			decodeAllWays(t, rng, cv, enc, payload)
+			// Every payload must also survive being forced plain-free: the
+			// plain encoding is the universal fallback and must always work.
+			decodeAllWays(t, rng, cv, EncPlain, encodePlain(cv))
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEncodeColumnChoices pins the encoding selector's behavior on canonical
+// column shapes: the selector compares real payload sizes, so these shapes
+// must land on the expected encoding.
+func TestEncodeColumnChoices(t *testing.T) {
+	n := 1000
+
+	seq := records.NewColumnVector(records.KindInt64, n)
+	for i := 0; i < n; i++ {
+		seq.Ints = append(seq.Ints, int64(19940101+i))
+	}
+	if enc, _ := encodeColumn(seq); enc != EncDelta {
+		t.Errorf("sequence ints encoded as %s, want delta", enc)
+	}
+
+	lowCard := records.NewColumnVector(records.KindString, n)
+	for i := 0; i < n; i++ {
+		lowCard.Strs = append(lowCard.Strs, []string{"ASIA", "AMERICA", "EUROPE"}[i%3])
+	}
+	if enc, _ := encodeColumn(lowCard); enc != EncDict {
+		t.Errorf("low-cardinality strings encoded as %s, want dict", enc)
+	}
+
+	highCard := records.NewColumnVector(records.KindString, n)
+	for i := 0; i < n; i++ {
+		highCard.Strs = append(highCard.Strs, fmt.Sprintf("customer-%08d", i))
+	}
+	if enc, _ := encodeColumn(highCard); enc != EncPlain {
+		t.Errorf("high-cardinality strings encoded as %s, want plain", enc)
+	}
+
+	floats := records.NewColumnVector(records.KindFloat64, 10)
+	for i := 0; i < 10; i++ {
+		floats.Floats = append(floats.Floats, float64(i)*1.5)
+	}
+	if enc, _ := encodeColumn(floats); enc != EncPlain {
+		t.Errorf("floats encoded as %s, want plain", enc)
+	}
+}
+
+// TestDictRefusesHighCardinality: past maxDictEntries distinct values the
+// dictionary encoder must bail rather than build an unbounded table.
+func TestDictRefusesHighCardinality(t *testing.T) {
+	vals := make([]string, maxDictEntries+1)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%d", i)
+	}
+	if _, ok := encodeDict(vals); ok {
+		t.Fatal("dictionary accepted more than maxDictEntries distinct values")
+	}
+}

@@ -59,7 +59,8 @@ func readAllVia(t *testing.T, e *env, in mr.InputFormat) []records.Record {
 			if !ok {
 				break
 			}
-			rows = append(rows, rec)
+			// CIF's Next reuses a scratch value slice across calls.
+			rows = append(rows, rec.Clone())
 		}
 		r.Close()
 	}

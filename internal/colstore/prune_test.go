@@ -1,0 +1,282 @@
+package colstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"clydesdale/internal/expr"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+)
+
+// readBlocks drains an input through the block-iteration path (the one that
+// applies zone-map pruning in Splits and late materialization in NextBlock)
+// and returns the materialized rows.
+func readBlocks(t *testing.T, e *env, in *CIFInput) ([]records.Record, *mr.Counters) {
+	t.Helper()
+	jctx := &mr.JobContext{FS: e.fs, Cluster: e.cluster, Conf: mr.NewJobConf(), Counters: mr.NewCounters()}
+	splits, err := in.Splits(jctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []records.Record
+	for _, s := range splits {
+		r, err := in.Open(s, mr.NewTestTaskContext(jctx, e.cluster.Nodes()[0]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := r.(BlockReader)
+		for {
+			blk, ok, err := br.NextBlock()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !ok {
+				break
+			}
+			for i := 0; i < blk.Len(); i++ {
+				rows = append(rows, blk.Row(i).Clone())
+			}
+		}
+		r.Close()
+	}
+	return rows, jctx.Counters
+}
+
+var pruneSchema = records.NewSchema(
+	records.F("id", records.KindInt64),
+	records.F("tag", records.KindString),
+	records.F("weight", records.KindFloat64),
+)
+
+// writePruneTable writes nParts partitions of pRows rows each, with id
+// monotone across the table so partitions carry disjoint id ranges.
+func writePruneTable(t testing.TB, e *env, dir string, nParts, pRows int) {
+	t.Helper()
+	if _, err := WriteCIFTable(e.fs, dir, pruneSchema, int64(pRows), func(emit func(records.Record) error) error {
+		for i := 0; i < nParts*pRows; i++ {
+			r := records.Make(pruneSchema,
+				records.Int(int64(i)),
+				records.Str(fmt.Sprintf("tag-%d", i%4)),
+				records.Float(float64(i)*0.5),
+			)
+			if err := emit(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestZoneMapPruningOracle: a pruned scan must return exactly the rows of an
+// unpruned scan — pruning is pure I/O avoidance — while actually skipping the
+// partitions whose id range is disjoint from the predicate.
+func TestZoneMapPruningOracle(t *testing.T) {
+	e := newEnv(2, 4096)
+	const nParts, pRows = 6, 50
+	writePruneTable(t, e, "/zm", nParts, pRows)
+
+	// Rows 60..149 span partitions 1 and 2; partitions 0, 3, 4, 5 are refuted.
+	pred := expr.Between(expr.Col("id"), records.Int(60), records.Int(149))
+
+	pruned, pc := readBlocks(t, e, &CIFInput{Dir: "/zm", Schema: pruneSchema, Pred: pred, BlockRows: 32})
+	full, fc := readBlocks(t, e, &CIFInput{Dir: "/zm", Schema: pruneSchema, Pred: pred, BlockRows: 32, DisablePruning: true})
+
+	if !sameRows(pruned, full) {
+		t.Fatalf("pruned scan returned %d rows, unpruned %d — results differ", len(pruned), len(full))
+	}
+	if len(pruned) != 90 {
+		t.Fatalf("scan returned %d rows, want 90", len(pruned))
+	}
+	if got := pc.Get(CtrPartitionsPruned); got != 4 {
+		t.Errorf("pruned %d partitions, want 4", got)
+	}
+	if got := pc.Get(CtrRowsPruned); got != 4*pRows {
+		t.Errorf("rows_pruned = %d, want %d", got, 4*pRows)
+	}
+	if pc.Get(CtrBytesSkipped) <= 0 {
+		t.Errorf("bytes_skipped = %d, want > 0", pc.Get(CtrBytesSkipped))
+	}
+	if got := fc.Get(CtrPartitionsPruned); got != 0 {
+		t.Errorf("DisablePruning still pruned %d partitions", got)
+	}
+
+	// Accounting: scanned + pruned rows cover the whole table.
+	total := int64(nParts * pRows)
+	if got := pc.Get(CtrRowsScanned) + pc.Get(CtrRowsPruned); got != total {
+		t.Errorf("rows_scanned + rows_pruned = %d, want %d", got, total)
+	}
+}
+
+// TestPrunePredsAreNotRowFilters: PrunePreds may only drop whole partitions;
+// rows inside surviving partitions must come back even when they violate the
+// hint (hints are supersets, e.g. FK ranges over sparse keys).
+func TestPrunePredsAreNotRowFilters(t *testing.T) {
+	e := newEnv(2, 4096)
+	writePruneTable(t, e, "/hint", 4, 50)
+
+	// The hint keeps only partition 1 (ids 50..99); every one of its rows
+	// must be returned, including those outside 60..80.
+	in := &CIFInput{Dir: "/hint", Schema: pruneSchema,
+		PrunePreds: []expr.Pred{expr.Between(expr.Col("id"), records.Int(60), records.Int(80))}}
+	rows, c := readBlocks(t, e, in)
+	if len(rows) != 50 {
+		t.Fatalf("got %d rows, want all 50 rows of the surviving partition", len(rows))
+	}
+	if got := c.Get(CtrPartitionsPruned); got != 3 {
+		t.Errorf("pruned %d partitions, want 3", got)
+	}
+}
+
+// TestCorruptedStatsFallsBack: a damaged or truncated _stats sidecar must
+// disable pruning for that partition, never fail or misprune the scan.
+func TestCorruptedStatsFallsBack(t *testing.T) {
+	e := newEnv(2, 4096)
+	const nParts, pRows = 4, 50
+	writePruneTable(t, e, "/bad", nParts, pRows)
+
+	// Damage every partition's sidecar a different way.
+	parts, err := ListPartitions(e.fs, "/bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != nParts {
+		t.Fatalf("got %d partitions, want %d", len(parts), nParts)
+	}
+	corrupt := [][]byte{
+		[]byte("this is not a stats file"),
+		{'C', 'Z', 'M', '1'},       // truncated after the magic
+		{},                         // empty
+		{'X', 'X', 'X', 'X', 0, 0}, // wrong magic
+	}
+	for i, pdir := range parts {
+		path := pdir + "/" + StatsFileName
+		e.fs.Delete(path)
+		if err := e.fs.WriteFile(path, "", corrupt[i%len(corrupt)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pred := expr.Between(expr.Col("id"), records.Int(60), records.Int(149))
+	rows, c := readBlocks(t, e, &CIFInput{Dir: "/bad", Schema: pruneSchema, Pred: pred, BlockRows: 32})
+	if got := c.Get(CtrPartitionsPruned); got != 0 {
+		t.Errorf("pruned %d partitions on corrupted stats, want 0", got)
+	}
+	if len(rows) != 90 {
+		t.Fatalf("got %d rows, want 90 (full-scan fallback with predicate)", len(rows))
+	}
+
+	// A deleted sidecar behaves the same as a corrupt one.
+	e.fs.Delete(parts[0] + "/" + StatsFileName)
+	rows, c = readBlocks(t, e, &CIFInput{Dir: "/bad", Schema: pruneSchema, Pred: pred, BlockRows: 32})
+	if got := c.Get(CtrPartitionsPruned); got != 0 {
+		t.Errorf("pruned %d partitions with missing stats, want 0", got)
+	}
+	if len(rows) != 90 {
+		t.Fatalf("got %d rows after sidecar delete, want 90", len(rows))
+	}
+}
+
+// loadV1Fixture copies the checked-in pre-stats, plain-encoding ("CCF1")
+// fixture table into the simulated HDFS.
+func loadV1Fixture(t *testing.T, e *env, dir string) {
+	t.Helper()
+	root := filepath.Join("testdata", "v1")
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		return e.fs.WriteFile(dir+"/"+filepath.ToSlash(rel), "", data)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// v1FixtureRow reproduces row i of the checked-in fixture (40 rows written
+// with partitionRows=16 by the pre-v2 writer).
+func v1FixtureRow(schema *records.Schema, i int) records.Record {
+	return records.Make(schema,
+		records.Int(int64(i*3)),
+		records.Str(fmt.Sprintf("name-%02d", i%5)),
+		records.Float(float64(i)*0.25),
+		records.Bool(i%2 == 0),
+	)
+}
+
+// TestV1FormatCompat: tables written before typed encodings and zone maps
+// existed (v1 "CCF1" column files, no _stats sidecar) must keep reading
+// through every access path, and rolling new data into them must work.
+func TestV1FormatCompat(t *testing.T) {
+	e := newEnv(2, 1<<16)
+	loadV1Fixture(t, e, "/v1")
+
+	schema, err := ReadSchema(e.fs, "/v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]records.Record, 40)
+	for i := range want {
+		want[i] = v1FixtureRow(schema, i)
+	}
+
+	// Row-at-a-time.
+	got := readAllVia(t, e, &CIFInput{Dir: "/v1", Schema: schema})
+	if !sameRows(want, got) {
+		t.Fatalf("v1 row iteration: got %d rows, mismatch", len(got))
+	}
+
+	// Block iteration with a predicate: late materialization over plain v1
+	// payloads, and pruning silently disabled by the absent _stats.
+	pred := expr.Ge(expr.Col("id"), expr.ConstInt(60)) // rows 20..39
+	rows, c := readBlocks(t, e, &CIFInput{Dir: "/v1", Schema: schema, Pred: pred, BlockRows: 7})
+	if len(rows) != 20 {
+		t.Fatalf("v1 predicate scan: got %d rows, want 20", len(rows))
+	}
+	for _, r := range rows {
+		if r.At(0).Int64() < 60 {
+			t.Fatalf("v1 predicate scan returned filtered-out row %v", r)
+		}
+	}
+	if got := c.Get(CtrPartitionsPruned); got != 0 {
+		t.Errorf("pruned %d v1 partitions without stats, want 0", got)
+	}
+
+	// Roll-in: appending writes v2 partitions (with stats) next to the v1
+	// ones; the mixed-version table reads as one table.
+	w, err := AppendPartitions(e.fs, "/v1", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 56; i++ {
+		if err := w.Append(v1FixtureRow(schema, i)); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, v1FixtureRow(schema, i))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got = readAllVia(t, e, &CIFInput{Dir: "/v1", Schema: schema})
+	if !sameRows(want, got) {
+		t.Fatalf("mixed v1+v2 table: got %d rows, want %d", len(got), len(want))
+	}
+	// The new partition is prunable even though the v1 ones are not.
+	_, c = readBlocks(t, e, &CIFInput{Dir: "/v1", Schema: schema,
+		Pred: expr.Ge(expr.Col("id"), expr.ConstInt(1000)), BlockRows: 16})
+	if gotP := c.Get(CtrPartitionsPruned); gotP != 1 {
+		t.Errorf("pruned %d partitions of the mixed table, want 1 (the rolled-in v2 one)", gotP)
+	}
+}

@@ -25,8 +25,15 @@ func ScanRowTable(fs *hdfs.FileSystem, dir, clientNode string, fn func(records.R
 			r.Close()
 			return err
 		}
+		// One buffer reused across groups, regrown only when a group is
+		// larger than any seen before. Safe because DecodeRecord copies
+		// string bytes out of the buffer.
+		var buf []byte
 		for _, g := range groups {
-			buf := make([]byte, g.length)
+			if int64(cap(buf)) < g.length {
+				buf = make([]byte, g.length)
+			}
+			buf = buf[:g.length]
 			if _, err := r.ReadAt(buf, g.offset); err != nil && err != io.EOF {
 				r.Close()
 				return err

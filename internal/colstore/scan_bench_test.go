@@ -1,0 +1,69 @@
+package colstore
+
+import (
+	"testing"
+
+	"clydesdale/internal/expr"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+)
+
+// BenchmarkCIFScan measures the block-scan path over a multi-partition CIF
+// table (delta-coded id, dictionary-coded tag, plain floats) in three
+// configurations: decoding everything, late-materializing behind a selective
+// predicate, and the same predicate with zone-map pruning enabled. The
+// ns/row deltas between the three are the wins this scan path exists for.
+func BenchmarkCIFScan(b *testing.B) {
+	e := newEnv(2, 1<<20)
+	const nParts, pRows = 8, 4096
+	writePruneTable(b, e, "/bench", nParts, pRows)
+	totalRows := int64(nParts * pRows)
+
+	// Matches ~1.5 partitions; the rest are refutable by zone maps.
+	pred := expr.Between(expr.Col("id"), records.Int(pRows), records.Int(pRows*5/2))
+
+	cases := []struct {
+		name string
+		in   *CIFInput
+	}{
+		{"full-decode", &CIFInput{Dir: "/bench", Schema: pruneSchema, BlockRows: 1024}},
+		{"late-mat", &CIFInput{Dir: "/bench", Schema: pruneSchema, BlockRows: 1024,
+			Pred: pred, DisablePruning: true}},
+		{"pruned", &CIFInput{Dir: "/bench", Schema: pruneSchema, BlockRows: 1024, Pred: pred}},
+	}
+	for _, bc := range cases {
+		b.Run(bc.name, func(b *testing.B) {
+			var rows int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				jctx := &mr.JobContext{FS: e.fs, Cluster: e.cluster, Conf: mr.NewJobConf(), Counters: mr.NewCounters()}
+				splits, err := bc.in.Splits(jctx)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, s := range splits {
+					r, err := bc.in.Open(s, mr.NewTestTaskContext(jctx, e.cluster.Nodes()[0]))
+					if err != nil {
+						b.Fatal(err)
+					}
+					br := r.(BlockReader)
+					for {
+						blk, ok, err := br.NextBlock()
+						if err != nil {
+							b.Fatal(err)
+						}
+						if !ok {
+							break
+						}
+						rows += int64(blk.Len())
+					}
+					r.Close()
+				}
+			}
+			if rows == 0 {
+				b.Fatal("benchmark scanned no rows")
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(totalRows*int64(b.N)), "ns/tablerow")
+		})
+	}
+}

@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"clydesdale/internal/cluster"
 
 	"clydesdale/internal/colstore"
+	"clydesdale/internal/expr"
 	"clydesdale/internal/mr"
 	"clydesdale/internal/records"
 	"clydesdale/internal/results"
@@ -116,6 +118,12 @@ type Options struct {
 	// this option ablates that design choice — see
 	// BenchmarkProbeOrderSelectivity.
 	ProbeMostSelectiveFirst bool
+	// NoScanPruning disables zone-map partition pruning (including the
+	// driver-side FK-range hints) for ablation; every partition is scanned.
+	NoScanPruning bool
+	// NoLateMaterialization disables predicate-first column decoding in the
+	// block scan for ablation; all projected columns decode eagerly.
+	NoLateMaterialization bool
 }
 
 // Engine executes star queries as single MapReduce jobs.
@@ -124,6 +132,12 @@ type Engine struct {
 	cat   *Catalog
 	feats Features
 	opts  Options
+
+	// hintMu guards hintCache, the per-(dimension, predicate) memo of
+	// derived FK-range prune hints: dimension contents are immutable for an
+	// engine's lifetime, so each hint is scanned for at most once.
+	hintMu    sync.Mutex
+	hintCache map[string]expr.Pred
 }
 
 // New creates an engine over a MapReduce engine and a catalog.
@@ -156,6 +170,19 @@ type Report struct {
 	// Staged reports whether the staged (one pass per dimension) plan ran,
 	// either by explicit ModeStaged or by ModeAuto's OOM fallback.
 	Staged bool
+	// PartitionsPruned and BytesSkipped summarize zone-map partition
+	// pruning on the fact scan (the scan.* counters).
+	PartitionsPruned int64
+	BytesSkipped     int64
+}
+
+// fillScanStats copies the pruning counters into the report.
+func (r *Report) fillScanStats(c *mr.Counters) {
+	if c == nil {
+		return
+	}
+	r.PartitionsPruned = c.Get(colstore.CtrPartitionsPruned)
+	r.BytesSkipped = c.Get(colstore.CtrBytesSkipped)
 }
 
 // Run executes the query under the engine's configured Options.Mode: the
@@ -242,11 +269,19 @@ func (e *Engine) executeSinglePass(ctx context.Context, q *Query) (*results.Resu
 	if len(q.GroupBy) == 0 {
 		numReduce = 1
 	}
+	var hints []expr.Pred
+	if !e.opts.NoScanPruning {
+		hints = e.fkPruneHints(q)
+	}
 	out := &mr.MemoryOutput{}
 	job := &mr.Job{
-		Name:   "clydesdale-" + q.Name,
-		Conf:   conf,
-		Input:  &colstore.CIFInput{Dir: e.cat.FactDir, Columns: cols, Schema: e.cat.FactSchema, BlockRows: e.opts.BlockRows},
+		Name: "clydesdale-" + q.Name,
+		Conf: conf,
+		Input: &colstore.CIFInput{
+			Dir: e.cat.FactDir, Columns: cols, Schema: e.cat.FactSchema, BlockRows: e.opts.BlockRows,
+			Pred: q.FactPred, PrunePreds: hints, EagerColumns: factFKs(q),
+			DisablePruning: e.opts.NoScanPruning, DisableLateMat: e.opts.NoLateMaterialization,
+		},
 		Output: out,
 		NewMapRunner: func() mr.MapRunner {
 			return runner
@@ -280,6 +315,7 @@ func (e *Engine) executeSinglePass(ctx context.Context, q *Query) (*results.Resu
 		SortTime: time.Since(sortStart),
 		Total:    time.Since(start),
 	}
+	report.fillScanStats(res.Counters)
 	return rs, report, nil
 }
 

@@ -1,0 +1,49 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+
+	"clydesdale/internal/core"
+	"clydesdale/internal/results"
+	"clydesdale/internal/ssb"
+)
+
+// TestPruningOracleAllQueries is the zone-map soundness oracle: every SSB
+// query must return identical results with scan pruning and late
+// materialization enabled and disabled — the optimizations may only avoid
+// work, never change answers. It also pins that the selective date-filtered
+// queries actually prune partitions (the generator's arrival-ordered
+// lo_orderdate gives partitions tight date-key ranges, and the FK-range
+// hints derived from dimension predicates refute the out-of-range ones).
+func TestPruningOracleAllQueries(t *testing.T) {
+	e := newEnv(t, 3, 0.002)
+	opt := e.engine(core.Options{})
+	base := e.engine(core.Options{NoScanPruning: true, NoLateMaterialization: true})
+
+	mustPrune := map[string]bool{"Q1.1": true, "Q3.4": true}
+	var totalPruned int64
+	for _, q := range ssb.Queries() {
+		got, rep, err := opt.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s optimized: %v", q.Name, err)
+		}
+		want, _, err := base.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", q.Name, err)
+		}
+		if ok, why := results.Equivalent(got, want, 1e-9); !ok {
+			t.Errorf("%s: pruned and unpruned runs disagree: %s", q.Name, why)
+		}
+		totalPruned += rep.PartitionsPruned
+		if mustPrune[q.Name] && rep.PartitionsPruned == 0 {
+			t.Errorf("%s: expected zone maps to prune partitions, pruned 0", q.Name)
+		}
+		if rep.PartitionsPruned > 0 && rep.BytesSkipped == 0 {
+			t.Errorf("%s: pruned %d partitions but skipped 0 bytes", q.Name, rep.PartitionsPruned)
+		}
+	}
+	if totalPruned == 0 {
+		t.Error("no SSB query pruned any partition")
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/expr"
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/records"
+)
+
+// Driver-side FK-range hint derivation for zone-map pruning. SSB fact
+// predicates alone rarely refute a partition (discount, quantity, and the
+// like are uniform), but dimension predicates are highly selective and the
+// star join is an equality join on the dimension primary key. Scanning a
+// filtered dimension gives the [min, max] range of qualifying keys, and
+// BETWEEN(fact_fk, min, max) is implied by the join: a fact row whose FK
+// falls outside the range cannot survive the probe. Handing these ranges to
+// CIFInput.PrunePreds lets zone maps drop partitions whose FK ranges are
+// disjoint — for the arrival-ordered lo_orderdate this is what turns a
+// "d_year = 1993" dimension filter into whole skipped fact partitions (the
+// range-pruned-reads idea of cascading map-side joins).
+//
+// The hints are pruning-only: they are never evaluated per row, and a hint
+// that is merely a superset of the qualifying keys (ranges over sparse key
+// sets, e.g. YYYYMMDD date keys) is still sound.
+
+// fkPruneHints returns one BETWEEN hint per dimension whose qualifying
+// primary keys are non-empty. Hints are memoized per (dimension, predicate,
+// fact FK): the first query pays one driver-side dimension scan, every
+// later query with the same filter reuses the range. Dimensions that cannot
+// yield a hint (no predicate, non-integer key, scan error) are skipped —
+// pruning just sees fewer hints.
+func (e *Engine) fkPruneHints(q *Query) []expr.Pred {
+	var hints []expr.Pred
+	for i := range q.Dims {
+		d := &q.Dims[i]
+		if d.Pred == nil || d.Schema == nil {
+			continue
+		}
+		key := d.Table + "|" + d.FactFK + "|" + d.Pred.String()
+		e.hintMu.Lock()
+		hint, cached := e.hintCache[key]
+		e.hintMu.Unlock()
+		if !cached {
+			hint = deriveFKHint(e.mr.FS(), e.cat, d)
+			e.hintMu.Lock()
+			if e.hintCache == nil {
+				e.hintCache = make(map[string]expr.Pred)
+			}
+			e.hintCache[key] = hint
+			e.hintMu.Unlock()
+		}
+		if hint != nil {
+			hints = append(hints, hint)
+		}
+	}
+	return hints
+}
+
+// deriveFKHint scans one filtered dimension and returns the FK range hint,
+// or nil when none can be derived.
+func deriveFKHint(fs *hdfs.FileSystem, cat *Catalog, d *DimSpec) expr.Pred {
+	pkIdx := d.Schema.Index(d.DimPK)
+	if pkIdx < 0 || d.Schema.Field(pkIdx).Kind != records.KindInt64 {
+		return nil
+	}
+	dir, err := cat.DimDir(d.Table)
+	if err != nil {
+		return nil
+	}
+	pred, err := expr.CompilePred(d.Pred, d.Schema)
+	if err != nil {
+		return nil
+	}
+	found := false
+	var lo, hi int64
+	err = colstore.ScanRowTable(fs, dir, "", func(r records.Record) error {
+		if !pred(r) {
+			return nil
+		}
+		v := r.At(pkIdx).Int64()
+		if !found {
+			lo, hi, found = v, v, true
+			return nil
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+		return nil
+	})
+	if err != nil || !found {
+		return nil
+	}
+	return expr.Between(expr.Col(d.FactFK), records.Int(lo), records.Int(hi))
+}
+
+// factFKs lists the fact-side join keys, the columns the probe needs before
+// any selection (CIFInput.EagerColumns).
+func factFKs(q *Query) []string {
+	fks := make([]string, len(q.Dims))
+	for i := range q.Dims {
+		fks[i] = q.Dims[i].FactFK
+	}
+	return fks
+}

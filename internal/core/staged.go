@@ -97,6 +97,7 @@ func (e *Engine) executeStaged(ctx context.Context, q *Query) (*results.ResultSe
 	report.SortTime = time.Since(sortStart)
 	report.Total = time.Since(start)
 	report.Job = &mr.JobResult{JobID: "staged", Counters: agg, Duration: report.Total}
+	report.fillScanStats(agg)
 	return rs, report, nil
 }
 
@@ -150,7 +151,17 @@ func (e *Engine) runStagedJoinPass(ctx context.Context, q *Query, spec *DimSpec,
 	var input mr.InputFormat
 	if inDir == "" {
 		cols := inSchema.Names()
-		input = &colstore.CIFInput{Dir: e.cat.FactDir, Columns: cols, Schema: e.cat.FactSchema, BlockRows: e.opts.BlockRows}
+		// Zone-map pruning applies to the fact-table pass only; the staged
+		// mappers read row-at-a-time, so late materialization never engages.
+		var hints []expr.Pred
+		if !e.opts.NoScanPruning {
+			hints = e.fkPruneHints(q)
+		}
+		input = &colstore.CIFInput{
+			Dir: e.cat.FactDir, Columns: cols, Schema: e.cat.FactSchema, BlockRows: e.opts.BlockRows,
+			Pred: q.FactPred, PrunePreds: hints, EagerColumns: factFKs(q),
+			DisablePruning: e.opts.NoScanPruning, DisableLateMat: true,
+		}
 	} else {
 		input = &colstore.RowInput{Dir: inDir, Schema: inSchema}
 	}

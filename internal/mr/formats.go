@@ -140,8 +140,10 @@ func (m *MemoryOutput) SortedPairs() []KV {
 type memoryWriter struct{ out *MemoryOutput }
 
 func (w *memoryWriter) Write(k, v records.Record) error {
+	// Clone: writers retain nothing past Write in the real formats, so
+	// producers (e.g. CIF's row reader) reuse record backing slices.
 	w.out.mu.Lock()
-	w.out.pairs = append(w.out.pairs, KV{Key: k, Value: v})
+	w.out.pairs = append(w.out.pairs, KV{Key: k.Clone(), Value: v.Clone()})
 	w.out.mu.Unlock()
 	return nil
 }

@@ -51,6 +51,10 @@ const (
 	// PhaseHDFSRead is one filesystem read (no task attribution; carries
 	// path and local/remote byte attrs).
 	PhaseHDFSRead = "hdfs-read"
+	// PhasePrune is the driver-side zone-map consultation that drops
+	// partitions before scheduling (no task attribution; carries
+	// partitions kept/pruned and bytes skipped).
+	PhasePrune = "prune"
 	// PhaseAdmissionWait is the time a query spent queued in the serving
 	// layer's admission controller before its memory reservation was
 	// granted (no task attribution; carries the query name).

@@ -77,6 +77,46 @@ func (cv *ColumnVector) Value(i int) Value {
 	return Null
 }
 
+// Compact keeps only the elements at positions where sel is true, in order.
+// sel must be at least as long as the vector.
+func (cv *ColumnVector) Compact(sel []bool) {
+	k := 0
+	switch cv.Kind {
+	case KindInt64:
+		for i := range cv.Ints {
+			if sel[i] {
+				cv.Ints[k] = cv.Ints[i]
+				k++
+			}
+		}
+		cv.Ints = cv.Ints[:k]
+	case KindFloat64:
+		for i := range cv.Floats {
+			if sel[i] {
+				cv.Floats[k] = cv.Floats[i]
+				k++
+			}
+		}
+		cv.Floats = cv.Floats[:k]
+	case KindString:
+		for i := range cv.Strs {
+			if sel[i] {
+				cv.Strs[k] = cv.Strs[i]
+				k++
+			}
+		}
+		cv.Strs = cv.Strs[:k]
+	case KindBool:
+		for i := range cv.Bools {
+			if sel[i] {
+				cv.Bools[k] = cv.Bools[i]
+				k++
+			}
+		}
+		cv.Bools = cv.Bools[:k]
+	}
+}
+
 // Reset truncates the vector to zero length, keeping capacity.
 func (cv *ColumnVector) Reset() {
 	cv.Ints = cv.Ints[:0]

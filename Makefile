@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency bench bench-smoke clean
+.PHONY: check fmt vet build test race race-concurrency chaos bench bench-smoke clean
 
-check: fmt vet build race-concurrency
+check: fmt vet build race-concurrency chaos
 
 # Fail if any file is not gofmt-clean, listing the offenders.
 fmt:
@@ -32,6 +32,13 @@ race:
 # run race-checked too.
 race-concurrency:
 	$(GO) test -race ./internal/serve/... ./internal/core/... ./internal/mr/... ./internal/colstore/...
+
+# Fault-injection suite (see DESIGN.md "Fault tolerance"): every SSB query
+# under node kills, stragglers, transient read errors and corrupted
+# replicas must match the healthy answer, race-checked because recovery is
+# where scheduler, namenode and cache state interleave.
+chaos:
+	$(GO) test -race ./internal/chaos/... ./internal/hdfs/... ./internal/cluster/...
 
 # Probe-path regression guard (see DESIGN.md "Probe hot path"): the table
 # probe/build microbenchmarks and the per-row emit benchmark, with allocation

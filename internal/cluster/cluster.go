@@ -105,6 +105,10 @@ type Cluster struct {
 	cfg   Config
 	live  liveRates
 	nodes []*Node
+
+	watchMu   sync.Mutex
+	watchNext int
+	watchers  map[int]func(*Node)
 }
 
 // liveRates holds the currently effective bandwidths, adjustable at
@@ -181,6 +185,40 @@ func (c *Cluster) Node(id string) *Node {
 	return nil
 }
 
+// OnDeath registers fn to be called whenever a node transitions from alive
+// to dead via Kill. The callback runs on the killer's goroutine with no
+// cluster or node locks held, so it may freely call back into the cluster
+// (e.g. to trigger re-replication or requeue scheduled work). The returned
+// cancel func unregisters the watcher; calling it more than once is safe.
+func (c *Cluster) OnDeath(fn func(*Node)) (cancel func()) {
+	c.watchMu.Lock()
+	defer c.watchMu.Unlock()
+	if c.watchers == nil {
+		c.watchers = make(map[int]func(*Node))
+	}
+	id := c.watchNext
+	c.watchNext++
+	c.watchers[id] = fn
+	return func() {
+		c.watchMu.Lock()
+		defer c.watchMu.Unlock()
+		delete(c.watchers, id)
+	}
+}
+
+// notifyDeath invokes all registered death watchers for n.
+func (c *Cluster) notifyDeath(n *Node) {
+	c.watchMu.Lock()
+	fns := make([]func(*Node), 0, len(c.watchers))
+	for _, fn := range c.watchers {
+		fns = append(fns, fn)
+	}
+	c.watchMu.Unlock()
+	for _, fn := range fns {
+		fn(n)
+	}
+}
+
 // Alive returns the nodes currently alive.
 func (c *Cluster) Alive() []*Node {
 	var out []*Node
@@ -204,6 +242,7 @@ type Node struct {
 	memUsed  int64
 	local    map[string][]byte // node-local file store (dim cache, distributed cache)
 	diskSem  chan struct{}     // limits concurrent disk streams to DisksPerNode
+	diskSlow atomicFloat       // disk slowdown factor; >= 1, 1 = nominal
 	modelled accounting
 }
 
@@ -215,7 +254,7 @@ type accounting struct {
 }
 
 func newNode(id string, c *Cluster) *Node {
-	return &Node{
+	n := &Node{
 		id:      id,
 		cluster: c,
 		cfg:     &c.cfg,
@@ -223,6 +262,8 @@ func newNode(id string, c *Cluster) *Node {
 		local:   make(map[string][]byte),
 		diskSem: make(chan struct{}, c.cfg.DisksPerNode),
 	}
+	n.diskSlow.Store(1)
+	return n
 }
 
 // ID returns the node's identifier.
@@ -236,14 +277,35 @@ func (n *Node) IsAlive() bool {
 }
 
 // Kill marks the node dead and clears its local state (memory, local files).
-// Dead nodes reject all charges and local-store operations.
+// Dead nodes reject all charges and local-store operations. Killing an
+// already-dead node is a no-op. Death watchers registered via
+// Cluster.OnDeath run after the node's lock is released.
 func (n *Node) Kill() {
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	if !n.alive {
+		n.mu.Unlock()
+		return
+	}
 	n.alive = false
 	n.memUsed = 0
 	n.local = make(map[string][]byte)
+	n.mu.Unlock()
+	n.cluster.notifyDeath(n)
 }
+
+// SetDiskSlowdown sets the node's disk slowdown factor: modeled disk
+// charges take factor times as long as nominal. factor <= 1 restores full
+// speed. Used by fault injection to model stragglers (§ delay scheduling /
+// speculative execution only matter when some node is slow).
+func (n *Node) SetDiskSlowdown(factor float64) {
+	if factor < 1 {
+		factor = 1
+	}
+	n.diskSlow.Store(factor)
+}
+
+// DiskSlowdown returns the node's current disk slowdown factor.
+func (n *Node) DiskSlowdown() float64 { return n.diskSlow.Load() }
 
 // Revive brings a dead node back up with empty local state.
 func (n *Node) Revive() {
@@ -351,7 +413,7 @@ func (n *Node) ChargeDiskRead(b int64, hdfs bool) error {
 		return ErrNodeDown
 	}
 	n.modelled.diskReadBytes.Add(b)
-	bw := n.cluster.live.diskBW.Load()
+	bw := n.cluster.live.diskBW.Load() / n.diskSlow.Load()
 	if hdfs {
 		bw *= n.cfg.HDFSEfficiency
 	}
@@ -375,7 +437,7 @@ func (n *Node) ChargeDiskReadNominal(b int64) error {
 		return ErrNodeDown
 	}
 	n.modelled.diskReadBytes.Add(b)
-	bw := n.cfg.DiskBandwidth
+	bw := n.cfg.DiskBandwidth / n.diskSlow.Load()
 	if bw <= 0 {
 		return nil
 	}
@@ -391,7 +453,7 @@ func (n *Node) ChargeDiskWrite(b int64, hdfs bool) error {
 		return ErrNodeDown
 	}
 	n.modelled.diskWriteBytes.Add(b)
-	bw := n.cluster.live.diskBW.Load()
+	bw := n.cluster.live.diskBW.Load() / n.diskSlow.Load()
 	if hdfs {
 		bw *= n.cfg.HDFSEfficiency
 	}

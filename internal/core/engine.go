@@ -124,6 +124,11 @@ type Options struct {
 	// NoLateMaterialization disables predicate-first column decoding in the
 	// block scan for ablation; all projected columns decode eagerly.
 	NoLateMaterialization bool
+	// Speculative enables MapReduce speculative execution for the query
+	// jobs: once the pending queue drains, still-running map tasks get
+	// backup attempts on other nodes, masking stragglers (slow disks, hot
+	// nodes) at the cost of duplicate work.
+	Speculative bool
 }
 
 // Engine executes star queries as single MapReduce jobs.
@@ -263,6 +268,9 @@ func (e *Engine) executeSinglePass(ctx context.Context, q *Query) (*results.Resu
 		conf.SetBool(mr.ConfJVMReuse, true)
 		conf.SetInt(mr.ConfMultiSplitPack, int64(e.opts.MultiSplitPack))
 		conf.SetInt(mr.ConfMapThreads, int64(cfg.MapSlots))
+	}
+	if e.opts.Speculative {
+		conf.SetBool(mr.ConfSpeculative, true)
 	}
 
 	numReduce := e.opts.Reducers

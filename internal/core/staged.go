@@ -314,10 +314,14 @@ func (e *Engine) runStagedAggregation(ctx context.Context, q *Query, inDir strin
 	if len(q.GroupBy) == 0 {
 		numReduce = 1
 	}
+	conf := mr.NewJobConf()
+	if e.opts.Speculative {
+		conf.SetBool(mr.ConfSpeculative, true)
+	}
 	out := &mr.MemoryOutput{}
 	job := &mr.Job{
 		Name:   "clydesdale-staged-agg-" + q.Name,
-		Conf:   mr.NewJobConf(),
+		Conf:   conf,
 		Input:  &colstore.RowInput{Dir: inDir, Schema: inSchema},
 		Output: out,
 		NewMapper: func() mr.Mapper {

@@ -60,6 +60,11 @@ type FileSystem struct {
 
 	metrics Metrics
 
+	// injector, when non-nil, intercepts every block read for fault
+	// injection (see ReadFaultInjector). Guarded by mu; invoked with no
+	// filesystem locks held.
+	injector ReadFaultInjector
+
 	// Observability hooks, attached by Observe. Guarded by mu; nil when no
 	// observer is attached (the default, zero-cost path).
 	tracer        *obs.Tracer
@@ -67,6 +72,28 @@ type FileSystem struct {
 	mRemoteBytes  *obs.Counter
 	mWrittenBytes *obs.Counter
 	mReadNs       *obs.Histogram
+	mFailovers    *obs.Counter
+	mCRCFailures  *obs.Counter
+	mRereplFailed *obs.Counter
+}
+
+// ReadFaultInjector intercepts block reads for fault injection. It is
+// called once per block-read attempt, before any cost is charged, with the
+// serving replica's node ID. Returning a non-nil error makes the read
+// attempt fail and fail over to another replica; the injector may also kill
+// nodes or slow disks as a side effect. It is invoked with no filesystem
+// locks held, so it may call back into the FileSystem (e.g. OnNodeFailure).
+type ReadFaultInjector interface {
+	BeforeBlockRead(nodeID string, blockID int64) error
+}
+
+// SetReadFaultInjector installs (or, with nil, removes) the fault injector
+// consulted on every block read. Install before running jobs; the setting is
+// not synchronized with in-flight reads.
+func (fs *FileSystem) SetReadFaultInjector(inj ReadFaultInjector) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	fs.injector = inj
 }
 
 // Metrics exposes the filesystem's read/write accounting.
@@ -76,25 +103,41 @@ type Metrics struct {
 	BytesWritten    atomic.Int64
 	LocalReads      atomic.Int64
 	RemoteReads     atomic.Int64
+	// Failovers counts read attempts that failed on one replica (dead node,
+	// injected error, checksum mismatch) and moved to another.
+	Failovers atomic.Int64
+	// CRCFailures counts block reads whose replica bytes failed CRC32
+	// verification (corruption detected, replica dropped).
+	CRCFailures atomic.Int64
+	// RereplicationsFailed counts blocks left under-replicated because no
+	// eligible target could accept a copy; they are retried on the next
+	// failure event.
+	RereplicationsFailed atomic.Int64
 }
 
 // MetricsSnapshot is a point-in-time copy of Metrics.
 type MetricsSnapshot struct {
-	LocalBytesRead  int64
-	RemoteBytesRead int64
-	BytesWritten    int64
-	LocalReads      int64
-	RemoteReads     int64
+	LocalBytesRead       int64
+	RemoteBytesRead      int64
+	BytesWritten         int64
+	LocalReads           int64
+	RemoteReads          int64
+	Failovers            int64
+	CRCFailures          int64
+	RereplicationsFailed int64
 }
 
 // Snapshot returns a copy of the current metric values.
 func (m *Metrics) Snapshot() MetricsSnapshot {
 	return MetricsSnapshot{
-		LocalBytesRead:  m.LocalBytesRead.Load(),
-		RemoteBytesRead: m.RemoteBytesRead.Load(),
-		BytesWritten:    m.BytesWritten.Load(),
-		LocalReads:      m.LocalReads.Load(),
-		RemoteReads:     m.RemoteReads.Load(),
+		LocalBytesRead:       m.LocalBytesRead.Load(),
+		RemoteBytesRead:      m.RemoteBytesRead.Load(),
+		BytesWritten:         m.BytesWritten.Load(),
+		LocalReads:           m.LocalReads.Load(),
+		RemoteReads:          m.RemoteReads.Load(),
+		Failovers:            m.Failovers.Load(),
+		CRCFailures:          m.CRCFailures.Load(),
+		RereplicationsFailed: m.RereplicationsFailed.Load(),
 	}
 }
 
@@ -108,8 +151,13 @@ type blockMeta struct {
 	id       int64
 	size     int64
 	data     []byte
+	crc      uint32   // CRC32 (IEEE) of data, computed at seal time
 	replicas []string // node IDs holding a replica
 	lost     bool     // true when every replica died before re-replication
+	// corrupt maps a replica's node ID to the (bit-flipped) bytes that
+	// replica would actually return, modeling on-disk corruption. A replica
+	// absent from the map serves the pristine data.
+	corrupt map[string][]byte
 }
 
 // New creates a filesystem over the given cluster.
@@ -160,9 +208,57 @@ func (fs *FileSystem) Observe(tracer *obs.Tracer, reg *obs.Registry) {
 		fs.mRemoteBytes = reg.Counter("hdfs.read_bytes_remote")
 		fs.mWrittenBytes = reg.Counter("hdfs.write_bytes")
 		fs.mReadNs = reg.Histogram("hdfs.read_ns")
+		fs.mFailovers = reg.Counter("hdfs.failovers")
+		fs.mCRCFailures = reg.Counter("hdfs.crc_failures")
+		fs.mRereplFailed = reg.Counter("hdfs.rereplication_failed")
 	} else {
 		fs.mLocalBytes, fs.mRemoteBytes, fs.mWrittenBytes, fs.mReadNs = nil, nil, nil, nil
+		fs.mFailovers, fs.mCRCFailures, fs.mRereplFailed = nil, nil, nil
 	}
+}
+
+// CorruptReplica flips bytes in the copy of block blockIdx of path held by
+// nodeID, modeling silent on-disk corruption of one replica. The other
+// replicas keep the pristine bytes, so a CRC-verifying reader detects the
+// damage and fails over. nodeID "" picks the block's first replica. It
+// returns the ID of the node whose replica was corrupted.
+func (fs *FileSystem) CorruptReplica(path string, blockIdx int, nodeID string) (string, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return "", fmt.Errorf("hdfs: corrupt %s: no such file", path)
+	}
+	if blockIdx < 0 || blockIdx >= len(f.blocks) {
+		return "", fmt.Errorf("hdfs: corrupt %s: block %d out of range [0,%d)", path, blockIdx, len(f.blocks))
+	}
+	b := f.blocks[blockIdx]
+	if nodeID == "" {
+		if len(b.replicas) == 0 {
+			return "", fmt.Errorf("hdfs: corrupt %s block %d: no replicas", path, blockIdx)
+		}
+		nodeID = b.replicas[0]
+	} else {
+		found := false
+		for _, rep := range b.replicas {
+			if rep == nodeID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return "", fmt.Errorf("hdfs: corrupt %s block %d: node %s holds no replica", path, blockIdx, nodeID)
+		}
+	}
+	bad := append([]byte(nil), b.data...)
+	for i := 0; i < len(bad); i += 37 {
+		bad[i] ^= 0xA5
+	}
+	if b.corrupt == nil {
+		b.corrupt = make(map[string][]byte)
+	}
+	b.corrupt[nodeID] = bad
+	return nodeID, nil
 }
 
 // SetPlacementPolicy installs a pluggable placement policy for all paths

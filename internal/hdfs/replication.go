@@ -1,13 +1,21 @@
 package hdfs
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // OnNodeFailure removes the dead node from every block's replica set and
 // re-replicates under-replicated blocks onto live nodes, charging the copy
 // traffic (disk read at a surviving source, network + disk write at the new
-// target). Blocks whose every replica has died are marked lost.
+// target). Blocks whose every replica has died are marked lost. Blocks left
+// under-replicated by an earlier failed re-replication are retried here too,
+// so a transient shortage of targets heals on the next failure event.
 //
-// It returns the number of blocks re-replicated and the number lost.
+// It returns the number of blocks re-replicated and the number lost. The
+// returned error joins every per-block re-replication error (it is not just
+// the last one); each failure also increments the
+// hdfs.rereplication_failed counter.
 func (fs *FileSystem) OnNodeFailure(nodeID string) (rereplicated, lost int, err error) {
 	type job struct {
 		b    *blockMeta
@@ -28,7 +36,10 @@ func (fs *FileSystem) OnNodeFailure(nodeID string) (rereplicated, lost int, err 
 				keep = append(keep, rep)
 			}
 			b.replicas = keep
-			if !removed {
+			if removed {
+				delete(b.corrupt, nodeID)
+			}
+			if b.lost {
 				continue
 			}
 			if len(b.replicas) == 0 {
@@ -36,22 +47,45 @@ func (fs *FileSystem) OnNodeFailure(nodeID string) (rereplicated, lost int, err 
 				lost++
 				continue
 			}
-			jobs = append(jobs, job{b: b, path: f.path})
+			// Re-replicate blocks this failure degraded, and blocks a
+			// previous failure left under-replicated (retry path).
+			if removed || len(b.replicas) < fs.replication {
+				jobs = append(jobs, job{b: b, path: f.path})
+			}
 		}
 	}
 	fs.mu.Unlock()
 
+	var errs []error
 	for _, j := range jobs {
 		if e := fs.rereplicate(j.b, j.path); e != nil {
-			err = e
+			errs = append(errs, e)
+			fs.noteRereplicationFailure()
 			continue
 		}
 		rereplicated++
 	}
-	return rereplicated, lost, err
+	return rereplicated, lost, errors.Join(errs...)
 }
 
-// rereplicate copies one under-replicated block to a new live target.
+// noteRereplicationFailure records one block left under-replicated in
+// metrics and, when attached, the obs registry.
+func (fs *FileSystem) noteRereplicationFailure() {
+	fs.metrics.RereplicationsFailed.Add(1)
+	fs.mu.RLock()
+	ctr := fs.mRereplFailed
+	fs.mu.RUnlock()
+	if ctr != nil {
+		ctr.Inc()
+	}
+}
+
+// rereplicate copies one under-replicated block to new live targets. The
+// wanted replica count is capped at the number of live nodes — with a
+// 3-node cluster and replication 3, losing a node leaves 2 replicas as the
+// best achievable state, not an error. An error is returned only when an
+// achievable copy could not be made (no eligible target accepted, or
+// charging a chosen target failed).
 func (fs *FileSystem) rereplicate(b *blockMeta, path string) error {
 	alive := fs.cluster.Alive()
 
@@ -60,7 +94,11 @@ func (fs *FileSystem) rereplicate(b *blockMeta, path string) error {
 	for _, rep := range b.replicas {
 		have[rep] = true
 	}
-	need := fs.replication - len(b.replicas)
+	want := fs.replication
+	if want > len(alive) {
+		want = len(alive)
+	}
+	need := want - len(b.replicas)
 	policy := fs.policyFor(path)
 	// Ask the policy for a full set, then take targets we don't already have.
 	candidates := policy.ChooseTargets(path, 0, len(alive), "", alive, fs.rng)
@@ -98,6 +136,9 @@ func (fs *FileSystem) rereplicate(b *blockMeta, path string) error {
 		fs.mu.Unlock()
 		have[target.ID()] = true
 		need--
+	}
+	if need > 0 {
+		return fmt.Errorf("hdfs: re-replicate block %d of %s: still %d short (no eligible target)", b.id, path, need)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package hdfs
 
 import (
 	"fmt"
+	"hash/crc32"
 	"io"
 	"strconv"
 	"time"
@@ -92,7 +93,12 @@ func (w *Writer) seal(data []byte) error {
 		written.Add(int64(len(data)))
 	}
 
-	b := &blockMeta{id: id, size: int64(len(data)), data: append([]byte(nil), data...)}
+	b := &blockMeta{
+		id:   id,
+		size: int64(len(data)),
+		data: append([]byte(nil), data...),
+		crc:  crc32.ChecksumIEEE(data),
+	}
 	for _, n := range targets {
 		b.replicas = append(b.replicas, n.ID())
 	}
@@ -294,70 +300,173 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 
 // readBlockRange copies block bytes [from, to) into dst and charges costs.
 // The second return reports whether the bytes came from a local replica.
+//
+// The read loops over replicas until one serves the bytes: each iteration
+// re-reads the replica set and liveness under the lock (a replica that was
+// alive at selection time may die before it is charged — the loop simply
+// moves on), consults the fault injector, and CRC-verifies the replica's
+// bytes so corruption is detected and failed over rather than returned.
+// Locality is re-derived per attempt so failover from a dead local replica
+// is accounted as a remote read. The loop terminates because every
+// iteration marks one replica attempted and never retries it.
 func (r *Reader) readBlockRange(b *blockMeta, from, to int64, dst []byte) (int, bool, error) {
 	fs := r.fs
-	fs.mu.RLock()
-	lost := b.lost || len(b.replicas) == 0
-	var serving string
-	local := false
-	for _, rep := range b.replicas {
-		if rep == r.client {
-			serving = rep
-			local = true
-			break
-		}
-	}
-	if serving == "" && len(b.replicas) > 0 {
-		serving = b.replicas[0]
-	}
-	data := b.data
-	fs.mu.RUnlock()
-
-	if lost {
-		return 0, false, fmt.Errorf("hdfs: block %d of %s: all replicas lost", b.id, r.meta.path)
-	}
-	n := copy(dst, data[from:to])
-
-	node := fs.cluster.Node(serving)
-	if node == nil || !node.IsAlive() {
-		// Serving replica died between lookup and read; a real client would
-		// fail over. Retry against the live replica set once.
+	attempted := make(map[string]bool)
+	var lastErr error
+	for {
 		fs.mu.RLock()
-		var alt string
+		injector := fs.injector
+		lost := b.lost || len(b.replicas) == 0
+		// Prefer the client's own replica; otherwise first unattempted
+		// replica on a live node.
+		var serving string
 		for _, rep := range b.replicas {
-			if nd := fs.cluster.Node(rep); nd != nil && nd.IsAlive() {
-				alt = rep
+			if rep == r.client && !attempted[rep] {
+				serving = rep
 				break
 			}
 		}
+		if serving == "" {
+			for _, rep := range b.replicas {
+				if attempted[rep] {
+					continue
+				}
+				if nd := fs.cluster.Node(rep); nd != nil && nd.IsAlive() {
+					serving = rep
+					break
+				}
+			}
+		}
+		data := b.data
+		crc := b.crc
+		override := b.corrupt[serving]
 		fs.mu.RUnlock()
-		if alt == "" {
+
+		if lost {
+			return 0, false, fmt.Errorf("hdfs: block %d of %s: all replicas lost", b.id, r.meta.path)
+		}
+		if serving == "" {
+			if lastErr != nil {
+				return 0, false, fmt.Errorf("hdfs: block %d of %s: no live replica: %w", b.id, r.meta.path, lastErr)
+			}
 			return 0, false, fmt.Errorf("hdfs: block %d of %s: no live replica", b.id, r.meta.path)
 		}
-		serving, node = alt, fs.cluster.Node(alt)
-		local = serving == r.client
-	}
+		attempted[serving] = true
+		local := serving == r.client
 
-	if err := node.ChargeDiskRead(int64(n), true); err != nil {
-		return 0, local, err
-	}
-	if local {
-		fs.metrics.LocalReads.Add(1)
-		fs.metrics.LocalBytesRead.Add(int64(n))
-	} else {
-		fs.metrics.RemoteReads.Add(1)
-		fs.metrics.RemoteBytesRead.Add(int64(n))
-		// The transfer crosses the network; charge the client side when the
-		// client is a cluster node, else the serving side.
-		target := fs.cluster.Node(r.client)
-		if target == nil {
-			target = node
+		node := fs.cluster.Node(serving)
+		if node == nil || !node.IsAlive() {
+			lastErr = fmt.Errorf("hdfs: block %d of %s: replica on %s: node down", b.id, r.meta.path, serving)
+			fs.noteFailover()
+			continue
 		}
-		if err := target.ChargeNet(int64(n)); err != nil {
-			return 0, local, err
+
+		// Fault injection point: may return a transient error or kill nodes
+		// as a side effect. Called with no locks held.
+		if injector != nil {
+			if err := injector.BeforeBlockRead(serving, b.id); err != nil {
+				lastErr = fmt.Errorf("hdfs: block %d of %s: replica on %s: %w", b.id, r.meta.path, serving, err)
+				fs.noteFailover()
+				continue
+			}
+			// The injector may have killed the serving node.
+			if !node.IsAlive() {
+				lastErr = fmt.Errorf("hdfs: block %d of %s: replica on %s: node down", b.id, r.meta.path, serving)
+				fs.noteFailover()
+				continue
+			}
 		}
+
+		// Verify the replica's bytes against the block checksum before
+		// handing anything to the caller; a corrupted replica is dropped
+		// from the replica set and the read fails over.
+		replicaData := data
+		if override != nil {
+			replicaData = override
+		}
+		if crc32.ChecksumIEEE(replicaData) != crc {
+			fs.metrics.CRCFailures.Add(1)
+			fs.mu.RLock()
+			crcCtr := fs.mCRCFailures
+			fs.mu.RUnlock()
+			if crcCtr != nil {
+				crcCtr.Inc()
+			}
+			fs.reportBadReplica(b, serving, r.meta.path)
+			lastErr = fmt.Errorf("hdfs: block %d of %s: replica on %s: checksum mismatch", b.id, r.meta.path, serving)
+			fs.noteFailover()
+			continue
+		}
+
+		if err := node.ChargeDiskRead(to-from, true); err != nil {
+			lastErr = fmt.Errorf("hdfs: block %d of %s: replica on %s: %w", b.id, r.meta.path, serving, err)
+			fs.noteFailover()
+			continue
+		}
+
+		n := copy(dst, replicaData[from:to])
+		if local {
+			fs.metrics.LocalReads.Add(1)
+			fs.metrics.LocalBytesRead.Add(int64(n))
+		} else {
+			fs.metrics.RemoteReads.Add(1)
+			fs.metrics.RemoteBytesRead.Add(int64(n))
+			// The transfer crosses the network; charge the client side when
+			// the client is a cluster node, else the serving side. A dead
+			// client cannot be failed over — the read itself has no home —
+			// so that error is returned rather than retried.
+			target := fs.cluster.Node(r.client)
+			if target == nil {
+				target = node
+			}
+			if err := target.ChargeNet(int64(n)); err != nil {
+				return 0, local, err
+			}
+		}
+		return n, local, nil
 	}
-	return n, local, nil
+}
+
+// noteFailover records one replica failover in metrics and, when attached,
+// the obs registry.
+func (fs *FileSystem) noteFailover() {
+	fs.metrics.Failovers.Add(1)
+	fs.mu.RLock()
+	ctr := fs.mFailovers
+	fs.mu.RUnlock()
+	if ctr != nil {
+		ctr.Inc()
+	}
+}
+
+// reportBadReplica removes a corrupted replica from the block and
+// re-replicates from a surviving good copy (best effort: a failed
+// re-replication leaves the block under-replicated for the next failure
+// event to retry). If the bad replica was the last one, the block is lost.
+func (fs *FileSystem) reportBadReplica(b *blockMeta, nodeID, path string) {
+	fs.mu.Lock()
+	removed := false
+	keep := b.replicas[:0]
+	for _, rep := range b.replicas {
+		if rep == nodeID {
+			removed = true
+			continue
+		}
+		keep = append(keep, rep)
+	}
+	b.replicas = keep
+	delete(b.corrupt, nodeID)
+	gone := len(b.replicas) == 0
+	if gone {
+		b.lost = true
+	}
+	fs.mu.Unlock()
+	if !removed || gone {
+		return
+	}
+	if err := fs.rereplicate(b, path); err != nil {
+		fs.noteRereplicationFailure()
+	}
 }
 
 // ReadAll reads the entire file.

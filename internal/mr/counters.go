@@ -27,6 +27,9 @@ const (
 	CtrCacheCopies        = "DISTRIBUTED_CACHE_COPIES"
 	CtrMapsReExecuted     = "MAPS_REEXECUTED_FOR_SHUFFLE"
 	CtrSpeculativeMaps    = "SPECULATIVE_MAP_ATTEMPTS"
+	// CtrAttemptsRequeuedDeadNode counts in-flight attempts that were
+	// requeued to other nodes because their node died mid-attempt.
+	CtrAttemptsRequeuedDeadNode = "ATTEMPTS_REQUEUED_DEAD_NODE"
 )
 
 // Counters is a concurrency-safe named counter set shared by all tasks of a

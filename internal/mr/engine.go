@@ -339,6 +339,16 @@ type taskSched struct {
 	speculative bool
 	active      map[int]int
 	doneSet     map[int]bool
+	// isAlive, when set, gates assignment on node liveness: a dead node's
+	// slot workers are told to exit instead of receiving attempts (which
+	// would burn the task's retry budget on guaranteed failures).
+	isAlive func(node string) bool
+	// eagerRequeue lets onNodeDeath put a dead node's in-flight tasks back
+	// on the pending queue immediately instead of waiting for the doomed
+	// attempts to report failure. Only safe when task output is buffered
+	// and committed first-wins (map tasks of jobs with reducers) — the
+	// zombie attempt and its replacement may otherwise both publish.
+	eagerRequeue bool
 	// started counts launched attempts per task (attempt numbering);
 	// specLaunched counts speculative backups for the job counters.
 	started      []int
@@ -391,6 +401,9 @@ func (s *taskSched) next(node string) (task, attempt int, local, ok bool) {
 	defer s.mu.Unlock()
 	for {
 		if s.aborted != nil || s.completed == s.total {
+			return 0, 0, false, false
+		}
+		if s.isAlive != nil && !s.isAlive(node) {
 			return 0, 0, false, false
 		}
 		if s.running[node] < s.capNode {
@@ -475,8 +488,12 @@ func (s *taskSched) isCompleted(t int) bool {
 }
 
 // complete records a finished attempt; failed tasks are requeued until the
-// attempt budget is exhausted.
-func (s *taskSched) complete(task int, node string, err error, maxAttempts int) {
+// attempt budget is exhausted. It reports whether this attempt won the
+// task: exactly one attempt per task returns won=true (the one that flipped
+// it into doneSet), so callers can publish output, task reports and
+// duration metrics exactly once even when a speculative backup and the
+// original finish near-simultaneously.
+func (s *taskSched) complete(task int, node string, err error, maxAttempts int) (won bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.running[node]--
@@ -486,13 +503,14 @@ func (s *taskSched) complete(task int, node string, err error, maxAttempts int) 
 		// A sibling attempt already won; this result (success, failure or
 		// abandonment) is irrelevant.
 		s.cond.Broadcast()
-		return
+		return false
 	}
 	s.attempts[task]++
 	switch {
 	case err == nil:
 		s.doneSet[task] = true
 		s.completed++
+		won = true
 	case s.active[task] > 0:
 		// A backup attempt is still running; let it decide the task's fate
 		// instead of requeueing a duplicate.
@@ -505,6 +523,29 @@ func (s *taskSched) complete(task int, node string, err error, maxAttempts int) 
 		s.readyAt[task] = time.Now()
 	}
 	s.cond.Broadcast()
+	return won
+}
+
+// onNodeDeath reacts to a node dying mid-phase: it wakes every blocked slot
+// worker (the dead node's workers observe isAlive and exit) and, when eager
+// requeue is enabled, puts the dead node's in-flight tasks back on the
+// pending queue so live nodes pick them up immediately rather than after
+// the doomed attempts time out. It returns the number of tasks requeued.
+func (s *taskSched) onNodeDeath(node string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	requeued := 0
+	if s.eagerRequeue {
+		for t, n := range s.active {
+			if n > 0 && s.lastNode[t] == node && !s.doneSet[t] && !s.pending[t] {
+				s.pending[t] = true
+				s.readyAt[t] = time.Now()
+				requeued++
+			}
+		}
+	}
+	s.cond.Broadcast()
+	return requeued
 }
 
 // cancel aborts the phase: no further tasks are assigned and all blocked
@@ -542,6 +583,23 @@ func (run *jobRun) mapPhase() error {
 	// OutputFormat, where a losing attempt's partial output would duplicate
 	// rows (Hadoop guards that case with an output committer).
 	sched.speculative = run.job.conf().GetBool(ConfSpeculative, false) && run.job.NumReduceTasks > 0
+	// Eager requeue on node death shares the same first-wins requirement:
+	// the dead node's attempt may still be mid-write when its replacement
+	// starts.
+	sched.eagerRequeue = run.job.NumReduceTasks > 0
+	sched.isAlive = func(id string) bool {
+		nd := run.engine.cluster.Node(id)
+		return nd != nil && nd.IsAlive()
+	}
+	unwatch := run.engine.cluster.OnDeath(func(n *cluster.Node) {
+		if k := sched.onNodeDeath(n.ID()); k > 0 {
+			run.counters.Add(CtrAttemptsRequeuedDeadNode, int64(k))
+			if m := run.engine.opts.Metrics; m != nil {
+				m.Counter("mr.attempts_requeued_dead_node").Add(int64(k))
+			}
+		}
+	})
+	defer unwatch()
 	stop := context.AfterFunc(run.ctx, func() {
 		sched.cancel(run.cancelErr(run.ctx.Err()))
 	})
@@ -565,8 +623,13 @@ func (run *jobRun) mapPhase() error {
 					run.observeDur("mr.queue_wait_ns", qwait)
 					superseded := func() bool { return sched.isCompleted(task) || run.ctx.Err() != nil }
 					out, phases, err := run.executeMapAttempt(task, n, attempt, local, qwait, superseded)
+					won := sched.complete(task, n.ID(), err, run.engine.opts.MaxTaskAttempts)
 					switch {
-					case err == nil:
+					case err == nil && won:
+						// Exactly one attempt per task wins; only it
+						// publishes output and reports, so a speculative
+						// backup and the original finishing together cannot
+						// double-count task metrics.
 						run.outMu.Lock()
 						if run.mapOutputs[task] == nil {
 							run.mapOutputs[task] = out
@@ -578,6 +641,8 @@ func (run *jobRun) mapPhase() error {
 							Start: start, Duration: dur, Local: local, Phases: phases,
 						})
 						run.observeDur("mr.map.duration_ns", dur)
+					case err == nil:
+						// Successful loser of a speculative race; discarded.
 					case errors.Is(err, errSuperseded):
 						// Abandoned backup; not a retryable failure.
 					case run.ctx.Err() != nil:
@@ -586,7 +651,6 @@ func (run *jobRun) mapPhase() error {
 					default:
 						run.counters.Add(CtrTaskRetries, 1)
 					}
-					sched.complete(task, n.ID(), err, run.engine.opts.MaxTaskAttempts)
 				}
 			}(node)
 		}

@@ -2,6 +2,7 @@ package mr
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -18,6 +19,17 @@ import (
 // the map phase (a failed attempt prefers a different node).
 func (run *jobRun) reducePhase() error {
 	sched := newTaskSched("r", run.job.NumReduceTasks, run.engine.cluster.Config().ReduceSlots, nil)
+	// No eager requeue for reduces: they write straight to the OutputFormat,
+	// so a zombie attempt on a dying node and its replacement could both
+	// publish partition output. Dead-node reduce attempts fail on their next
+	// charge and are requeued by complete; the death watcher only wakes
+	// blocked workers so the dead node's slots exit promptly.
+	sched.isAlive = func(id string) bool {
+		nd := run.engine.cluster.Node(id)
+		return nd != nil && nd.IsAlive()
+	}
+	unwatch := run.engine.cluster.OnDeath(func(n *cluster.Node) { sched.onNodeDeath(n.ID()) })
+	defer unwatch()
 	stop := context.AfterFunc(run.ctx, func() {
 		sched.cancel(run.cancelErr(run.ctx.Err()))
 	})
@@ -40,7 +52,8 @@ func (run *jobRun) reducePhase() error {
 					run.emitSpan(obs.PhaseQueueWait, n.ID(), taskID, start.Add(-qwait), start)
 					run.observeDur("mr.queue_wait_ns", qwait)
 					phases, err := run.executeReduceAttempt(task, n, attempt, qwait)
-					if err == nil {
+					won := sched.complete(task, n.ID(), err, run.engine.opts.MaxTaskAttempts)
+					if err == nil && won {
 						dur := time.Since(start)
 						run.addReport(TaskReport{
 							TaskID: taskID, Node: n.ID(),
@@ -48,10 +61,9 @@ func (run *jobRun) reducePhase() error {
 							Phases: phases,
 						})
 						run.observeDur("mr.reduce.duration_ns", dur)
-					} else if run.ctx.Err() == nil {
+					} else if err != nil && run.ctx.Err() == nil {
 						run.counters.Add(CtrTaskRetries, 1)
 					}
-					sched.complete(task, n.ID(), err, run.engine.opts.MaxTaskAttempts)
 				}
 			}(node)
 		}
@@ -166,38 +178,51 @@ func (run *jobRun) executeReduceAttempt(idx int, node *cluster.Node, attempt int
 func (run *jobRun) fetchPartition(idx int, node *cluster.Node) ([]kvEntry, error) {
 	var entries []kvEntry
 	for t := range run.splits {
-		run.outMu.Lock()
-		mo := run.mapOutputs[t]
-		run.outMu.Unlock()
-
-		srcAlive := mo != nil && run.engine.cluster.Node(mo.node) != nil && run.engine.cluster.Node(mo.node).IsAlive()
-		if !srcAlive {
-			// Re-execute the map task here to regenerate its output.
-			run.counters.Add(CtrMapsReExecuted, 1)
-			regenerated, _, err := run.executeMapAttempt(t, node, 1, isLocalSplit(run.splits[t], node.ID()), 0, func() bool { return false })
-			if err != nil {
-				return nil, fmt.Errorf("re-executing map %d for shuffle: %w", t, err)
-			}
+		for {
 			run.outMu.Lock()
-			run.mapOutputs[t] = regenerated
+			mo := run.mapOutputs[t]
 			run.outMu.Unlock()
-			mo = regenerated
-		}
 
-		part := mo.parts[idx]
-		bytes := mo.partBytes(idx)
-		src := run.engine.cluster.Node(mo.node)
-		if err := src.ChargeDiskRead(bytes, false); err != nil {
-			return nil, err
-		}
-		run.counters.Add(CtrShuffleBytes, bytes)
-		if mo.node != node.ID() {
-			if err := node.ChargeNet(bytes); err != nil {
+			srcAlive := mo != nil && run.engine.cluster.Node(mo.node) != nil && run.engine.cluster.Node(mo.node).IsAlive()
+			if !srcAlive {
+				// Re-execute the map task here to regenerate its output.
+				run.counters.Add(CtrMapsReExecuted, 1)
+				regenerated, _, err := run.executeMapAttempt(t, node, 1, isLocalSplit(run.splits[t], node.ID()), 0, func() bool { return false })
+				if err != nil {
+					return nil, fmt.Errorf("re-executing map %d for shuffle: %w", t, err)
+				}
+				run.outMu.Lock()
+				run.mapOutputs[t] = regenerated
+				run.outMu.Unlock()
+				mo = regenerated
+			}
+
+			part := mo.parts[idx]
+			bytes := mo.partBytes(idx)
+			src := run.engine.cluster.Node(mo.node)
+			if err := src.ChargeDiskRead(bytes, false); err != nil {
+				if errors.Is(err, cluster.ErrNodeDown) && mo.node != node.ID() {
+					// The source died between the liveness check and the
+					// read; drop the stale output and regenerate it here.
+					run.outMu.Lock()
+					if run.mapOutputs[t] == mo {
+						run.mapOutputs[t] = nil
+					}
+					run.outMu.Unlock()
+					continue
+				}
 				return nil, err
 			}
-			run.counters.Add(CtrShuffleRemoteBytes, bytes)
+			run.counters.Add(CtrShuffleBytes, bytes)
+			if mo.node != node.ID() {
+				if err := node.ChargeNet(bytes); err != nil {
+					return nil, err
+				}
+				run.counters.Add(CtrShuffleRemoteBytes, bytes)
+			}
+			entries = append(entries, part...)
+			break
 		}
-		entries = append(entries, part...)
 	}
 	// Re-number seq in fetch order (map-task order is deterministic) so the
 	// merge sort's tie-break does not depend on per-map sequence counters.

@@ -41,6 +41,11 @@ type tableCache struct {
 type nodeCache struct {
 	entries  map[string]*cacheEntry
 	resident int64
+	// dead marks the node as killed: its reservations were freed with the
+	// node's memory, so finished entries were dropped and any in-flight
+	// build must not publish (it would cache a table whose reservation no
+	// longer exists). Cleared if the node is seen alive again.
+	dead bool
 }
 
 // cacheEntry is one node's copy of one table. done closes when the build
@@ -72,6 +77,9 @@ func (c *tableCache) AcquireDimTable(ctx *mr.TaskContext, dimDir string, spec *c
 	if !ok {
 		nc = &nodeCache{entries: make(map[string]*cacheEntry)}
 		c.nodes[node.ID()] = nc
+	}
+	if nc.dead && node.IsAlive() {
+		nc.dead = false // node revived; its cache restarts empty
 	}
 	if e, ok := nc.entries[key]; ok {
 		e.pins++
@@ -118,6 +126,17 @@ func (c *tableCache) AcquireDimTable(ctx *mr.TaskContext, dimDir string, spec *c
 	e.ht = ht
 	e.bytes = ht.MemBytes
 	c.mu.Lock()
+	if nc.dead {
+		// The node was killed between the reservation and publication: the
+		// reservation died with the node's memory, so caching the table
+		// would let later warm probes use a freed reservation. Fail the
+		// build instead; dropNode already handled the finished entries.
+		delete(nc.entries, key)
+		e.err = cluster.ErrNodeDown
+		c.mu.Unlock()
+		close(e.done)
+		return nil, nil, e.err
+	}
 	nc.resident += e.bytes
 	c.mu.Unlock()
 	close(e.done)
@@ -165,6 +184,33 @@ func (c *tableCache) evictLocked(node *cluster.Node, nc *nodeCache, incoming int
 		delete(nc.entries, victimKey)
 		nc.resident -= victim.bytes
 		node.ReleaseMemory(victim.bytes)
+		c.evictions.Add(1)
+	}
+}
+
+// dropNode evicts every finished cache entry of a dead node and marks the
+// node dead so in-flight builds fail instead of publishing. The freed
+// reservations are not returned via ReleaseMemory: Kill already zeroed the
+// node's memory accounting, and double-releasing would corrupt it after a
+// revive. Entries still pinned by in-flight probes are dropped too — those
+// probes are doomed anyway (every charge on the dead node fails) and their
+// later unpin of a removed entry is harmless.
+func (c *tableCache) dropNode(nodeID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	nc, ok := c.nodes[nodeID]
+	if !ok {
+		return
+	}
+	nc.dead = true
+	for k, e := range nc.entries {
+		select {
+		case <-e.done:
+		default:
+			continue // in-flight build; it observes nc.dead and fails itself
+		}
+		delete(nc.entries, k)
+		nc.resident -= e.bytes
 		c.evictions.Add(1)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"clydesdale/internal/cluster"
 	"clydesdale/internal/colstore"
 	"clydesdale/internal/core"
 	"clydesdale/internal/mr"
@@ -72,9 +73,10 @@ type Session struct {
 	adm   *admitter
 	opts  Options
 
-	mu     sync.Mutex
-	closed bool
-	wg     sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	wg      sync.WaitGroup
+	unwatch func() // cancels the cluster death watcher
 
 	estMu     sync.Mutex
 	estimates map[string]int64 // tableKey → estimated build bytes
@@ -100,7 +102,7 @@ func New(mrEngine *mr.Engine, cat *core.Catalog, opts Options) *Session {
 	cache := newTableCache(opts.CacheBudget)
 	engOpts := opts.Engine
 	engOpts.Tables = cache
-	return &Session{
+	s := &Session{
 		mrEng:     mrEngine,
 		cat:       cat,
 		eng:       core.New(mrEngine, cat, engOpts),
@@ -109,6 +111,13 @@ func New(mrEngine *mr.Engine, cat *core.Catalog, opts Options) *Session {
 		opts:      opts,
 		estimates: make(map[string]int64),
 	}
+	// A killed node takes its memory reservations with it; drop its cached
+	// tables immediately so warm probes of later queries don't touch tables
+	// whose reservations were freed.
+	s.unwatch = mrEngine.Cluster().OnDeath(func(n *cluster.Node) {
+		cache.dropNode(n.ID())
+	})
+	return s
 }
 
 // Engine exposes the session's core engine (e.g. for catalog access).
@@ -264,6 +273,9 @@ func (s *Session) Close() error {
 	s.closed = true
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.unwatch != nil {
+		s.unwatch()
+	}
 	cl := s.mrEng.Cluster()
 	s.cache.evictAll(cl.Node)
 	return nil

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency chaos bench bench-smoke clean
+.PHONY: check fmt vet build test race race-concurrency chaos bench bench-smoke profile-smoke clean
 
 check: fmt vet build race-concurrency chaos
 
@@ -51,6 +51,14 @@ bench:
 # One-iteration smoke run of every benchmark in the repo.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# EXPLAIN ANALYZE invariant gate (see DESIGN.md "Observability"): run Q1.1
+# with profiling on and fail unless the per-phase exclusive walls sum to the
+# query's wall clock, the span tree is rooted at a query span, and nothing
+# was orphaned or dropped. -explain-check exits non-zero on violation.
+profile-smoke:
+	@out="$$($(GO) run ./cmd/clydesdale -query Q1.1 -factrows 20000 -explain -explain-check)" || \
+		{ echo "$$out"; exit 1; }; echo "$$out" | grep 'explain-check'
 
 clean:
 	$(GO) clean ./...

@@ -8,6 +8,7 @@
 //	benchssb -figure 7               # one experiment
 //	benchssb -figure breakdown -query Q2.1
 //	benchssb -figure breakdown -job-json job.json   # Clydesdale job history as JSON
+//	benchssb -figure breakdown -profile-json p.json # correlated query profile as JSON
 //	benchssb -figure probe                  # probe-path baseline → BENCH_probe.json
 //	benchssb -figure scan                   # scan-path baseline → BENCH_scan.json
 //	benchssb -factrows 300000 -dimscale 2   # bigger run
@@ -16,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -35,6 +37,7 @@ func main() {
 		workersB = flag.Int("workers-b", 0, "cluster B workers (default 40)")
 		fileMB   = flag.Int64("dfsio-mb", 8, "TestDFSIO file size in MB")
 		jobJSON  = flag.String("job-json", "", "with -figure breakdown: write the Clydesdale job result as JSON to this file ('-' for stdout)")
+		profJSON = flag.String("profile-json", "", "with -figure breakdown: write the Clydesdale query profile (EXPLAIN ANALYZE) as JSON to this file ('-' for stdout)")
 		verbose  = flag.Bool("v", false, "progress output")
 	)
 	flag.Parse()
@@ -122,20 +125,40 @@ func main() {
 			return err
 		}
 		if *jobJSON != "" && b.ClyJob != nil {
-			w := os.Stdout
-			if *jobJSON != "-" {
-				f, err := os.Create(*jobJSON)
-				if err != nil {
-					return err
-				}
-				defer f.Close()
-				w = f
+			if err := writeTo(*jobJSON, b.ClyJob.WriteJSON); err != nil {
+				return err
 			}
-			return b.ClyJob.WriteJSON(w)
+		}
+		if *profJSON != "" {
+			if b.ClyProfile == nil {
+				return fmt.Errorf("no profile assembled from the Clydesdale trace")
+			}
+			if err := writeTo(*profJSON, b.ClyProfile.WriteJSON); err != nil {
+				return err
+			}
+			if *profJSON != "-" {
+				fmt.Printf("query profile written to %s\n", *profJSON)
+			}
 		}
 		return nil
 	})
 	fmt.Printf("\nall requested experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// writeTo streams write to the named file, or stdout for "-".
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

@@ -9,9 +9,12 @@
 //	clydesdale -query Q3.1 -no-blockiter -no-columnar -no-multithread -no-inmapper-combine   # ablation modes
 //	clydesdale -query Q1.1 -no-prune -no-latemat      # disable scan-side optimizations
 //	clydesdale -query Q2.1 -timeline                  # per-node span timeline
+//	clydesdale -query Q2.1 -explain                   # EXPLAIN ANALYZE profile
+//	clydesdale -query Q1.1 -explain -slow-disk node-2:8 -timescale 0.02   # straggler analysis
 //	clydesdale -query Q2.1 -trace spans.jsonl         # export spans as JSONL
 //	clydesdale -query Q2.1 -json result.json          # job result as JSON
 //	clydesdale -query all -serve -concurrency 8       # concurrent serving mode
+//	clydesdale -query all -serve -debug-addr localhost:8080   # /metrics /profilez /slo
 package main
 
 import (
@@ -19,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -50,14 +55,38 @@ func main() {
 		noLateMat = flag.Bool("no-latemat", false, "disable late materialization in block scans")
 		tracePath = flag.String("trace", "", "write spans of every query run to this JSONL file")
 		timeline  = flag.Bool("timeline", false, "print a per-node span timeline after each query")
+		explain   = flag.Bool("explain", false, "print an EXPLAIN ANALYZE profile after each query")
+		explCheck = flag.Bool("explain-check", false, "with -explain: fail if per-phase walls don't sum to the query wall")
+		slowDisk  = flag.String("slow-disk", "", "make one node a straggler, as node:factor (e.g. node-2:8)")
+		timeScale = flag.Float64("timescale", 0, "modeled second → real seconds (0 = no sleeping); needed for wall-clock straggler analysis")
 		jsonPath  = flag.String("json", "", "write the last query's job result as JSON to this file ('-' for stdout)")
 		serveMode = flag.Bool("serve", false, "run the queries concurrently through a serving session (shared table cache + admission control)")
 		conc      = flag.Int("concurrency", 4, "serving mode: max queries executing simultaneously")
+		debugAddr = flag.String("debug-addr", "", "serving mode: serve /metrics, /profilez, /slo and pprof on this address")
 	)
 	flag.Parse()
 
 	gen := ssb.NewBenchGenerator(*dimScale, *factRows, *seed)
-	c := cluster.New(cluster.Testing(*workers))
+	ccfg := cluster.Testing(*workers)
+	if *timeScale > 0 {
+		ccfg.TimeScale = *timeScale
+	}
+	c := cluster.New(ccfg)
+	if *slowDisk != "" {
+		node, factorStr, ok := strings.Cut(*slowDisk, ":")
+		if !ok {
+			fatal(fmt.Errorf("-slow-disk wants node:factor, got %q", *slowDisk))
+		}
+		factor, err := strconv.ParseFloat(factorStr, 64)
+		if err != nil || factor <= 0 {
+			fatal(fmt.Errorf("-slow-disk factor %q must be a positive number", factorStr))
+		}
+		n := c.Node(node)
+		if n == nil {
+			fatal(fmt.Errorf("-slow-disk: no node %q (nodes are node-0..node-%d)", node, *workers-1))
+		}
+		n.SetDiskSlowdown(factor)
+	}
 	fs := hdfs.New(c, hdfs.Options{Seed: int64(*seed)})
 	fmt.Printf("loading SSB dataset (%d fact rows, %d workers)...\n", gen.LineorderRows(), *workers)
 	lay, err := ssb.Load(fs, gen, "/ssb", ssb.LoadOptions{SkipRC: true})
@@ -71,8 +100,12 @@ func main() {
 	feats.InMapperCombining = !*noIMC
 
 	// Observability: one tracer and registry for all runs. The memory sink
-	// feeds the timeline; the JSONL sink streams the trace to disk.
-	tracing := *timeline || *tracePath != ""
+	// feeds the timeline and EXPLAIN ANALYZE; the JSONL sink streams the
+	// trace to disk.
+	if *explCheck {
+		*explain = true
+	}
+	tracing := *timeline || *explain || *tracePath != ""
 	var (
 		tracer  *obs.Tracer
 		memSink *obs.MemorySink
@@ -82,7 +115,7 @@ func main() {
 	metrics := obs.NewRegistry()
 	if tracing {
 		tracer = obs.NewTracer()
-		if *timeline {
+		if *timeline || *explain {
 			memSink = obs.NewMemorySink()
 			tracer.AddSink(memSink)
 		}
@@ -122,7 +155,7 @@ func main() {
 	}
 
 	if *serveMode {
-		runServe(mreng, lay.Catalog(), feats, queries, *conc, *rowsMax)
+		runServe(mreng, lay.Catalog(), feats, queries, *conc, *rowsMax, *debugAddr)
 		return
 	}
 
@@ -158,11 +191,29 @@ func main() {
 			fmt.Printf("-- zone maps pruned %d partitions (%d bytes never read)\n",
 				rep.PartitionsPruned, rep.BytesSkipped)
 		}
-		if memSink != nil {
+		if *timeline {
 			spans := memSink.Spans()
 			fmt.Printf("-- phase totals (measured):\n")
 			obs.WritePhaseSummary(os.Stdout, obs.AggregatePhases(spans, rep.Job.JobID))
 			obs.RenderTimeline(os.Stdout, spans, obs.TimelineOptions{Job: rep.Job.JobID})
+		}
+		if *explain {
+			p, err := obs.BuildProfile(memSink.Spans(), obs.ProfileOptions{
+				Counters: rep.Job.Counters.Snapshot(),
+			})
+			if err != nil {
+				fatal(fmt.Errorf("%s: explain: %w", q.Name, err))
+			}
+			fmt.Println()
+			p.WriteText(os.Stdout)
+			if *explCheck {
+				if err := checkProfile(p); err != nil {
+					fatal(fmt.Errorf("%s: explain-check: %w", q.Name, err))
+				}
+				fmt.Printf("-- explain-check ok: %d phase walls sum to %v (query wall %v), %d spans, %d orphans\n",
+					len(p.Phases), p.PhaseWallTotal().Round(time.Microsecond),
+					p.Wall.Round(time.Microsecond), p.Spans, p.Orphans)
+			}
 		}
 	}
 
@@ -199,11 +250,19 @@ func main() {
 // concurrency, so later queries probe the dimension tables earlier ones
 // built, then prints per-query summaries and the session's cache and
 // admission statistics.
-func runServe(mreng *mr.Engine, cat *core.Catalog, feats core.Features, queries []*ssb.Query, conc, rowsMax int) {
+func runServe(mreng *mr.Engine, cat *core.Catalog, feats core.Features, queries []*ssb.Query, conc, rowsMax int, debugAddr string) {
 	sess := serve.New(mreng, cat, serve.Options{
 		Engine:        core.Options{Features: feats},
 		MaxConcurrent: conc,
 	})
+	if debugAddr != "" {
+		dbg := serve.NewDebugServer(sess)
+		if err := dbg.Start(debugAddr); err != nil {
+			fatal(err)
+		}
+		defer dbg.Close()
+		fmt.Printf("debug surface on http://%s  (/metrics /profilez /slo /debug/pprof)\n", dbg.Addr())
+	}
 	fmt.Printf("\nserving %d queries (max %d concurrent)...\n", len(queries), conc)
 	type outcome struct {
 		rs    *results.ResultSet
@@ -257,6 +316,35 @@ func runServe(mreng *mr.Engine, cat *core.Catalog, feats core.Features, queries 
 	if err := sess.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// checkProfile enforces the profile invariants `make profile-smoke` relies
+// on: the per-phase exclusive walls partition the query wall (within 1% or
+// 1ms, whichever is larger), the tree is complete, and nothing was dropped.
+func checkProfile(p *obs.Profile) error {
+	total := p.PhaseWallTotal()
+	diff := total - p.Wall
+	if diff < 0 {
+		diff = -diff
+	}
+	tol := p.Wall / 100
+	if tol < time.Millisecond {
+		tol = time.Millisecond
+	}
+	if diff > tol {
+		return fmt.Errorf("phase walls sum to %v but query wall is %v (diff %v > tolerance %v)",
+			total, p.Wall, diff, tol)
+	}
+	if p.Root == nil || p.Root.Span.Name != obs.PhaseQuery {
+		return fmt.Errorf("profile root is not a query span")
+	}
+	if p.Orphans > 0 {
+		return fmt.Errorf("%d orphan spans re-attached under the root", p.Orphans)
+	}
+	if p.Dropped > 0 {
+		return fmt.Errorf("%d spans dropped from the trace", p.Dropped)
+	}
+	return nil
 }
 
 func header(names []string) string {

@@ -29,10 +29,13 @@ type BreakdownResult struct {
 	ClyBytesRead int64
 	// ClyJob is the Clydesdale job's result (task reports with per-phase
 	// durations); ClySpans the trace its run emitted; ClyPhases the
-	// per-phase totals aggregated from that trace.
-	ClyJob    *mr.JobResult
-	ClySpans  []obs.Span
-	ClyPhases map[string]time.Duration
+	// per-phase totals aggregated from that trace; ClyProfile the full
+	// correlated profile assembled from the trace (what `benchssb
+	// -profile-json` serializes).
+	ClyJob     *mr.JobResult
+	ClySpans   []obs.Span
+	ClyPhases  map[string]time.Duration
+	ClyProfile *obs.Profile
 
 	// Hive mapjoin.
 	MapjoinTotal     time.Duration
@@ -78,6 +81,11 @@ func (h *Harness) RunBreakdown(queryName string, w io.Writer) (*BreakdownResult,
 	out.ClyJob = crep.Job
 	out.ClySpans = sink.Spans()
 	out.ClyPhases = obs.AggregatePhases(out.ClySpans, crep.Job.JobID)
+	if p, err := obs.BuildProfile(out.ClySpans, obs.ProfileOptions{
+		Counters: crep.Job.Counters.Snapshot(),
+	}); err == nil {
+		out.ClyProfile = p
+	}
 	out.ClyMapTasks = crep.Job.Counters.Get(mr.CtrMapTasks)
 	out.ClyHashBuild = out.ClyPhases[obs.PhaseHashBuild]
 	out.ClyProbe = out.ClyPhases[obs.PhaseProbe]

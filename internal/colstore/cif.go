@@ -445,7 +445,7 @@ func (in *CIFInput) prunePartitions(ctx *mr.JobContext, parts []string) ([]strin
 		ctx.Counters.Add(CtrRowsPruned, rowsPruned)
 	}
 	if ctx.Tracer.Enabled() {
-		ctx.Tracer.Emit(obs.Span{
+		s := obs.Span{
 			Job:   ctx.JobID,
 			Name:  obs.PhasePrune,
 			Start: start,
@@ -454,7 +454,9 @@ func (in *CIFInput) prunePartitions(ctx *mr.JobContext, parts []string) ([]strin
 				"kept", strconv.FormatInt(int64(len(kept)), 10),
 				"pruned", strconv.FormatInt(pruned, 10),
 				"bytes_skipped", strconv.FormatInt(bytesSkipped, 10)),
-		})
+		}
+		ctx.Trace.NewChild().Fill(&s, ctx.Trace.Span)
+		ctx.Tracer.Emit(s)
 	}
 	return kept, nil
 }
@@ -596,7 +598,7 @@ func (r *cifReader) load() error {
 	r.rows = -1
 	for i := 0; i < r.schema.Len(); i++ {
 		path := fmt.Sprintf("%s/%s.col", r.split.PartitionDir, r.schema.Field(i).Name)
-		data, err := r.ctx.FS.ReadAll(path, r.ctx.Node().ID())
+		data, err := r.ctx.FS.ReadAllTraced(path, r.ctx.Node().ID(), r.ctx.TraceContext())
 		if err != nil {
 			return err
 		}

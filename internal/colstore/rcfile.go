@@ -293,6 +293,7 @@ func (in *RCInput) Open(split mr.InputSplit, ctx *mr.TaskContext) (mr.RecordRead
 	if err != nil {
 		return nil, err
 	}
+	r.SetTrace(ctx.TraceContext())
 	return &rcReader{r: r, in: in, groups: s.Groups}, nil
 }
 

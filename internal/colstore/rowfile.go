@@ -291,6 +291,7 @@ func (in *RowInput) Open(split mr.InputSplit, ctx *mr.TaskContext) (mr.RecordRea
 	if err != nil {
 		return nil, err
 	}
+	r.SetTrace(ctx.TraceContext())
 	return &rowReader{r: r, schema: in.Schema, groups: s.Groups}, nil
 }
 

@@ -164,6 +164,7 @@ func (in *TextInput) Open(split mr.InputSplit, ctx *mr.TaskContext) (mr.RecordRe
 	if err != nil {
 		return nil, err
 	}
+	r.SetTrace(ctx.TraceContext())
 	tr := &textReader{r: r, split: s, schema: in.Schema}
 	if err := tr.init(); err != nil {
 		r.Close()

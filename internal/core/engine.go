@@ -12,6 +12,7 @@ import (
 	"clydesdale/internal/colstore"
 	"clydesdale/internal/expr"
 	"clydesdale/internal/mr"
+	"clydesdale/internal/obs"
 	"clydesdale/internal/records"
 	"clydesdale/internal/results"
 )
@@ -195,17 +196,19 @@ func (r *Report) fillScanStats(c *mr.Counters) {
 // single-pass with automatic staged fallback on memory exhaustion. ctx
 // cancels the query; the error then matches the context cause and
 // mr.ErrCanceled.
-func (e *Engine) Run(ctx context.Context, q *Query) (*results.ResultSet, *Report, error) {
+func (e *Engine) Run(ctx context.Context, q *Query) (rs *results.ResultSet, rep *Report, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	ctx, finish := e.traceRoot(ctx, q)
+	defer func() { finish(err) }()
 	switch e.opts.Mode {
 	case ModeSinglePass:
 		return e.executeSinglePass(ctx, q)
 	case ModeStaged:
 		return e.executeStaged(ctx, q)
 	default:
-		rs, rep, err := e.executeSinglePass(ctx, q)
+		rs, rep, err = e.executeSinglePass(ctx, q)
 		if err == nil || !errors.Is(err, ErrOOM) || ctx.Err() != nil {
 			return rs, rep, err
 		}
@@ -213,10 +216,39 @@ func (e *Engine) Run(ctx context.Context, q *Query) (*results.ResultSet, *Report
 	}
 }
 
+// traceRoot makes the query the root of its own trace when tracing is on
+// and no caller owns one (serve.Session puts a SpanContext in ctx; a
+// standalone CLI or test does not). The returned context carries the root
+// span context for the jobs below; the returned finish emits the root
+// "query" span — call it exactly once, after the query ends.
+func (e *Engine) traceRoot(ctx context.Context, q *Query) (context.Context, func(error)) {
+	tr := e.mr.Tracer()
+	if _, ok := obs.FromContext(ctx); ok || !tr.Enabled() {
+		return ctx, func(error) {}
+	}
+	sc := obs.NewTrace()
+	start := time.Now()
+	return obs.ContextWith(ctx, sc), func(err error) {
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		s := obs.Span{Name: obs.PhaseQuery, Start: start, End: time.Now(),
+			Attrs: obs.Attrs("query", q.Name, "status", status)}
+		sc.Fill(&s, "")
+		tr.Emit(s)
+	}
+}
+
 // Execute runs the single-pass plan regardless of Options.Mode.
 //
 // Deprecated: use Run with Options.Mode set to ModeSinglePass.
-func (e *Engine) Execute(ctx context.Context, q *Query) (*results.ResultSet, *Report, error) {
+func (e *Engine) Execute(ctx context.Context, q *Query) (rs *results.ResultSet, rep *Report, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, finish := e.traceRoot(ctx, q)
+	defer func() { finish(err) }()
 	return e.executeSinglePass(ctx, q)
 }
 
@@ -225,13 +257,34 @@ func (e *Engine) Execute(ctx context.Context, q *Query) (*results.ResultSet, *Re
 //
 // Deprecated: use Run with Options.Mode set to ModeAuto (the zero value)
 // and read Report.Staged.
-func (e *Engine) ExecuteAuto(ctx context.Context, q *Query) (*results.ResultSet, *Report, bool, error) {
-	rs, rep, err := e.executeSinglePass(ctx, q)
+func (e *Engine) ExecuteAuto(ctx context.Context, q *Query) (rs *results.ResultSet, rep *Report, staged bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, finish := e.traceRoot(ctx, q)
+	defer func() { finish(err) }()
+	rs, rep, err = e.executeSinglePass(ctx, q)
 	if err == nil || !errors.Is(err, ErrOOM) || ctx.Err() != nil {
 		return rs, rep, false, err
 	}
 	rs, rep, err = e.executeStaged(ctx, q)
 	return rs, rep, true, err
+}
+
+// phaseSpan opens a driver-side phase span under the query's trace root and
+// returns its closer; a no-op when tracing is off or ctx carries no trace.
+func (e *Engine) phaseSpan(ctx context.Context, name string) func() {
+	tr := e.mr.Tracer()
+	sc, ok := obs.FromContext(ctx)
+	if !ok || !tr.Enabled() {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		s := obs.Span{Name: name, Start: start, End: time.Now()}
+		sc.NewChild().Fill(&s, sc.Span)
+		tr.Emit(s)
+	}
 }
 
 // executeSinglePass runs the query: one MapReduce job for the join +
@@ -241,9 +294,12 @@ func (e *Engine) executeSinglePass(ctx context.Context, q *Query) (*results.Resu
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
+	cacheDone := e.phaseSpan(ctx, obs.PhaseDimCache)
 	if _, err := EnsureCatalogCachedFor(e.mr.FS(), e.cat, q); err != nil {
+		cacheDone()
 		return nil, nil, err
 	}
+	cacheDone()
 
 	var cols []string
 	if e.feats.ColumnarStorage {

@@ -9,6 +9,7 @@ import (
 	"clydesdale/internal/colstore"
 	"clydesdale/internal/expr"
 	"clydesdale/internal/mr"
+	"clydesdale/internal/obs"
 	"clydesdale/internal/records"
 	"clydesdale/internal/results"
 )
@@ -41,9 +42,12 @@ func (e *Engine) executeStaged(ctx context.Context, q *Query) (*results.ResultSe
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
+	cacheDone := e.phaseSpan(ctx, obs.PhaseDimCache)
 	if _, err := EnsureCatalogCachedFor(e.mr.FS(), e.cat, q); err != nil {
+		cacheDone()
 		return nil, nil, err
 	}
+	cacheDone()
 
 	tmp := fmt.Sprintf("/tmp/clydesdale/%s-staged-%d", q.Name, stagedSeq.Add(1))
 	defer e.mr.FS().DeletePrefix(tmp)

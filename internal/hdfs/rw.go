@@ -167,7 +167,13 @@ type Reader struct {
 	meta   *fileMeta
 	client string
 	pos    int64
+	trace  obs.SpanContext
 }
+
+// SetTrace parents the reader's hdfs-read spans at the given trace position
+// (a task attempt's span context), correlating filesystem reads into their
+// query's profile. The zero value leaves spans uncorrelated.
+func (r *Reader) SetTrace(sc obs.SpanContext) { r.trace = sc }
 
 // Open opens a file for reading. clientNode is the cluster node the reading
 // task runs on; pass "" for an external client.
@@ -278,7 +284,7 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 			readNs.ObserveDuration(end.Sub(start))
 		}
 		if tracer.Enabled() {
-			tracer.Emit(obs.Span{
+			s := obs.Span{
 				Name:  obs.PhaseHDFSRead,
 				Node:  r.client,
 				Start: start,
@@ -286,7 +292,9 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 				Attrs: obs.Attrs("path", path,
 					"local_bytes", strconv.FormatInt(localBytes, 10),
 					"remote_bytes", strconv.FormatInt(remoteBytes, 10)),
-			})
+			}
+			r.trace.NewChild().Fill(&s, r.trace.Span)
+			tracer.Emit(s)
 		}
 	}
 	if rerr != nil {
@@ -471,11 +479,19 @@ func (fs *FileSystem) reportBadReplica(b *blockMeta, nodeID, path string) {
 
 // ReadAll reads the entire file.
 func (fs *FileSystem) ReadAll(path, clientNode string) ([]byte, error) {
+	return fs.ReadAllTraced(path, clientNode, obs.SpanContext{})
+}
+
+// ReadAllTraced reads the entire file with the read span parented at the
+// given trace position (a task attempt's context), so whole-file reads —
+// the column-store load path — land inside their task in the profile.
+func (fs *FileSystem) ReadAllTraced(path, clientNode string, sc obs.SpanContext) ([]byte, error) {
 	r, err := fs.Open(path, clientNode)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
+	r.SetTrace(sc)
 	buf := make([]byte, r.Size())
 	if _, err := r.ReadAt(buf, 0); err != nil && err != io.EOF {
 		return nil, err

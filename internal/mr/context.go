@@ -67,6 +67,11 @@ type JobContext struct {
 	// disabled (the fast path). Input formats and runners may emit into it
 	// directly or via TaskContext.Span.
 	Tracer *obs.Tracer
+	// Trace is the job span's position in the submitting query's trace
+	// (zero when the submission was untraced). Task attempts and driver-side
+	// phases (prune) parent their spans under it, which is what makes one
+	// query's spans one tree even with concurrent queries interleaving.
+	Trace obs.SpanContext
 }
 
 // TaskContext is the task-scoped view handed to mappers, reducers, runners,
@@ -78,6 +83,7 @@ type TaskContext struct {
 	node    *cluster.Node
 	jvm     *JVM
 	job     *Job
+	sc      obs.SpanContext
 
 	memMu       sync.Mutex
 	memReserved int64
@@ -118,13 +124,14 @@ func (t *TaskContext) Phases() map[string]time.Duration {
 
 // Span records a completed sub-phase that started at start and ends now:
 // it accumulates into the attempt's phase durations and, when tracing is
-// enabled, emits a span to the job's tracer. attrs are alternating
-// key/value pairs, attached only when tracing is enabled.
+// enabled, emits a span to the job's tracer, parented under this attempt's
+// task span. attrs are alternating key/value pairs, attached only when
+// tracing is enabled.
 func (t *TaskContext) Span(name string, start time.Time, attrs ...string) {
 	end := time.Now()
 	t.ObservePhase(name, end.Sub(start))
 	if t.Tracer.Enabled() {
-		t.Tracer.Emit(obs.Span{
+		s := obs.Span{
 			Job:    t.JobID,
 			Name:   name,
 			Node:   t.node.ID(),
@@ -132,9 +139,16 @@ func (t *TaskContext) Span(name string, start time.Time, attrs ...string) {
 			Start:  start,
 			End:    end,
 			Attrs:  obs.Attrs(attrs...),
-		})
+		}
+		t.sc.NewChild().Fill(&s, t.sc.Span)
+		t.Tracer.Emit(s)
 	}
 }
+
+// TraceContext returns the attempt span's trace position. Work done on
+// behalf of this attempt in other layers (HDFS reads, column loads) parents
+// its spans here so it lands inside the attempt in the assembled profile.
+func (t *TaskContext) TraceContext() obs.SpanContext { return t.sc }
 
 // Superseded reports whether another attempt of this task already finished
 // (speculative execution); long-running mappers may poll it and abandon

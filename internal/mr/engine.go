@@ -148,7 +148,7 @@ type jobRun struct {
 // running attempts stop at their next poll point, and every byte the job
 // reserved on cluster nodes is released before Submit returns. The returned
 // error then matches both ErrCanceled and ctx.Err() under errors.Is.
-func (e *Engine) Submit(ctx context.Context, job *Job) (*JobResult, error) {
+func (e *Engine) Submit(ctx context.Context, job *Job) (res *JobResult, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -156,6 +156,25 @@ func (e *Engine) Submit(ctx context.Context, job *Job) (*JobResult, error) {
 	jobID := fmt.Sprintf("job-%d", e.jobSeq.Add(1))
 	counters := NewCounters()
 	jctx := &JobContext{JobID: jobID, Conf: job.conf(), FS: e.fs, Cluster: e.cluster, Counters: counters, Tracer: e.opts.Tracer}
+
+	// A traced submission (serve/core put a SpanContext in ctx) gets a job
+	// span: the root of this job's subtree in the query's trace. Deferred so
+	// error paths are covered too, and the job span always outlasts every
+	// task span parented under it.
+	parentSC, _ := obs.FromContext(ctx)
+	jctx.Trace = parentSC.NewChild()
+	if tr := e.opts.Tracer; tr.Enabled() && jctx.Trace.Valid() {
+		defer func() {
+			status := "ok"
+			if err != nil {
+				status = "error"
+			}
+			s := obs.Span{Job: jobID, Name: obs.PhaseJob, Start: start, End: time.Now(),
+				Attrs: obs.Attrs("status", status)}
+			jctx.Trace.Fill(&s, parentSC.Span)
+			tr.Emit(s)
+		}()
+	}
 
 	if job.Input == nil {
 		return nil, fmt.Errorf("mr: %s: job has no InputFormat", jobID)
@@ -293,14 +312,43 @@ func (run *jobRun) addReport(r TaskReport) {
 	run.reportMu.Unlock()
 }
 
-// emitSpan emits one completed span to the engine tracer when tracing is
-// enabled; a no-op (one atomic load) otherwise.
-func (run *jobRun) emitSpan(name, node, taskID string, start, end time.Time, attrs ...string) {
+// emitSpanUnder emits one completed span, parented at the given trace
+// position, when tracing is enabled; a no-op (one atomic load) otherwise.
+// With an invalid parent the span is emitted uncorrelated, preserving the
+// untraced JSONL behaviour.
+func (run *jobRun) emitSpanUnder(parent obs.SpanContext, name, node, taskID string, start, end time.Time, attrs ...string) {
 	tr := run.engine.opts.Tracer
 	if !tr.Enabled() {
 		return
 	}
-	tr.Emit(obs.Span{Job: run.jobID, Name: name, Node: node, TaskID: taskID, Start: start, End: end, Attrs: obs.Attrs(attrs...)})
+	s := obs.Span{Job: run.jobID, Name: name, Node: node, TaskID: taskID, Start: start, End: end, Attrs: obs.Attrs(attrs...)}
+	parent.NewChild().Fill(&s, parent.Span)
+	tr.Emit(s)
+}
+
+// emitTaskSpan emits the attempt's "task" span, covering scheduler
+// readiness (queue wait) through the attempt's end. It is emitted for every
+// attempt — winners, retries and speculative losers alike — so every
+// sub-span's parent resolves in the assembled profile.
+func (run *jobRun) emitTaskSpan(tsc obs.SpanContext, parent, taskID, node string, start, end time.Time, attempt int, won bool, err error) {
+	tr := run.engine.opts.Tracer
+	if !tr.Enabled() || !tsc.Valid() {
+		return
+	}
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	s := obs.Span{
+		Job: run.jobID, Name: obs.PhaseTask, Node: node, TaskID: taskID,
+		Start: start, End: end,
+		Attrs: obs.Attrs(
+			"attempt", strconv.Itoa(attempt),
+			"won", strconv.FormatBool(won),
+			"status", status),
+	}
+	tsc.Fill(&s, parent)
+	tr.Emit(s)
 }
 
 // observeDur records d into the named histogram when a registry is attached.
@@ -619,11 +667,13 @@ func (run *jobRun) mapPhase() error {
 					taskID := fmt.Sprintf("m-%d", task)
 					qwait := sched.queueWait(task)
 					start := time.Now()
-					run.emitSpan(obs.PhaseQueueWait, n.ID(), taskID, start.Add(-qwait), start)
+					tsc := run.jctx.Trace.NewChild()
+					run.emitSpanUnder(tsc, obs.PhaseQueueWait, n.ID(), taskID, start.Add(-qwait), start)
 					run.observeDur("mr.queue_wait_ns", qwait)
 					superseded := func() bool { return sched.isCompleted(task) || run.ctx.Err() != nil }
-					out, phases, err := run.executeMapAttempt(task, n, attempt, local, qwait, superseded)
+					out, phases, err := run.executeMapAttempt(task, n, attempt, local, qwait, tsc, superseded)
 					won := sched.complete(task, n.ID(), err, run.engine.opts.MaxTaskAttempts)
+					run.emitTaskSpan(tsc, run.jctx.Trace.Span, taskID, n.ID(), start.Add(-qwait), time.Now(), attempt, won, err)
 					switch {
 					case err == nil && won:
 						// Exactly one attempt per task wins; only it
@@ -666,7 +716,7 @@ func (run *jobRun) mapPhase() error {
 // its sorted/combined output (nil parts for map-only jobs, whose output goes
 // straight to the OutputFormat) plus the attempt's measured sub-phase
 // durations.
-func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, local bool, qwait time.Duration, superseded func() bool) (mo *mapOutput, phases map[string]time.Duration, err error) {
+func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, local bool, qwait time.Duration, tsc obs.SpanContext, superseded func() bool) (mo *mapOutput, phases map[string]time.Duration, err error) {
 	e := run.engine
 	taskID := fmt.Sprintf("m-%d", task)
 	run.counters.Add(CtrMapTasks, 1)
@@ -694,7 +744,7 @@ func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, 
 		run.counters.Add(CtrJVMsStarted, 1)
 		node.ChargeOverhead(e.opts.JVMStartup)
 		jvmDur = time.Since(jvmStart)
-		run.emitSpan(obs.PhaseJVMStart, node.ID(), taskID, jvmStart, jvmStart.Add(jvmDur))
+		run.emitSpanUnder(tsc, obs.PhaseJVMStart, node.ID(), taskID, jvmStart, jvmStart.Add(jvmDur))
 	} else {
 		run.counters.Add(CtrJVMReuses, 1)
 	}
@@ -707,6 +757,7 @@ func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, 
 		node:       node,
 		jvm:        jvm,
 		job:        run.job,
+		sc:         tsc,
 		allowance:  run.taskMem,
 		superseded: superseded,
 		runCtx:     run.ctx,
@@ -714,7 +765,7 @@ func (run *jobRun) executeMapAttempt(task int, node *cluster.Node, attempt int, 
 	ctx.ObservePhase(obs.PhaseQueueWait, qwait)
 	if launchDur > 0 {
 		ctx.ObservePhase(obs.PhaseLaunch, launchDur)
-		run.emitSpan(obs.PhaseLaunch, node.ID(), taskID, launchStart, launchStart.Add(launchDur))
+		run.emitSpanUnder(tsc, obs.PhaseLaunch, node.ID(), taskID, launchStart, launchStart.Add(launchDur))
 	}
 	if fresh {
 		ctx.ObservePhase(obs.PhaseJVMStart, jvmDur)

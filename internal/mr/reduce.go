@@ -49,10 +49,12 @@ func (run *jobRun) reducePhase() error {
 					taskID := fmt.Sprintf("r-%d", task)
 					qwait := sched.queueWait(task)
 					start := time.Now()
-					run.emitSpan(obs.PhaseQueueWait, n.ID(), taskID, start.Add(-qwait), start)
+					tsc := run.jctx.Trace.NewChild()
+					run.emitSpanUnder(tsc, obs.PhaseQueueWait, n.ID(), taskID, start.Add(-qwait), start)
 					run.observeDur("mr.queue_wait_ns", qwait)
-					phases, err := run.executeReduceAttempt(task, n, attempt, qwait)
+					phases, err := run.executeReduceAttempt(task, n, attempt, qwait, tsc)
 					won := sched.complete(task, n.ID(), err, run.engine.opts.MaxTaskAttempts)
+					run.emitTaskSpan(tsc, run.jctx.Trace.Span, taskID, n.ID(), start.Add(-qwait), time.Now(), attempt, won, err)
 					if err == nil && won {
 						dur := time.Since(start)
 						run.addReport(TaskReport{
@@ -74,7 +76,7 @@ func (run *jobRun) reducePhase() error {
 
 // executeReduceAttempt fetches, merges and reduces partition idx, returning
 // the attempt's measured sub-phase durations.
-func (run *jobRun) executeReduceAttempt(idx int, node *cluster.Node, attempt int, qwait time.Duration) (phases map[string]time.Duration, err error) {
+func (run *jobRun) executeReduceAttempt(idx int, node *cluster.Node, attempt int, qwait time.Duration, tsc obs.SpanContext) (phases map[string]time.Duration, err error) {
 	e := run.engine
 	taskID := fmt.Sprintf("r-%d", idx)
 	run.counters.Add(CtrReduceTasks, 1)
@@ -97,7 +99,7 @@ func (run *jobRun) executeReduceAttempt(idx int, node *cluster.Node, attempt int
 		run.counters.Add(CtrJVMsStarted, 1)
 		node.ChargeOverhead(e.opts.JVMStartup)
 		jvmDur = time.Since(jvmStart)
-		run.emitSpan(obs.PhaseJVMStart, node.ID(), taskID, jvmStart, jvmStart.Add(jvmDur))
+		run.emitSpanUnder(tsc, obs.PhaseJVMStart, node.ID(), taskID, jvmStart, jvmStart.Add(jvmDur))
 	} else {
 		run.counters.Add(CtrJVMReuses, 1)
 	}
@@ -110,13 +112,14 @@ func (run *jobRun) executeReduceAttempt(idx int, node *cluster.Node, attempt int
 		node:       node,
 		jvm:        jvm,
 		job:        run.job,
+		sc:         tsc,
 		allowance:  run.taskMem,
 		runCtx:     run.ctx,
 	}
 	ctx.ObservePhase(obs.PhaseQueueWait, qwait)
 	if launchDur > 0 {
 		ctx.ObservePhase(obs.PhaseLaunch, launchDur)
-		run.emitSpan(obs.PhaseLaunch, node.ID(), taskID, launchStart, launchStart.Add(launchDur))
+		run.emitSpanUnder(tsc, obs.PhaseLaunch, node.ID(), taskID, launchStart, launchStart.Add(launchDur))
 	}
 	if fresh {
 		ctx.ObservePhase(obs.PhaseJVMStart, jvmDur)
@@ -129,7 +132,7 @@ func (run *jobRun) executeReduceAttempt(idx int, node *cluster.Node, attempt int
 	}()
 
 	shuffleStart := time.Now()
-	entries, err := run.fetchPartition(idx, node)
+	entries, err := run.fetchPartition(ctx, idx, node)
 	if err != nil {
 		return nil, err
 	}
@@ -174,8 +177,10 @@ func (run *jobRun) executeReduceAttempt(idx int, node *cluster.Node, attempt int
 // fetchPartition gathers partition idx from every map output, charging
 // local-disk reads at the serving node and network for cross-node copies.
 // Map outputs lost to a dead node are regenerated by re-executing the map
-// task on the fetching node, the recovery behaviour Hadoop implements.
-func (run *jobRun) fetchPartition(idx int, node *cluster.Node) ([]kvEntry, error) {
+// task on the fetching node, the recovery behaviour Hadoop implements. The
+// re-executed map's spans nest under the fetching reduce attempt's span —
+// in the profile the recovery cost shows up inside the shuffle that paid it.
+func (run *jobRun) fetchPartition(rctx *TaskContext, idx int, node *cluster.Node) ([]kvEntry, error) {
 	var entries []kvEntry
 	for t := range run.splits {
 		for {
@@ -187,7 +192,10 @@ func (run *jobRun) fetchPartition(idx int, node *cluster.Node) ([]kvEntry, error
 			if !srcAlive {
 				// Re-execute the map task here to regenerate its output.
 				run.counters.Add(CtrMapsReExecuted, 1)
-				regenerated, _, err := run.executeMapAttempt(t, node, 1, isLocalSplit(run.splits[t], node.ID()), 0, func() bool { return false })
+				mtsc := rctx.sc.NewChild()
+				restart := time.Now()
+				regenerated, _, err := run.executeMapAttempt(t, node, 1, isLocalSplit(run.splits[t], node.ID()), 0, mtsc, func() bool { return false })
+				run.emitTaskSpan(mtsc, rctx.sc.Span, fmt.Sprintf("m-%d", t), node.ID(), restart, time.Now(), 1, err == nil, err)
 				if err != nil {
 					return nil, fmt.Errorf("re-executing map %d for shuffle: %w", t, err)
 				}

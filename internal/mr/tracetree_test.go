@@ -1,0 +1,127 @@
+package mr
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"clydesdale/internal/obs"
+)
+
+// TestTraceTreeComplete checks the tentpole correlation invariant at the mr
+// layer: a job submitted under a trace context yields one connected span
+// tree — every span carries the caller's trace ID, the job span is parented
+// on the caller, every task attempt is parented on the job, and every
+// finer-grained phase span is reachable from a task. Nothing is orphaned
+// and nothing leaks into another trace.
+func TestTraceTreeComplete(t *testing.T) {
+	e := newTestEngine(2)
+	col := obs.NewTraceCollector(0, 0)
+	e.SetTracer(obs.NewTracer(col))
+
+	root := obs.NewTrace()
+	ctx := obs.ContextWith(context.Background(), root)
+
+	out := &MemoryOutput{}
+	job := wordCountJob(wordSplits(nil,
+		[]string{"a", "b"},
+		[]string{"c", "a"},
+		[]string{"b", "c"},
+	), out, 2)
+	if _, err := e.Submit(ctx, job); err != nil {
+		t.Fatal(err)
+	}
+
+	spans, dropped := col.Take(root.Trace)
+	if dropped != 0 {
+		t.Fatalf("collector dropped %d spans", dropped)
+	}
+	if len(spans) == 0 {
+		t.Fatal("no spans collected for the trace")
+	}
+
+	byID := make(map[string]obs.Span, len(spans))
+	var jobSpan obs.Span
+	jobs := 0
+	for _, s := range spans {
+		if s.Trace != root.Trace {
+			t.Fatalf("span %s/%s has trace %q, want %q", s.Name, s.SpanID, s.Trace, root.Trace)
+		}
+		if s.SpanID == "" {
+			t.Fatalf("span %s has no span ID", s.Name)
+		}
+		if _, dup := byID[s.SpanID]; dup {
+			t.Fatalf("duplicate span ID %s", s.SpanID)
+		}
+		byID[s.SpanID] = s
+		if s.Name == obs.PhaseJob {
+			jobSpan = s
+			jobs++
+		}
+	}
+	if jobs != 1 {
+		t.Fatalf("got %d job spans, want 1", jobs)
+	}
+	if jobSpan.Parent != root.Span {
+		t.Errorf("job span parent = %q, want the caller's span %q", jobSpan.Parent, root.Span)
+	}
+
+	tasks := 0
+	for _, s := range spans {
+		switch s.Name {
+		case obs.PhaseJob:
+			continue
+		case obs.PhaseTask:
+			tasks++
+			if s.Parent != jobSpan.SpanID {
+				t.Errorf("task %s parent = %q, want job span %q", s.TaskID, s.Parent, jobSpan.SpanID)
+			}
+			if s.TaskID == "" || s.Node == "" {
+				t.Errorf("task span missing identity: taskID=%q node=%q", s.TaskID, s.Node)
+			}
+			continue
+		}
+		// Phase spans must hang off a task: walking Parent links reaches a
+		// task span before falling off the map.
+		cur, hops := s, 0
+		for {
+			p, ok := byID[cur.Parent]
+			if !ok {
+				t.Errorf("span %s (%s) parent chain breaks at %q", s.Name, s.SpanID, cur.Parent)
+				break
+			}
+			if p.Name == obs.PhaseTask {
+				break
+			}
+			cur = p
+			if hops++; hops > 16 {
+				t.Errorf("span %s parent chain does not reach a task", s.Name)
+				break
+			}
+		}
+	}
+	// 3 maps + 2 reduces, each exactly one winning attempt here.
+	if tasks < 5 {
+		t.Errorf("got %d task spans, want >= 5 (3 maps + 2 reduces)", tasks)
+	}
+
+	// The same spans must assemble into an orphan-free profile whose phase
+	// walls partition the wall clock exactly.
+	all := append([]obs.Span{}, spans...)
+	qs := obs.Span{Name: obs.PhaseQuery, Start: jobSpan.Start, End: jobSpan.End}
+	root.Fill(&qs, "")
+	all = append(all, qs)
+	p, err := obs.BuildProfile(all, obs.ProfileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Orphans != 0 {
+		t.Errorf("profile has %d orphans", p.Orphans)
+	}
+	if got, want := p.PhaseWallTotal(), p.Wall; got != want {
+		t.Errorf("phase walls sum to %v, want exactly the wall %v", got, want)
+	}
+	if !strings.HasPrefix(p.Trace, "t") {
+		t.Errorf("profile trace %q not a trace ID", p.Trace)
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromName sanitizes a registry metric name into a legal Prometheus metric
+// name: dots and other illegal characters become underscores, and a leading
+// digit gets an underscore prefix. "mr.map_tasks" → "mr_map_tasks".
+func PromName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat renders a sample value the way Prometheus expects, with a
+// deterministic shortest representation.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the registry in Prometheus text exposition format (the
+// debug server's /metrics body). Counters gain the conventional _total
+// suffix; histograms export as summaries (quantile series plus _sum and
+// _count). Output is fully deterministic: names are sorted within each
+// section, and quantiles come from the seeded reservoir — so two scrapes
+// with no intervening activity are byte-identical.
+func (r *Registry) WriteProm(w io.Writer) {
+	s := r.Snapshot()
+
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		name := PromName(k)
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, s.Counters[k])
+	}
+
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		name := PromName(k)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", name, name, s.Gauges[k])
+	}
+
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		name := PromName(k)
+		fmt.Fprintf(w, "# TYPE %s summary\n", name)
+		if h.Count > 0 {
+			fmt.Fprintf(w, "%s{quantile=\"0.5\"} %s\n", name, promFloat(h.P50))
+			fmt.Fprintf(w, "%s{quantile=\"0.9\"} %s\n", name, promFloat(h.P90))
+			fmt.Fprintf(w, "%s{quantile=\"0.99\"} %s\n", name, promFloat(h.P99))
+		}
+		fmt.Fprintf(w, "%s_sum %s\n", name, promFloat(h.Sum))
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
+}

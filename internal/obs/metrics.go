@@ -2,8 +2,10 @@ package obs
 
 import (
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
+	"math/rand"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,12 +37,16 @@ func (g *Gauge) Add(d int64) { g.v.Add(d) }
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// histSampleCap bounds a histogram's retained samples. Beyond it, count /
-// sum / min / max stay exact but quantiles describe the first
-// histSampleCap observations (plenty for the simulation's task counts).
+// histSampleCap bounds a histogram's retained samples. Count / sum / min /
+// max stay exact past it; quantiles come from a uniform reservoir (Algorithm
+// R) over *all* observations, so a serving session running for hours reports
+// percentiles of its whole history, not of its first 16384 warm-up requests.
 const histSampleCap = 1 << 14
 
-// Histogram records observations and reports percentile summaries.
+// Histogram records observations and reports percentile summaries. The zero
+// value is ready to use; Seed makes the reservoir's replacement choices
+// deterministic (the Registry seeds each histogram from its name, so scrapes
+// are reproducible across runs given the same observation sequence).
 type Histogram struct {
 	mu      sync.Mutex
 	count   int64
@@ -48,6 +54,16 @@ type Histogram struct {
 	min     float64
 	max     float64
 	samples []float64
+	rng     *rand.Rand
+}
+
+// Seed fixes the reservoir's random source. Call before the first overflow
+// (in practice: at creation); later calls still apply to subsequent
+// replacement decisions.
+func (h *Histogram) Seed(seed int64) {
+	h.mu.Lock()
+	h.rng = rand.New(rand.NewSource(seed))
+	h.mu.Unlock()
 }
 
 // Observe records one value.
@@ -63,6 +79,16 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 	if len(h.samples) < histSampleCap {
 		h.samples = append(h.samples, v)
+	} else {
+		// Algorithm R: the i-th observation replaces a random reservoir
+		// slot with probability cap/i, keeping the reservoir a uniform
+		// sample of everything seen.
+		if h.rng == nil {
+			h.rng = rand.New(rand.NewSource(1))
+		}
+		if j := h.rng.Int63n(h.count); j < histSampleCap {
+			h.samples[j] = v
+		}
 	}
 	h.mu.Unlock()
 }
@@ -169,13 +195,19 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Histogram returns the named histogram, creating it on first use.
+// Histogram returns the named histogram, creating it on first use. New
+// histograms are seeded from their name, so reservoir sampling — and with it
+// every quantile a scrape reports — is deterministic for a given observation
+// sequence.
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
 		h = &Histogram{}
+		f := fnv.New64a()
+		f.Write([]byte(name))
+		h.Seed(int64(f.Sum64()))
 		r.hists[name] = h
 	}
 	return h

@@ -55,16 +55,39 @@ const (
 	// partitions before scheduling (no task attribution; carries
 	// partitions kept/pruned and bytes skipped).
 	PhasePrune = "prune"
+	// PhaseDimCache is the driver-side dimension-cache dissemination check:
+	// copying dimension tables to nodes that lack a local copy (§4; a no-op
+	// after the first query, but the copy cost belongs to whoever pays it).
+	PhaseDimCache = "dim-cache"
 	// PhaseAdmissionWait is the time a query spent queued in the serving
 	// layer's admission controller before its memory reservation was
 	// granted (no task attribution; carries the query name).
 	PhaseAdmissionWait = "admission-wait"
+	// PhaseQuery is a trace's root span: one query end-to-end as its caller
+	// saw it (admission wait + planning + jobs + driver-side sort).
+	PhaseQuery = "query"
+	// PhaseJob spans one MapReduce job submission; task spans nest under it.
+	PhaseJob = "job"
+	// PhaseTask spans one task attempt from scheduler readiness to the
+	// attempt's end; the attempt's sub-phases (queue-wait, launch, map,
+	// read, probe, ...) nest under it. Carries attempt number and whether
+	// the attempt won the task.
+	PhaseTask = "task"
 )
 
 // Span is one completed timed event. TaskID is empty for events not
 // attributable to a task (e.g. raw HDFS reads). Attrs carry free-form
 // detail (bytes, local/remote, paths) and may be nil.
+//
+// Trace, SpanID and Parent correlate spans into per-query trees: all spans
+// of one query share a Trace, every span's Parent names another span of the
+// same trace (empty for the root), and profiles are assembled by resolving
+// those edges (BuildProfile). All three are empty on spans emitted outside
+// a traced request.
 type Span struct {
+	Trace  string
+	SpanID string
+	Parent string
 	Job    string
 	Name   string
 	Node   string

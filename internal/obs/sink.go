@@ -55,14 +55,17 @@ func (m *MemorySink) Reset() {
 
 // jsonSpan is the JSONL wire shape: one event per line.
 type jsonSpan struct {
-	Job   string            `json:"job,omitempty"`
-	Name  string            `json:"name"`
-	Node  string            `json:"node,omitempty"`
-	Task  string            `json:"task,omitempty"`
-	Start time.Time         `json:"start"`
-	End   time.Time         `json:"end"`
-	DurNs int64             `json:"dur_ns"`
-	Attrs map[string]string `json:"attrs,omitempty"`
+	Trace  string            `json:"trace,omitempty"`
+	Span   string            `json:"span,omitempty"`
+	Parent string            `json:"parent,omitempty"`
+	Job    string            `json:"job,omitempty"`
+	Name   string            `json:"name"`
+	Node   string            `json:"node,omitempty"`
+	Task   string            `json:"task,omitempty"`
+	Start  time.Time         `json:"start"`
+	End    time.Time         `json:"end"`
+	DurNs  int64             `json:"dur_ns"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
 }
 
 // JSONLSink writes one JSON object per span per line — the export format
@@ -88,14 +91,17 @@ func (j *JSONLSink) Emit(s Span) {
 		return
 	}
 	j.err = j.enc.Encode(jsonSpan{
-		Job:   s.Job,
-		Name:  s.Name,
-		Node:  s.Node,
-		Task:  s.TaskID,
-		Start: s.Start,
-		End:   s.End,
-		DurNs: int64(s.Duration()),
-		Attrs: s.Attrs,
+		Trace:  s.Trace,
+		Span:   s.SpanID,
+		Parent: s.Parent,
+		Job:    s.Job,
+		Name:   s.Name,
+		Node:   s.Node,
+		Task:   s.TaskID,
+		Start:  s.Start,
+		End:    s.End,
+		DurNs:  int64(s.Duration()),
+		Attrs:  s.Attrs,
 	})
 }
 

@@ -50,6 +50,11 @@ type Options struct {
 	// TaskMemory is an additional per-query admission charge for working
 	// state beyond the dimension tables; 0 charges tables only.
 	TaskMemory int64
+	// ProfileDepth is the flight recorder's capacity: how many recent query
+	// profiles the session retains (the debug server's /profilez history).
+	// 0 uses 16; negative disables per-query profiling entirely (no trace
+	// collection, no assembly cost).
+	ProfileDepth int
 }
 
 // Stats is a point-in-time snapshot of the session's serving counters.
@@ -72,6 +77,11 @@ type Session struct {
 	cache *tableCache
 	adm   *admitter
 	opts  Options
+
+	// collector buckets the session's spans by trace; recorder keeps the
+	// recently assembled profiles. Both nil when profiling is disabled.
+	collector *obs.TraceCollector
+	recorder  *obs.FlightRecorder
 
 	mu      sync.Mutex
 	closed  bool
@@ -117,7 +127,58 @@ func New(mrEngine *mr.Engine, cat *core.Catalog, opts Options) *Session {
 	s.unwatch = mrEngine.Cluster().OnDeath(func(n *cluster.Node) {
 		cache.dropNode(n.ID())
 	})
+	// The serving layer's accounting (SLO histograms, /metrics) needs a
+	// registry; give the engine one if its owner didn't.
+	if mrEngine.Metrics() == nil {
+		mrEngine.SetMetrics(obs.NewRegistry())
+	}
+	if opts.ProfileDepth >= 0 {
+		// Profiling needs the span stream: attach a per-trace collector,
+		// creating the tracer when the owner didn't supply one.
+		if mrEngine.Tracer() == nil {
+			mrEngine.SetTracer(obs.NewTracer())
+		}
+		s.collector = obs.NewTraceCollector(0, 0)
+		mrEngine.Tracer().AddSink(s.collector)
+		s.recorder = obs.NewFlightRecorder(opts.ProfileDepth)
+	}
 	return s
+}
+
+// Metrics returns the registry the session's accounting lands in.
+func (s *Session) Metrics() *obs.Registry { return s.mrEng.Metrics() }
+
+// Profiles returns the flight recorder of recent query profiles, or nil
+// when profiling is disabled (Options.ProfileDepth < 0).
+func (s *Session) Profiles() *obs.FlightRecorder { return s.recorder }
+
+// QueryClass buckets a query name into an SLO class: the SSB flights map to
+// "flight-1" … "flight-4" ("Q3.4" → "flight-3"), anything else is "adhoc".
+// Per-class latency histograms and shed/error counters land in the registry
+// under "serve.slo.<class>.*".
+func QueryClass(name string) string {
+	if len(name) >= 2 && name[0] == 'Q' && name[1] >= '1' && name[1] <= '9' {
+		return "flight-" + name[1:2]
+	}
+	return "adhoc"
+}
+
+// slo records one query outcome in the per-class SLO accounting.
+func (s *Session) slo(class, outcome string, latency time.Duration) {
+	m := s.Metrics()
+	if m == nil {
+		return
+	}
+	prefix := "serve.slo." + class + "."
+	m.Counter(prefix + "queries").Inc()
+	switch outcome {
+	case "ok":
+		m.Histogram(prefix + "latency_ns").ObserveDuration(latency)
+	case "shed":
+		m.Counter(prefix + "shed").Inc()
+	default:
+		m.Counter(prefix + "errors").Inc()
+	}
 }
 
 // Engine exposes the session's core engine (e.g. for catalog access).
@@ -125,7 +186,10 @@ func (s *Session) Engine() *core.Engine { return s.eng }
 
 // Query runs one star query through admission control and the shared table
 // cache. It blocks while queued; ctx cancels both the wait and, once
-// running, the query itself.
+// running, the query itself. Each call is one trace: the session emits the
+// root "query" span, every job/task/read span the query causes parents into
+// it via the context, and the assembled profile lands in the flight
+// recorder.
 func (s *Session) Query(ctx context.Context, q *core.Query) (*results.ResultSet, *core.Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -139,33 +203,97 @@ func (s *Session) Query(ctx context.Context, q *core.Query) (*results.ResultSet,
 	s.mu.Unlock()
 	defer s.wg.Done()
 
+	class := QueryClass(q.Name)
+	qstart := time.Now()
+	var sc obs.SpanContext
+	if s.mrEng.Tracer().Enabled() {
+		sc = obs.NewTrace()
+		ctx = obs.ContextWith(ctx, sc)
+	}
+
 	cost, err := s.admissionCost(q)
 	if err != nil {
+		s.slo(class, "error", 0)
+		s.finishTrace(sc, q, qstart, err, nil)
 		return nil, nil, err
 	}
 
 	waitStart := time.Now()
 	release, err := s.adm.admit(ctx, cost)
 	if err != nil {
+		outcome := "error"
+		if errors.Is(err, ErrQueueFull) {
+			outcome = "shed"
+		}
+		s.slo(class, outcome, 0)
+		s.finishTrace(sc, q, qstart, err, nil)
 		return nil, nil, fmt.Errorf("serve: %s: %w", q.Name, err)
 	}
 	defer release()
-	s.observeQueueWait(q, waitStart)
+	s.observeQueueWait(sc, q, waitStart)
 
-	return s.eng.Run(ctx, q)
+	rs, rep, err := s.eng.Run(ctx, q)
+	if err == nil {
+		s.slo(class, "ok", time.Since(qstart))
+	} else {
+		s.slo(class, "error", 0)
+	}
+	s.finishTrace(sc, q, qstart, err, rep)
+	return rs, rep, err
 }
 
-// observeQueueWait surfaces the admission wait as a span and a histogram
-// sample on the MapReduce engine's tracer/registry.
-func (s *Session) observeQueueWait(q *core.Query, start time.Time) {
+// finishTrace emits the root query span, claims the trace's spans from the
+// collector, and records the assembled profile in the flight recorder. A
+// no-op for untraced queries.
+func (s *Session) finishTrace(sc obs.SpanContext, q *core.Query, start time.Time, qerr error, rep *core.Report) {
+	if !sc.Valid() {
+		return
+	}
+	if tr := s.mrEng.Tracer(); tr.Enabled() {
+		status := "ok"
+		if qerr != nil {
+			status = "error"
+		}
+		root := obs.Span{Name: obs.PhaseQuery, Start: start, End: time.Now(),
+			Attrs: obs.Attrs("query", q.Name, "status", status)}
+		sc.Fill(&root, "")
+		tr.Emit(root)
+	}
+	if s.collector == nil {
+		return
+	}
+	spans, dropped := s.collector.Take(sc.Trace)
+	var counters map[string]int64
+	if rep != nil && rep.Job != nil && rep.Job.Counters != nil {
+		counters = rep.Job.Counters.Snapshot()
+	}
+	p, err := obs.BuildProfile(spans, obs.ProfileOptions{
+		Trace:    sc.Trace,
+		Counters: counters,
+		Dropped:  dropped,
+	})
+	if err != nil {
+		return
+	}
+	s.recorder.Record(p)
+	if m := s.Metrics(); m != nil && p.Orphans > 0 {
+		m.Counter("serve.profile.orphan_spans").Add(int64(p.Orphans))
+	}
+}
+
+// observeQueueWait surfaces the admission wait as a span (parented under
+// the query's root) and a histogram sample on the engine's tracer/registry.
+func (s *Session) observeQueueWait(sc obs.SpanContext, q *core.Query, start time.Time) {
 	end := time.Now()
 	if tr := s.mrEng.Tracer(); tr.Enabled() {
-		tr.Emit(obs.Span{
+		span := obs.Span{
 			Name:  obs.PhaseAdmissionWait,
 			Start: start,
 			End:   end,
 			Attrs: obs.Attrs("query", q.Name),
-		})
+		}
+		sc.NewChild().Fill(&span, sc.Span)
+		tr.Emit(span)
 	}
 	if m := s.mrEng.Metrics(); m != nil {
 		m.Histogram("serve.admission_wait_ns").ObserveDuration(end.Sub(start))

@@ -48,9 +48,14 @@ chaos:
 bench:
 	$(GO) test -run '^$$' -bench 'Probe|HashBuild|Aggregate|CIFScan' -benchmem -benchtime 0.2s ./internal/core/ ./internal/colstore/ .
 
-# One-iteration smoke run of every benchmark in the repo.
+# One-iteration smoke run of every benchmark in the repo, then the row
+# accounting gate: on all 13 SSB queries, every fact row must be attributed
+# to exactly one of probed / late-skipped / bloom-skipped / pruned
+# (TestAllQueriesMatchReference enforces the invariant and the reference
+# answers).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run 'TestAllQueriesMatchReference' -count=1 ./internal/core/
 
 # EXPLAIN ANALYZE invariant gate (see DESIGN.md "Observability"): run Q1.1
 # with profiling on and fail unless the per-phase exclusive walls sum to the

@@ -8,6 +8,7 @@
 //	clydesdale -query all -workers 8 -factrows 120000
 //	clydesdale -query Q3.1 -no-blockiter -no-columnar -no-multithread -no-inmapper-combine   # ablation modes
 //	clydesdale -query Q1.1 -no-prune -no-latemat      # disable scan-side optimizations
+//	clydesdale -query Q2.1 -no-code-preds -no-bloom   # disable compressed-execution paths
 //	clydesdale -query Q2.1 -timeline                  # per-node span timeline
 //	clydesdale -query Q2.1 -explain                   # EXPLAIN ANALYZE profile
 //	clydesdale -query Q1.1 -explain -slow-disk node-2:8 -timescale 0.02   # straggler analysis
@@ -40,29 +41,31 @@ import (
 
 func main() {
 	var (
-		query     = flag.String("query", "Q2.1", "SSB query name (Q1.1..Q4.3) or 'all'")
-		sqlText   = flag.String("sql", "", "run an ad-hoc SQL star query instead of a named one")
-		dimScale  = flag.Float64("dimscale", 1, "dimension scale (SF1000 proportions)")
-		factRows  = flag.Int64("factrows", 60000, "fact rows")
-		seed      = flag.Uint64("seed", 42, "generator seed")
-		workers   = flag.Int("workers", 4, "simulated worker nodes")
-		rowsMax   = flag.Int("rows", 20, "max result rows to print")
-		noBlock   = flag.Bool("no-blockiter", false, "disable block iteration")
-		noCol     = flag.Bool("no-columnar", false, "disable columnar pruning")
-		noMT      = flag.Bool("no-multithread", false, "disable multi-threaded map tasks")
-		noIMC     = flag.Bool("no-inmapper-combine", false, "disable in-mapper combining (emit one record per joined row)")
-		noPrune   = flag.Bool("no-prune", false, "disable zone-map partition pruning")
-		noLateMat = flag.Bool("no-latemat", false, "disable late materialization in block scans")
-		tracePath = flag.String("trace", "", "write spans of every query run to this JSONL file")
-		timeline  = flag.Bool("timeline", false, "print a per-node span timeline after each query")
-		explain   = flag.Bool("explain", false, "print an EXPLAIN ANALYZE profile after each query")
-		explCheck = flag.Bool("explain-check", false, "with -explain: fail if per-phase walls don't sum to the query wall")
-		slowDisk  = flag.String("slow-disk", "", "make one node a straggler, as node:factor (e.g. node-2:8)")
-		timeScale = flag.Float64("timescale", 0, "modeled second → real seconds (0 = no sleeping); needed for wall-clock straggler analysis")
-		jsonPath  = flag.String("json", "", "write the last query's job result as JSON to this file ('-' for stdout)")
-		serveMode = flag.Bool("serve", false, "run the queries concurrently through a serving session (shared table cache + admission control)")
-		conc      = flag.Int("concurrency", 4, "serving mode: max queries executing simultaneously")
-		debugAddr = flag.String("debug-addr", "", "serving mode: serve /metrics, /profilez, /slo and pprof on this address")
+		query       = flag.String("query", "Q2.1", "SSB query name (Q1.1..Q4.3) or 'all'")
+		sqlText     = flag.String("sql", "", "run an ad-hoc SQL star query instead of a named one")
+		dimScale    = flag.Float64("dimscale", 1, "dimension scale (SF1000 proportions)")
+		factRows    = flag.Int64("factrows", 60000, "fact rows")
+		seed        = flag.Uint64("seed", 42, "generator seed")
+		workers     = flag.Int("workers", 4, "simulated worker nodes")
+		rowsMax     = flag.Int("rows", 20, "max result rows to print")
+		noBlock     = flag.Bool("no-blockiter", false, "disable block iteration")
+		noCol       = flag.Bool("no-columnar", false, "disable columnar pruning")
+		noMT        = flag.Bool("no-multithread", false, "disable multi-threaded map tasks")
+		noIMC       = flag.Bool("no-inmapper-combine", false, "disable in-mapper combining (emit one record per joined row)")
+		noPrune     = flag.Bool("no-prune", false, "disable zone-map partition pruning")
+		noLateMat   = flag.Bool("no-latemat", false, "disable late materialization in block scans")
+		noCodePreds = flag.Bool("no-code-preds", false, "disable code-space predicate/probe execution on dictionary columns")
+		noBloom     = flag.Bool("no-bloom", false, "disable semi-join bloom filter pushdown into the fact scan")
+		tracePath   = flag.String("trace", "", "write spans of every query run to this JSONL file")
+		timeline    = flag.Bool("timeline", false, "print a per-node span timeline after each query")
+		explain     = flag.Bool("explain", false, "print an EXPLAIN ANALYZE profile after each query")
+		explCheck   = flag.Bool("explain-check", false, "with -explain: fail if per-phase walls don't sum to the query wall")
+		slowDisk    = flag.String("slow-disk", "", "make one node a straggler, as node:factor (e.g. node-2:8)")
+		timeScale   = flag.Float64("timescale", 0, "modeled second → real seconds (0 = no sleeping); needed for wall-clock straggler analysis")
+		jsonPath    = flag.String("json", "", "write the last query's job result as JSON to this file ('-' for stdout)")
+		serveMode   = flag.Bool("serve", false, "run the queries concurrently through a serving session (shared table cache + admission control)")
+		conc        = flag.Int("concurrency", 4, "serving mode: max queries executing simultaneously")
+		debugAddr   = flag.String("debug-addr", "", "serving mode: serve /metrics, /profilez, /slo and pprof on this address")
 	)
 	flag.Parse()
 
@@ -135,6 +138,8 @@ func main() {
 		Features:              feats,
 		NoScanPruning:         *noPrune,
 		NoLateMaterialization: *noLateMat,
+		NoCodeSpacePreds:      *noCodePreds,
+		NoBloomPushdown:       *noBloom,
 	})
 
 	queries := ssb.Queries()

@@ -60,6 +60,12 @@ const (
 	// CtrRowsLateSkipped counts rows whose non-predicate columns were never
 	// materialized because the selection vector dropped them.
 	CtrRowsLateSkipped = "scan.rows_late_skipped"
+	// CtrRowsBloomSkipped counts rows dropped by semi-join key filters
+	// (KeyFilters) — rows that satisfied the query predicate but whose FK
+	// provably misses the dimension probe. Together the row counters
+	// account for every fact row exactly once:
+	// probed + late_skipped + bloom_skipped + pruned == total rows.
+	CtrRowsBloomSkipped = "scan.rows_bloom_skipped"
 )
 
 // DefaultPartitionRows is the row count per CIF partition when unspecified.
@@ -114,9 +120,11 @@ func (w *CIFWriter) flushPartition() error {
 		return nil
 	}
 	pdir := fmt.Sprintf("%s/p-%05d", w.dir, w.partition)
+	ps := &PartitionStats{Rows: int64(w.block.Len()), Cols: make([]ColStats, w.schema.Len())}
 	for i := 0; i < w.schema.Len(); i++ {
 		col := w.block.Col(i)
-		enc, payload := encodeColumn(col)
+		enc, payload, dict := encodeColumn(col)
+		ps.Cols[i] = columnStats(w.schema.Field(i).Name, col, dict)
 		buf := append([]byte(nil), cifMagicV2...)
 		buf = binary.AppendUvarint(buf, uint64(col.Len()))
 		buf = append(buf, byte(enc))
@@ -127,7 +135,7 @@ func (w *CIFWriter) flushPartition() error {
 			return err
 		}
 	}
-	if err := WritePartitionStats(w.fs, pdir, blockStats(w.block)); err != nil {
+	if err := WritePartitionStats(w.fs, pdir, ps); err != nil {
 		return err
 	}
 	w.partition++
@@ -309,15 +317,52 @@ type CIFInput struct {
 	// EagerColumns names columns the consumer needs regardless of Pred
 	// (typically join FKs); they are decoded with the predicate columns.
 	EagerColumns []string
+	// KeyFilters are semi-join filters pushed down into the scan: per fact
+	// FK column, a bloom filter over the dimension keys surviving that
+	// dimension's predicate. Rows whose FK is provably absent are dropped
+	// in NextBlock (counted as CtrRowsBloomSkipped) before their remaining
+	// columns materialize. Filters only drop rows, never add them, so a
+	// bloom false positive costs one probe miss downstream, never a wrong
+	// answer. Ignored on the row-at-a-time path (like Pred).
+	KeyFilters []KeyFilter
 	// DisablePruning and DisableLateMat turn off each optimization for
 	// ablation and debugging.
 	DisablePruning bool
 	DisableLateMat bool
+	// DisableCodeSpacePreds turns off code-space execution in the scan
+	// (dictionary-code predicate bitmaps, delta range fusion, code
+	// carrying) for ablation; predicates and filters then evaluate over
+	// materialized values only, and blocks carry no Codes.
+	DisableCodeSpacePreds bool
 
 	projected *records.Schema
-	blockPred expr.BlockPred
+	planned   bool // selection plan in effect (conj/filters/early/late valid)
+	conj      []conjunctPlan
+	filters   []filterPlan
 	earlyIdx  []int // projected-schema indexes decoded before selection
 	lateIdx   []int // projected-schema indexes decoded after selection
+}
+
+// conjunctPlan is one AND-factor of Pred with everything partition-
+// independent precompiled: the generic block evaluation, and — for
+// single-column conjuncts — a per-value evaluator (for translating the
+// conjunct into a dictionary-code bitmap) and an integer range (for fusing
+// into delta decode). Which form applies is decided per partition, since it
+// depends on each partition's column encodings.
+type conjunctPlan struct {
+	pred   expr.Pred
+	bp     expr.BlockPred
+	cols   []int                    // projected indexes the conjunct reads
+	col    int                      // the single projected index, or -1
+	vp     func(records.Value) bool // single-column value form (nil if unavailable)
+	lo, hi int64                    // integer range form, valid when ranged
+	ranged bool
+}
+
+// filterPlan is a KeyFilter resolved to its projected column index.
+type filterPlan struct {
+	col  int
+	keys *KeyBloom
 }
 
 // Splits implements mr.InputFormat: it lists partitions, prunes those whose
@@ -485,14 +530,32 @@ func (in *CIFInput) resolve(fs *hdfs.FileSystem) error {
 	return nil
 }
 
-// planLateMat splits the projected columns into the eager set (predicate
-// columns + EagerColumns, decoded before selection) and the late set
-// (decoded only at selected positions), and compiles the block predicate.
-// Any reason the plan cannot be built — no predicate, disabled, compile
-// failure, nothing to defer — degrades to eager decoding of every column.
+// planLateMat builds the partition-independent selection plan: Pred is
+// split into conjuncts (each compiled to its block form plus, when
+// single-column, its value and range forms), KeyFilters are resolved to
+// projected int64 columns, and the projected columns are split into the
+// eager set (predicate + filter + EagerColumns, decoded before selection)
+// and the late set (decoded only at selected positions). Any reason the
+// plan cannot be built — nothing to select on, disabled, compile failure,
+// nothing to defer or drop — degrades to eager decoding of every column.
 func (in *CIFInput) planLateMat() {
-	in.blockPred, in.earlyIdx, in.lateIdx = nil, nil, nil
-	if in.Pred == nil || in.DisableLateMat {
+	in.planned, in.conj, in.filters, in.earlyIdx, in.lateIdx = false, nil, nil, nil, nil
+	if in.DisableLateMat {
+		return
+	}
+	var filters []filterPlan
+	for _, f := range in.KeyFilters {
+		if f.Keys == nil {
+			continue
+		}
+		i := in.projected.Index(f.Column)
+		if i < 0 || in.projected.Field(i).Kind != records.KindInt64 {
+			continue
+		}
+		filters = append(filters, filterPlan{col: i, keys: f.Keys})
+	}
+	conjs := expr.Conjuncts(in.Pred)
+	if len(conjs) == 0 && len(filters) == 0 {
 		return
 	}
 	need := map[string]bool{}
@@ -502,6 +565,9 @@ func (in *CIFInput) planLateMat() {
 	for _, c := range in.EagerColumns {
 		need[c] = true
 	}
+	for _, f := range filters {
+		need[in.projected.Field(f.col).Name] = true
+	}
 	var early, late []int
 	for i := 0; i < in.projected.Len(); i++ {
 		if need[in.projected.Field(i).Name] {
@@ -510,14 +576,28 @@ func (in *CIFInput) planLateMat() {
 			late = append(late, i)
 		}
 	}
-	if len(late) == 0 {
-		return // every column is needed up front; nothing to defer
+	if len(late) == 0 && len(filters) == 0 {
+		return // every column is needed up front and nothing can be dropped
 	}
-	bp, err := expr.CompileBlockPred(in.Pred, in.projected)
-	if err != nil {
-		return
+	plans := make([]conjunctPlan, 0, len(conjs))
+	for _, c := range conjs {
+		bp, err := expr.CompileBlockPred(c, in.projected)
+		if err != nil {
+			return
+		}
+		cp := conjunctPlan{pred: c, bp: bp, col: -1}
+		for _, name := range expr.ColumnsOf(nil, []expr.Pred{c}) {
+			cp.cols = append(cp.cols, in.projected.Index(name))
+		}
+		if len(cp.cols) == 1 {
+			cp.col = cp.cols[0]
+			name := in.projected.Field(cp.col).Name
+			cp.vp, _ = expr.CompileValuePred(c, name, in.projected.Field(cp.col).Kind)
+			cp.lo, cp.hi, cp.ranged = expr.IntRangeOf(c, name)
+		}
+		plans = append(plans, cp)
 	}
-	in.blockPred, in.earlyIdx, in.lateIdx = bp, early, late
+	in.planned, in.conj, in.filters, in.earlyIdx, in.lateIdx = true, plans, filters, early, late
 }
 
 // Open implements mr.InputFormat. The returned reader also implements
@@ -566,6 +646,130 @@ type cifReader struct {
 	block   *records.RowBlock
 	scratch []records.Value // Next's reused value slice
 	sel     []bool          // late materialization selection vector
+
+	havePlan bool
+	plan     partPlan
+	codeBufs [][]uint32 // per projected column, reused raw-code scratch
+}
+
+// partPlan is the partition-scoped form of the selection plan: the same
+// conjuncts and filters as CIFInput's plan, specialized to this partition's
+// column encodings. Rebuilt per partition in load().
+type partPlan struct {
+	fused     []fusedRange     // delta columns decoded with a fused range check
+	codeCols  []codeCol        // dictionary columns decoded as raw codes
+	preVals   []int            // other early columns fully decoded before selection
+	post      []int            // early columns deferred behind the selection vector
+	codePreds []codeBitmap     // predicate conjuncts as bitmaps over codes
+	rowPreds  []expr.BlockPred // residual conjuncts evaluated per row
+	codeFilts []codeBitmap     // semi-join filters as bitmaps over codes
+	valFilts  []filterPlan     // semi-join filters tested per decoded value
+}
+
+type fusedRange struct {
+	col    int
+	lo, hi int64
+}
+
+// codeCol is a dictionary-encoded early column. Its raw codes are always
+// decoded before selection; values materialize pre-selection only when a
+// residual predicate reads them (fullVals), otherwise post-selection.
+type codeCol struct {
+	col      int
+	fullVals bool
+}
+
+// codeBitmap is a per-dictionary-entry decision: bits[code] is whether a
+// row carrying that code passes. Predicates and bloom filters are evaluated
+// once per distinct value instead of once per row.
+type codeBitmap struct {
+	col  int
+	bits []bool
+}
+
+// planPartition specializes the input's selection plan to this partition's
+// encodings: single-column conjuncts on dictionary columns become code
+// bitmaps, range conjuncts on delta columns fuse into decode, semi-join
+// filters on dictionary columns become code bitmaps (the bloom is probed
+// once per dictionary entry, not once per row), and everything else falls
+// back to per-row evaluation over materialized values.
+func (r *cifReader) planPartition() {
+	r.plan = partPlan{}
+	r.havePlan = r.in.planned
+	if !r.havePlan {
+		return
+	}
+	p := &r.plan
+	codeOK := !r.in.DisableCodeSpacePreds
+
+	// needVals marks early columns whose values must exist for all rows
+	// before residual predicates or value-form filters run.
+	needVals := make(map[int]bool)
+	fused := make(map[int]fusedRange)
+	for _, cp := range r.in.conj {
+		var dec *colDecoder
+		if cp.col >= 0 {
+			dec = r.decs[cp.col]
+		}
+		if codeOK && dec != nil && dec.dictSize() > 0 && cp.vp != nil {
+			bits := make([]bool, dec.dictSize())
+			for c := range bits {
+				bits[c] = cp.vp(dec.dictValue(c))
+			}
+			p.codePreds = append(p.codePreds, codeBitmap{col: cp.col, bits: bits})
+			continue
+		}
+		if codeOK && dec != nil && dec.enc == EncDelta && cp.ranged {
+			f, ok := fused[cp.col]
+			if !ok {
+				f = fusedRange{col: cp.col, lo: cp.lo, hi: cp.hi}
+			} else {
+				// Several range conjuncts on one column intersect.
+				if cp.lo > f.lo {
+					f.lo = cp.lo
+				}
+				if cp.hi < f.hi {
+					f.hi = cp.hi
+				}
+			}
+			fused[cp.col] = f
+			continue
+		}
+		p.rowPreds = append(p.rowPreds, cp.bp)
+		for _, c := range cp.cols {
+			needVals[c] = true
+		}
+	}
+	for _, f := range r.in.filters {
+		dec := r.decs[f.col]
+		if codeOK && dec.enc == EncDictI64 {
+			bits := make([]bool, len(dec.intDict))
+			for c, v := range dec.intDict {
+				bits[c] = f.keys.MayContain(v)
+			}
+			p.codeFilts = append(p.codeFilts, codeBitmap{col: f.col, bits: bits})
+		} else {
+			p.valFilts = append(p.valFilts, f)
+			needVals[f.col] = true
+		}
+	}
+	for _, c := range r.in.earlyIdx {
+		if f, ok := fused[c]; ok {
+			p.fused = append(p.fused, f)
+			continue
+		}
+		dec := r.decs[c]
+		switch {
+		case codeOK && dec.dictSize() > 0:
+			p.codeCols = append(p.codeCols, codeCol{col: c, fullVals: needVals[c]})
+		case needVals[c]:
+			p.preVals = append(p.preVals, c)
+		default:
+			// Early by request (e.g. an FK nothing filters on) but not read
+			// until after selection: defer it like a late column.
+			p.post = append(p.post, c)
+		}
+	}
 }
 
 func newCIFReader(ctx *mr.TaskContext, s *CIFSplit, in *CIFInput, blockRows int) *cifReader {
@@ -642,6 +846,7 @@ func (r *cifReader) load() error {
 		}
 		r.decs[i] = dec
 	}
+	r.planPartition()
 	return nil
 }
 
@@ -671,79 +876,204 @@ func (r *cifReader) Next() (records.Record, records.Record, bool, error) {
 	return records.Record{}, records.Make(r.schema, r.scratch...), true, nil
 }
 
+// codeBuf returns the reusable raw-code scratch slice for projected column c.
+func (r *cifReader) codeBuf(c int) []uint32 {
+	if r.codeBufs == nil {
+		r.codeBufs = make([][]uint32, r.schema.Len())
+	}
+	return r.codeBufs[c][:0]
+}
+
 // NextBlock implements BlockReader (B-CIF): it fills the reusable block with
-// typed bulk decodes. With a late-materialization plan, only the eager
-// (predicate + FK) columns are decoded first; the block predicate selects
-// rows, and the remaining columns are materialized only at selected
-// positions. Blocks in which no row survives are skipped entirely.
+// typed bulk decodes. With a selection plan, the scan works on encoded data
+// as long as it can: dictionary columns are decoded to raw codes and
+// predicates/semi-join filters translated to code bitmaps are tested
+// against them, range conjuncts on delta columns are checked during decode
+// (reusing the comparison across runs of equal values), residual conjuncts
+// run per row over the materialized eager values, and only rows surviving
+// all of that ever materialize their remaining columns. Predicate drops are
+// counted as rows_late_skipped, semi-join drops (tested only on rows the
+// predicate kept) as rows_bloom_skipped. Blocks in which no row survives
+// are skipped entirely.
 func (r *cifReader) NextBlock() (*records.RowBlock, bool, error) {
 	if err := r.load(); err != nil {
 		return nil, false, err
 	}
 	for r.pos < r.rows {
-		n := int64(r.blockRows)
-		if r.pos+n > r.rows {
-			n = r.rows - r.pos
+		n := int(r.blockRows)
+		if r.pos+int64(n) > r.rows {
+			n = int(r.rows - r.pos)
 		}
 		if r.block == nil {
 			r.block = records.NewRowBlock(r.schema, r.blockRows)
 		}
 		r.block.Reset()
-		r.pos += n
+		r.pos += int64(n)
 		if r.ctx.Counters != nil {
-			r.ctx.Counters.Add(CtrRowsScanned, n)
+			r.ctx.Counters.Add(CtrRowsScanned, int64(n))
 		}
-		if r.in.blockPred == nil {
+		if !r.havePlan {
+			// No selection: decode every column, still carrying codes and
+			// dictionaries out of dictionary-encoded columns so the probe
+			// can use code→offset side tables.
 			for c, dec := range r.decs {
-				if err := dec.decodeInto(r.block.Col(c), int(n)); err != nil {
+				cv := r.block.Col(c)
+				if !r.in.DisableCodeSpacePreds && dec.dictSize() > 0 {
+					codes, err := dec.decodeCodes(r.codeBuf(c), n)
+					r.codeBufs[c] = codes
+					if err != nil {
+						return nil, false, err
+					}
+					dec.appendFromCodes(cv, codes, nil)
+					cv.Dict = dec.dictDescriptor()
+				} else if err := dec.decodeInto(cv, n); err != nil {
 					return nil, false, err
 				}
 			}
-			r.block.SetLen(int(n))
+			r.block.SetLen(n)
 			return r.block, true, nil
 		}
 
-		// Late materialization: eager columns, then select, then the rest.
-		for _, c := range r.in.earlyIdx {
-			if err := r.decs[c].decodeInto(r.block.Col(c), int(n)); err != nil {
-				return nil, false, err
-			}
-		}
-		if cap(r.sel) < int(n) {
+		p := &r.plan
+		if cap(r.sel) < n {
 			r.sel = make([]bool, n)
 		}
 		sel := r.sel[:n]
+		for i := range sel {
+			sel[i] = true
+		}
+		// Range conjuncts fused into delta decode.
+		for _, f := range p.fused {
+			if err := r.decs[f.col].decodeDeltaRangeSel(r.block.Col(f.col), sel, f.lo, f.hi); err != nil {
+				return nil, false, err
+			}
+		}
+		// Dictionary columns: raw codes only; code bitmaps select on them.
+		for _, cc := range p.codeCols {
+			codes, err := r.decs[cc.col].decodeCodes(r.codeBuf(cc.col), n)
+			r.codeBufs[cc.col] = codes
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		for _, cb := range p.codePreds {
+			codes := r.codeBufs[cb.col]
+			for i := range sel {
+				if sel[i] && !cb.bits[codes[i]] {
+					sel[i] = false
+				}
+			}
+		}
+		// Values residual conjuncts read must exist for every row.
+		for _, c := range p.preVals {
+			if err := r.decs[c].decodeInto(r.block.Col(c), n); err != nil {
+				return nil, false, err
+			}
+		}
+		for _, cc := range p.codeCols {
+			if cc.fullVals {
+				cv := r.block.Col(cc.col)
+				r.decs[cc.col].appendFromCodes(cv, r.codeBufs[cc.col], nil)
+				cv.Dict = r.decs[cc.col].dictDescriptor()
+			}
+		}
+		if len(p.rowPreds) > 0 {
+			for i := 0; i < n; i++ {
+				if !sel[i] {
+					continue
+				}
+				for _, bp := range p.rowPreds {
+					if !bp(r.block, i) {
+						sel[i] = false
+						break
+					}
+				}
+			}
+		}
+		predKept := 0
+		for i := range sel {
+			if sel[i] {
+				predKept++
+			}
+		}
+		if r.ctx.Counters != nil {
+			r.ctx.Counters.Add(CtrRowsLateSkipped, int64(n-predKept))
+		}
+		// Semi-join filters run after the predicate, on surviving rows only,
+		// so the two drop counters partition the dropped rows.
+		for _, cb := range p.codeFilts {
+			codes := r.codeBufs[cb.col]
+			for i := range sel {
+				if sel[i] && !cb.bits[codes[i]] {
+					sel[i] = false
+				}
+			}
+		}
+		for _, vf := range p.valFilts {
+			ints := r.block.Col(vf.col).Ints
+			for i := range sel {
+				if sel[i] && !vf.keys.MayContain(ints[i]) {
+					sel[i] = false
+				}
+			}
+		}
 		selected := 0
-		for i := 0; i < int(n); i++ {
-			sel[i] = r.in.blockPred(r.block, i)
+		for i := range sel {
 			if sel[i] {
 				selected++
 			}
 		}
 		if r.ctx.Counters != nil {
-			r.ctx.Counters.Add(CtrRowsLateSkipped, n-int64(selected))
+			r.ctx.Counters.Add(CtrRowsBloomSkipped, int64(predKept-selected))
 		}
-		switch {
-		case selected == 0:
-			// Nothing survived: skip the late columns wholesale and move on.
+		if selected == 0 {
+			// Nothing survived: parse the deferred columns past this block
+			// without materializing and move on.
+			for _, c := range p.post {
+				if err := r.decs[c].decodeFiltered(r.block.Col(c), sel); err != nil {
+					return nil, false, err
+				}
+			}
 			for _, c := range r.in.lateIdx {
 				if err := r.decs[c].decodeFiltered(r.block.Col(c), sel); err != nil {
 					return nil, false, err
 				}
 			}
 			continue
-		case selected == int(n):
-			for _, c := range r.in.lateIdx {
-				if err := r.decs[c].decodeInto(r.block.Col(c), int(n)); err != nil {
-					return nil, false, err
-				}
+		}
+		// Materialize survivors.
+		if selected < n {
+			for _, f := range p.fused {
+				r.block.Col(f.col).Compact(sel)
 			}
-		default:
-			for _, c := range r.in.earlyIdx {
+			for _, c := range p.preVals {
 				r.block.Col(c).Compact(sel)
 			}
-			for _, c := range r.in.lateIdx {
-				if err := r.decs[c].decodeFiltered(r.block.Col(c), sel); err != nil {
+		}
+		for _, cc := range p.codeCols {
+			cv := r.block.Col(cc.col)
+			if cc.fullVals {
+				if selected < n {
+					cv.Compact(sel)
+				}
+				continue
+			}
+			keep := sel
+			if selected == n {
+				keep = nil
+			}
+			r.decs[cc.col].appendFromCodes(cv, r.codeBufs[cc.col], keep)
+			cv.Dict = r.decs[cc.col].dictDescriptor()
+		}
+		for _, set := range [][]int{p.post, r.in.lateIdx} {
+			for _, c := range set {
+				var err error
+				if selected == n {
+					err = r.decs[c].decodeInto(r.block.Col(c), n)
+				} else {
+					err = r.decs[c].decodeFiltered(r.block.Col(c), sel)
+				}
+				if err != nil {
 					return nil, false, err
 				}
 			}

@@ -135,7 +135,7 @@ func TestEncodingRoundTripQuick(t *testing.T) {
 		cols = append(cols, cv)
 
 		for _, cv := range cols {
-			enc, payload := encodeColumn(cv)
+			enc, payload, _ := encodeColumn(cv)
 			decodeAllWays(t, rng, cv, enc, payload)
 			// Every payload must also survive being forced plain-free: the
 			// plain encoding is the universal fallback and must always work.
@@ -158,7 +158,7 @@ func TestEncodeColumnChoices(t *testing.T) {
 	for i := 0; i < n; i++ {
 		seq.Ints = append(seq.Ints, int64(19940101+i))
 	}
-	if enc, _ := encodeColumn(seq); enc != EncDelta {
+	if enc, _, _ := encodeColumn(seq); enc != EncDelta {
 		t.Errorf("sequence ints encoded as %s, want delta", enc)
 	}
 
@@ -166,7 +166,7 @@ func TestEncodeColumnChoices(t *testing.T) {
 	for i := 0; i < n; i++ {
 		lowCard.Strs = append(lowCard.Strs, []string{"ASIA", "AMERICA", "EUROPE"}[i%3])
 	}
-	if enc, _ := encodeColumn(lowCard); enc != EncDict {
+	if enc, _, _ := encodeColumn(lowCard); enc != EncDict {
 		t.Errorf("low-cardinality strings encoded as %s, want dict", enc)
 	}
 
@@ -174,7 +174,7 @@ func TestEncodeColumnChoices(t *testing.T) {
 	for i := 0; i < n; i++ {
 		highCard.Strs = append(highCard.Strs, fmt.Sprintf("customer-%08d", i))
 	}
-	if enc, _ := encodeColumn(highCard); enc != EncPlain {
+	if enc, _, _ := encodeColumn(highCard); enc != EncPlain {
 		t.Errorf("high-cardinality strings encoded as %s, want plain", enc)
 	}
 
@@ -182,7 +182,7 @@ func TestEncodeColumnChoices(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		floats.Floats = append(floats.Floats, float64(i)*1.5)
 	}
-	if enc, _ := encodeColumn(floats); enc != EncPlain {
+	if enc, _, _ := encodeColumn(floats); enc != EncPlain {
 		t.Errorf("floats encoded as %s, want plain", enc)
 	}
 }
@@ -194,7 +194,7 @@ func TestDictRefusesHighCardinality(t *testing.T) {
 	for i := range vals {
 		vals[i] = fmt.Sprintf("v%d", i)
 	}
-	if _, ok := encodeDict(vals); ok {
+	if _, _, ok := encodeDict(vals); ok {
 		t.Fatal("dictionary accepted more than maxDictEntries distinct values")
 	}
 }

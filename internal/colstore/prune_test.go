@@ -1,6 +1,7 @@
 package colstore
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -278,5 +279,87 @@ func TestV1FormatCompat(t *testing.T) {
 		Pred: expr.Ge(expr.Col("id"), expr.ConstInt(1000)), BlockRows: 16})
 	if gotP := c.Get(CtrPartitionsPruned); gotP != 1 {
 		t.Errorf("pruned %d partitions of the mixed table, want 1 (the rolled-in v2 one)", gotP)
+	}
+}
+
+// TestDictZoneMapStatsValueOrder: dictionaries record entries in first-seen
+// order, and this table is written so that first-seen order starts in the
+// middle of value order for both the string (EncDict) and int (EncDictI64)
+// dictionary columns. The _stats sidecar must still carry the true value
+// min/max — a stats writer that took entries[0]/entries[len-1] as the bounds
+// would record an inverted range here and wrongly prune a matching partition.
+func TestDictZoneMapStatsValueOrder(t *testing.T) {
+	e := newEnv(1, 4096)
+	schema := records.NewSchema(
+		records.F("k", records.KindInt64),
+		records.F("tag", records.KindString),
+	)
+	tags := []string{"mmm", "zzz", "aaa"} // first-seen: mid, max, min
+	ks := []int64{500, 900, 100}          // first-seen: mid, max, min
+	const rows = 300
+	if _, err := WriteCIFTable(e.fs, "/dz", schema, rows, func(emit func(records.Record) error) error {
+		for i := 0; i < rows; i++ {
+			if err := emit(records.Make(schema, records.Int(ks[i%3]), records.Str(tags[i%3]))); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both columns must actually land on a dictionary encoding, or the test
+	// would silently stop covering the dict stats path.
+	for _, col := range []string{"k", "tag"} {
+		data, err := e.fs.ReadAll("/dz/p-00000/"+col+".col", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, n := binary.Uvarint(data[len(cifMagicV2):]) // row count
+		enc := Encoding(data[len(cifMagicV2)+n])
+		if enc != EncDict && enc != EncDictI64 {
+			t.Fatalf("column %s encoded as %s, want a dictionary encoding", col, enc)
+		}
+	}
+
+	ps, err := ReadPartitionStats(e.fs, "/dz/p-00000")
+	if err != nil || ps == nil {
+		t.Fatalf("ReadPartitionStats: ps=%v err=%v", ps, err)
+	}
+	src := ps.RangeSource()
+	kr, ok := src("k")
+	if !ok || kr.Min.Int64() != 100 || kr.Max.Int64() != 900 {
+		t.Errorf("k stats = [%v, %v] (ok=%v), want [100, 900]", kr.Min, kr.Max, ok)
+	}
+	tr, ok := src("tag")
+	if !ok || tr.Min.Str() != "aaa" || tr.Max.Str() != "zzz" {
+		t.Errorf("tag stats = [%v, %v] (ok=%v), want [aaa, zzz]", tr.Min, tr.Max, ok)
+	}
+
+	// Predicates selecting the dictionary's value extremes (the ones an
+	// entry-order bug inverts) must not prune the partition away.
+	for _, tc := range []struct {
+		pred expr.Pred
+		want int
+	}{
+		{expr.Eq(expr.Col("tag"), expr.ConstStr("aaa")), rows / 3},
+		{expr.Eq(expr.Col("tag"), expr.ConstStr("zzz")), rows / 3},
+		{expr.Between(expr.Col("k"), records.Int(850), records.Int(950)), rows / 3},
+		{expr.Between(expr.Col("k"), records.Int(0), records.Int(150)), rows / 3},
+	} {
+		got, c := readBlocks(t, e, &CIFInput{Dir: "/dz", Schema: schema, Pred: tc.pred, BlockRows: 64})
+		if len(got) != tc.want {
+			t.Errorf("pred %v returned %d rows, want %d", tc.pred, len(got), tc.want)
+		}
+		if p := c.Get(CtrPartitionsPruned); p != 0 {
+			t.Errorf("pred %v pruned %d partitions of a matching table", tc.pred, p)
+		}
+	}
+
+	// And a genuinely disjoint predicate still prunes on the dict-derived range.
+	_, c := readBlocks(t, e, &CIFInput{Dir: "/dz", Schema: schema,
+		Pred: expr.Between(expr.Col("k"), records.Int(2000), records.Int(3000)), BlockRows: 64})
+	if p := c.Get(CtrPartitionsPruned); p != 1 {
+		t.Errorf("disjoint pred pruned %d partitions, want 1", p)
 	}
 }

@@ -127,68 +127,95 @@ func ReadPartitionStats(fs *hdfs.FileSystem, pdir string) (*PartitionStats, erro
 	return ps, nil
 }
 
-// blockStats computes the zone map of one buffered partition.
-func blockStats(block *records.RowBlock) *PartitionStats {
-	schema := block.Schema()
-	ps := &PartitionStats{Rows: int64(block.Len()), Cols: make([]ColStats, schema.Len())}
-	for i := 0; i < schema.Len(); i++ {
-		cv := block.Col(i)
-		st := ColStats{Name: schema.Field(i).Name}
-		switch cv.Kind {
-		case records.KindInt64:
-			if len(cv.Ints) > 0 {
-				lo, hi := cv.Ints[0], cv.Ints[0]
-				for _, v := range cv.Ints[1:] {
-					if v < lo {
-						lo = v
-					}
-					if v > hi {
-						hi = v
-					}
+// columnStats computes the zone map of one buffered column. For
+// dictionary-encoded columns the min/max range over ALL dictionary entries:
+// dictionaries are built in first-seen (arrival) order, which is not value
+// order, so taking entries[0]/entries[len-1] as the bounds would record an
+// arbitrary — possibly inverted — range and let the planner prune partitions
+// that contain matching rows. Ranging over the distinct entries is both
+// correct and cheaper than re-scanning every row.
+func columnStats(name string, cv *records.ColumnVector, dict *dictEntries) ColStats {
+	st := ColStats{Name: name}
+	if dict != nil {
+		switch {
+		case len(dict.strs) > 0:
+			lo, hi := dict.strs[0], dict.strs[0]
+			for _, v := range dict.strs[1:] {
+				if v < lo {
+					lo = v
 				}
-				st.Min, st.Max = records.Int(lo), records.Int(hi)
-			}
-		case records.KindFloat64:
-			if len(cv.Floats) > 0 {
-				lo, hi := cv.Floats[0], cv.Floats[0]
-				for _, v := range cv.Floats[1:] {
-					if v < lo {
-						lo = v
-					}
-					if v > hi {
-						hi = v
-					}
+				if v > hi {
+					hi = v
 				}
-				st.Min, st.Max = records.Float(lo), records.Float(hi)
 			}
-		case records.KindString:
-			if len(cv.Strs) > 0 {
-				lo, hi := cv.Strs[0], cv.Strs[0]
-				for _, v := range cv.Strs[1:] {
-					if v < lo {
-						lo = v
-					}
-					if v > hi {
-						hi = v
-					}
+			st.Min, st.Max = records.Str(lo), records.Str(hi)
+		case len(dict.ints) > 0:
+			lo, hi := dict.ints[0], dict.ints[0]
+			for _, v := range dict.ints[1:] {
+				if v < lo {
+					lo = v
 				}
-				st.Min, st.Max = records.Str(lo), records.Str(hi)
-			}
-		case records.KindBool:
-			if len(cv.Bools) > 0 {
-				lo, hi := cv.Bools[0], cv.Bools[0]
-				for _, v := range cv.Bools[1:] {
-					if !v {
-						lo = false
-					}
-					if v {
-						hi = true
-					}
+				if v > hi {
+					hi = v
 				}
-				st.Min, st.Max = records.Bool(lo), records.Bool(hi)
 			}
+			st.Min, st.Max = records.Int(lo), records.Int(hi)
 		}
-		ps.Cols[i] = st
+		return st
 	}
-	return ps
+	switch cv.Kind {
+	case records.KindInt64:
+		if len(cv.Ints) > 0 {
+			lo, hi := cv.Ints[0], cv.Ints[0]
+			for _, v := range cv.Ints[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			st.Min, st.Max = records.Int(lo), records.Int(hi)
+		}
+	case records.KindFloat64:
+		if len(cv.Floats) > 0 {
+			lo, hi := cv.Floats[0], cv.Floats[0]
+			for _, v := range cv.Floats[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			st.Min, st.Max = records.Float(lo), records.Float(hi)
+		}
+	case records.KindString:
+		if len(cv.Strs) > 0 {
+			lo, hi := cv.Strs[0], cv.Strs[0]
+			for _, v := range cv.Strs[1:] {
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			st.Min, st.Max = records.Str(lo), records.Str(hi)
+		}
+	case records.KindBool:
+		if len(cv.Bools) > 0 {
+			lo, hi := cv.Bools[0], cv.Bools[0]
+			for _, v := range cv.Bools[1:] {
+				if !v {
+					lo = false
+				}
+				if v {
+					hi = true
+				}
+			}
+			st.Min, st.Max = records.Bool(lo), records.Bool(hi)
+		}
+	}
+	return st
 }

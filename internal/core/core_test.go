@@ -58,16 +58,18 @@ func TestAllQueriesMatchReference(t *testing.T) {
 			t.Errorf("%s: %s\nclydesdale:\n%svs reference:\n%s", q.Name, why, rs, want)
 		}
 		// Every fact row is accounted for exactly once: probed, dropped by
-		// the late-materialization selection vector, or in a partition the
-		// zone maps pruned.
+		// the late-materialization selection vector, dropped by a semi-join
+		// bloom filter, or in a partition the zone maps pruned.
 		c := rep.Job.Counters
 		accounted := c.Get(core.CtrProbeRows) +
 			c.Get(colstore.CtrRowsLateSkipped) +
+			c.Get(colstore.CtrRowsBloomSkipped) +
 			c.Get(colstore.CtrRowsPruned)
 		if accounted != e.gen.LineorderRows() {
-			t.Errorf("%s: probed %d + late-skipped %d + pruned %d = %d rows, want %d",
+			t.Errorf("%s: probed %d + late-skipped %d + bloom-skipped %d + pruned %d = %d rows, want %d",
 				q.Name, c.Get(core.CtrProbeRows), c.Get(colstore.CtrRowsLateSkipped),
-				c.Get(colstore.CtrRowsPruned), accounted, e.gen.LineorderRows())
+				c.Get(colstore.CtrRowsBloomSkipped), c.Get(colstore.CtrRowsPruned),
+				accounted, e.gen.LineorderRows())
 		}
 	}
 }
@@ -151,9 +153,11 @@ func TestColumnarPruningReadsFewerBytes(t *testing.T) {
 
 	readDelta := func(feats core.Features) int64 {
 		before := e.fs.Metrics().Snapshot()
-		// Zone-map pruning off: this test isolates the saving of column
-		// projection alone (pruning has its own tests).
-		eng := e.engine(core.Options{Features: feats, NoScanPruning: true})
+		// Zone-map pruning and bloom pushdown off: this test isolates the
+		// saving of column projection alone (pruning has its own tests, and
+		// bloom derivation adds driver-side dimension reads that would skew
+		// the scan-byte comparison).
+		eng := e.engine(core.Options{Features: feats, NoScanPruning: true, NoBloomPushdown: true})
 		if _, _, err := eng.Execute(context.Background(), q); err != nil {
 			t.Fatal(err)
 		}

@@ -125,6 +125,15 @@ type Options struct {
 	// NoLateMaterialization disables predicate-first column decoding in the
 	// block scan for ablation; all projected columns decode eagerly.
 	NoLateMaterialization bool
+	// NoCodeSpacePreds disables compressed execution for ablation:
+	// predicates evaluate over materialized values instead of dictionary
+	// codes, delta range fusion is off, and the probe uses the hash table
+	// instead of dictionary side tables.
+	NoCodeSpacePreds bool
+	// NoBloomPushdown disables semi-join bloom pushdown into the fact scan
+	// for ablation; rows that would miss the probe are dropped at the probe
+	// instead of in the scan.
+	NoBloomPushdown bool
 	// Speculative enables MapReduce speculative execution for the query
 	// jobs: once the pending queue drains, still-running map tasks get
 	// backup attempts on other nodes, masking stragglers (slow disks, hot
@@ -140,10 +149,11 @@ type Engine struct {
 	opts  Options
 
 	// hintMu guards hintCache, the per-(dimension, predicate) memo of
-	// derived FK-range prune hints: dimension contents are immutable for an
-	// engine's lifetime, so each hint is scanned for at most once.
+	// derived scan pushdowns (FK-range prune hint + semi-join bloom):
+	// dimension contents are immutable for an engine's lifetime, so each
+	// dimension is scanned for at most once.
 	hintMu    sync.Mutex
-	hintCache map[string]expr.Pred
+	hintCache map[string]*dimScan
 }
 
 // New creates an engine over a MapReduce engine and a catalog.
@@ -180,6 +190,9 @@ type Report struct {
 	// pruning on the fact scan (the scan.* counters).
 	PartitionsPruned int64
 	BytesSkipped     int64
+	// RowsBloomSkipped counts fact rows dropped in the scan by semi-join
+	// bloom pushdown (rows whose FK provably misses the dimension probe).
+	RowsBloomSkipped int64
 }
 
 // fillScanStats copies the pruning counters into the report.
@@ -189,6 +202,7 @@ func (r *Report) fillScanStats(c *mr.Counters) {
 	}
 	r.PartitionsPruned = c.Get(colstore.CtrPartitionsPruned)
 	r.BytesSkipped = c.Get(colstore.CtrBytesSkipped)
+	r.RowsBloomSkipped = c.Get(colstore.CtrRowsBloomSkipped)
 }
 
 // Run executes the query under the engine's configured Options.Mode: the
@@ -337,14 +351,19 @@ func (e *Engine) executeSinglePass(ctx context.Context, q *Query) (*results.Resu
 	if !e.opts.NoScanPruning {
 		hints = e.fkPruneHints(q)
 	}
+	var filters []colstore.KeyFilter
+	if !e.opts.NoBloomPushdown {
+		filters = e.semiJoinFilters(q)
+	}
 	out := &mr.MemoryOutput{}
 	job := &mr.Job{
 		Name: "clydesdale-" + q.Name,
 		Conf: conf,
 		Input: &colstore.CIFInput{
 			Dir: e.cat.FactDir, Columns: cols, Schema: e.cat.FactSchema, BlockRows: e.opts.BlockRows,
-			Pred: q.FactPred, PrunePreds: hints, EagerColumns: factFKs(q),
+			Pred: q.FactPred, PrunePreds: hints, EagerColumns: factFKs(q), KeyFilters: filters,
 			DisablePruning: e.opts.NoScanPruning, DisableLateMat: e.opts.NoLateMaterialization,
+			DisableCodeSpacePreds: e.opts.NoCodeSpacePreds,
 		},
 		Output: out,
 		NewMapRunner: func() mr.MapRunner {

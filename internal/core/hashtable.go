@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"clydesdale/internal/cluster"
 	"clydesdale/internal/expr"
@@ -40,6 +41,24 @@ type DimHashTable struct {
 	// MemBytes is the table's resident size for node memory accounting,
 	// computed from the actual slot array and arena by finalize.
 	MemBytes int64
+
+	// sideTables caches code→arena-offset translations per fact-column
+	// dictionary (keyed by dictionary fingerprint). They are the one
+	// mutation after finalize, guarded by sideMu; the table proper stays
+	// read-only, so concurrent probes remain safe. Not charged to MemBytes:
+	// a side table is at most 4 entries/KB of the probe loop's working set
+	// and exists only while the query runs.
+	sideMu     sync.Mutex
+	sideTables map[uint64]*sideTable
+}
+
+// sideTable is one cached translation: offs[code] is the arena offset of
+// the dimension entry whose key is the dictionary's code-th value, or -1
+// when that key misses the table. dict is retained to verify entries on a
+// fingerprint collision.
+type sideTable struct {
+	dict *records.ColumnDict
+	offs []int32
 }
 
 // dimSlot interleaves key and arena offset so a probe step touches one
@@ -118,6 +137,85 @@ func (h *DimHashTable) Probe(fk int64) (aux []records.Value, ok bool) {
 			return h.arena[s.off:end:end], true
 		}
 	}
+}
+
+// ProbeOffset looks up a foreign key and returns its arena offset (0 for
+// tables with no aux columns) instead of the aux slice — the form side
+// tables store.
+func (h *DimHashTable) ProbeOffset(fk int64) (int32, bool) {
+	tags := h.tags
+	mask := uint64(len(tags) - 1)
+	hv := mix64(uint64(fk))
+	tag := uint8(hv>>56) | tagOccupied
+	for i := hv & mask; ; i = (i + 1) & mask {
+		t := tags[i]
+		if t == tagEmpty {
+			return 0, false
+		}
+		if t != tag {
+			continue
+		}
+		if s := h.slots[i]; s.key == fk {
+			return s.off, true
+		}
+	}
+}
+
+// AuxAt returns the aux slice at an arena offset previously obtained from
+// ProbeOffset or a side table; nil for tables with no aux columns. The
+// slice aliases the arena and must not be modified.
+func (h *DimHashTable) AuxAt(off int32) []records.Value {
+	if h.auxWidth == 0 {
+		return nil
+	}
+	end := off + int32(h.auxWidth)
+	return h.arena[off:end:end]
+}
+
+// CodeSideTable returns the code→arena-offset translation for a
+// dictionary-encoded fact FK column: offs[code] replaces the hash probe for
+// every row carrying that code with one array read. It is built once per
+// (table, dictionary) — at most dictionary-size hash probes, amortized over
+// every block and partition sharing the dictionary — and cached by the
+// dictionary fingerprint; built reports whether this call did the build
+// (for counters). Returns nil for non-integer dictionaries.
+func (h *DimHashTable) CodeSideTable(dict *records.ColumnDict) (offs []int32, built bool) {
+	if dict == nil || dict.Ints == nil {
+		return nil, false
+	}
+	h.sideMu.Lock()
+	st, ok := h.sideTables[dict.ID]
+	h.sideMu.Unlock()
+	if ok && (st.dict == dict || sameIntDict(st.dict.Ints, dict.Ints)) {
+		return st.offs, false
+	}
+	offs = make([]int32, len(dict.Ints))
+	for c, k := range dict.Ints {
+		if off, hit := h.ProbeOffset(k); hit {
+			offs[c] = off
+		} else {
+			offs[c] = -1
+		}
+	}
+	h.sideMu.Lock()
+	if h.sideTables == nil {
+		h.sideTables = make(map[uint64]*sideTable)
+	}
+	h.sideTables[dict.ID] = &sideTable{dict: dict, offs: offs}
+	h.sideMu.Unlock()
+	return offs, true
+}
+
+func sameIntDict(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // insert adds one entry during the build. A duplicate key overwrites the

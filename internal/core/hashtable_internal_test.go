@@ -214,3 +214,67 @@ func TestNodeTableGroupRetriesAfterError(t *testing.T) {
 		t.Fatalf("cached success not shared: reused=%v err=%v", reused2, err)
 	}
 }
+
+// TestCodeSideTable: the code→offset side table must answer exactly like
+// Probe for every dictionary entry (misses as -1), be built once per
+// dictionary fingerprint, and verify contents on fingerprint collisions
+// instead of trusting the cached table.
+func TestCodeSideTable(t *testing.T) {
+	h := newDimHashTable("side", 1, 0)
+	for k := int64(0); k < 100; k += 2 { // even keys only
+		h.insert(k, []records.Value{records.Int(k * 10)})
+	}
+	h.finalize()
+
+	dict := &records.ColumnDict{ID: 42, Ints: []int64{8, 3, 96, -7, 0}}
+	offs, built := h.CodeSideTable(dict)
+	if offs == nil || !built {
+		t.Fatalf("CodeSideTable = (%v, %v), want a freshly built table", offs, built)
+	}
+	for c, k := range dict.Ints {
+		aux, ok := h.Probe(k)
+		if !ok {
+			if offs[c] != -1 {
+				t.Errorf("code %d (key %d): off %d, want -1 (hash table misses)", c, k, offs[c])
+			}
+			continue
+		}
+		if offs[c] < 0 {
+			t.Fatalf("code %d (key %d): side table missed, hash table hits", c, k)
+		}
+		got := h.AuxAt(offs[c])
+		if len(got) != 1 || got[0].Int64() != aux[0].Int64() {
+			t.Errorf("code %d (key %d): AuxAt = %v, want %v", c, k, got, aux)
+		}
+	}
+
+	// Same dictionary again: cached, not rebuilt.
+	offs2, built2 := h.CodeSideTable(dict)
+	if built2 {
+		t.Error("second CodeSideTable call rebuilt a cached table")
+	}
+	if &offs2[0] != &offs[0] {
+		t.Error("second CodeSideTable call returned a different table")
+	}
+
+	// A different dictionary with a colliding fingerprint must be detected
+	// by content comparison and rebuilt, not served the stale table.
+	collide := &records.ColumnDict{ID: 42, Ints: []int64{2, 4, 6}}
+	offs3, built3 := h.CodeSideTable(collide)
+	if !built3 {
+		t.Fatal("colliding-fingerprint dictionary was served the cached table")
+	}
+	for c, k := range collide.Ints {
+		if offs3[c] < 0 {
+			t.Errorf("code %d (key %d) missed after collision rebuild", c, k)
+		}
+	}
+
+	// String dictionaries cannot feed an int64 join: no side table.
+	if offs, _ := h.CodeSideTable(&records.ColumnDict{ID: 7, Strs: []string{"a"}}); offs != nil {
+		t.Error("string dictionary produced an int64 side table")
+	}
+	if offs, _ := h.CodeSideTable(nil); offs != nil {
+		t.Error("nil dictionary produced a side table")
+	}
+}

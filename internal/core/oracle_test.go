@@ -47,3 +47,54 @@ func TestPruningOracleAllQueries(t *testing.T) {
 		t.Error("no SSB query pruned any partition")
 	}
 }
+
+// TestCompressedExecutionOracle is the soundness oracle for PR 7's
+// compressed-execution paths: every SSB query must return identical results
+// with code-space predicates and bloom pushdown enabled, each disabled
+// alone, and both disabled. It also pins that the paths actually fire —
+// bloom filters kill fact rows on the selective join-heavy queries and the
+// probe answers rows out of dictionary side tables — so the oracle cannot
+// rot into comparing a feature against itself.
+func TestCompressedExecutionOracle(t *testing.T) {
+	e := newEnv(t, 3, 0.002)
+	opt := e.engine(core.Options{})
+	ablations := map[string]*core.Engine{
+		"no-code-preds": e.engine(core.Options{NoCodeSpacePreds: true}),
+		"no-bloom":      e.engine(core.Options{NoBloomPushdown: true}),
+		"neither":       e.engine(core.Options{NoCodeSpacePreds: true, NoBloomPushdown: true}),
+	}
+
+	mustBloom := map[string]bool{"Q2.1": true, "Q2.2": true}
+	var totalBloom, totalSide, totalCodeProbe int64
+	for _, q := range ssb.Queries() {
+		got, rep, err := opt.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatalf("%s optimized: %v", q.Name, err)
+		}
+		for name, eng := range ablations {
+			want, wrep, err := eng.Execute(context.Background(), q)
+			if err != nil {
+				t.Fatalf("%s %s: %v", q.Name, name, err)
+			}
+			if ok, why := results.Equivalent(got, want, 1e-9); !ok {
+				t.Errorf("%s: optimized and %s runs disagree: %s", q.Name, name, why)
+			}
+			if name == "no-bloom" && wrep.RowsBloomSkipped != 0 {
+				t.Errorf("%s: NoBloomPushdown still bloom-skipped %d rows", q.Name, wrep.RowsBloomSkipped)
+			}
+		}
+		totalBloom += rep.RowsBloomSkipped
+		c := rep.Job.Counters
+		totalSide += c.Get(core.CtrCodeSideTables)
+		totalCodeProbe += c.Get(core.CtrCodeProbeRows)
+		if mustBloom[q.Name] && rep.RowsBloomSkipped == 0 {
+			t.Errorf("%s: expected bloom pushdown to skip rows, skipped 0", q.Name)
+		}
+	}
+	if totalBloom == 0 {
+		t.Error("no SSB query bloom-skipped any row")
+	}
+	if totalSide == 0 || totalCodeProbe == 0 {
+		t.Errorf("code-space probe never fired: side_tables=%d code_probe_rows=%d", totalSide, totalCodeProbe)
+	}
+}

@@ -23,77 +23,130 @@ import (
 // that is merely a superset of the qualifying keys (ranges over sparse key
 // sets, e.g. YYYYMMDD date keys) is still sound.
 
+// The same driver-side scan also yields the exact qualifying key set, which
+// feeds the second pushdown: a bloom filter over surviving keys handed to
+// CIFInput.KeyFilters (semi-join filter pushdown). The hint prunes whole
+// partitions; the bloom kills individual fact rows inside surviving
+// partitions before their columns materialize.
+
+// bloomMaxSelectivity gates bloom pushdown: a filter most of whose
+// dimension passes the predicate can only drop the complementary fraction
+// of fact rows, which doesn't pay for testing every row (e.g. the broad
+// Q3.x date filter keeps ~86% of the date dimension). Filters are built
+// only when qualifying keys / total keys is at or below this.
+const bloomMaxSelectivity = 0.5
+
+// dimScan is what one driver-side scan of a filtered dimension yields:
+// the FK-range prune hint and the semi-join bloom filter (either may be nil
+// when underivable or not worth pushing). Memoized per (dimension, fact FK,
+// predicate) in Engine.hintCache.
+type dimScan struct {
+	hint  expr.Pred
+	bloom *colstore.KeyBloom
+}
+
+// dimScanFor returns the memoized scan products for one dimension, scanning
+// at most once per (dimension, predicate, fact FK): dimension contents are
+// immutable for an engine's lifetime. Returns nil for dimensions that can
+// yield nothing (no predicate, no schema).
+func (e *Engine) dimScanFor(d *DimSpec) *dimScan {
+	if d.Pred == nil || d.Schema == nil {
+		return nil
+	}
+	key := d.Table + "|" + d.FactFK + "|" + d.Pred.String()
+	e.hintMu.Lock()
+	ds, cached := e.hintCache[key]
+	e.hintMu.Unlock()
+	if !cached {
+		ds = deriveDimScan(e.mr.FS(), e.cat, d)
+		e.hintMu.Lock()
+		if e.hintCache == nil {
+			e.hintCache = make(map[string]*dimScan)
+		}
+		e.hintCache[key] = ds
+		e.hintMu.Unlock()
+	}
+	return ds
+}
+
 // fkPruneHints returns one BETWEEN hint per dimension whose qualifying
-// primary keys are non-empty. Hints are memoized per (dimension, predicate,
-// fact FK): the first query pays one driver-side dimension scan, every
-// later query with the same filter reuses the range. Dimensions that cannot
-// yield a hint (no predicate, non-integer key, scan error) are skipped —
-// pruning just sees fewer hints.
+// primary keys are non-empty. Dimensions that cannot yield a hint (no
+// predicate, non-integer key, scan error) are skipped — pruning just sees
+// fewer hints.
 func (e *Engine) fkPruneHints(q *Query) []expr.Pred {
 	var hints []expr.Pred
 	for i := range q.Dims {
-		d := &q.Dims[i]
-		if d.Pred == nil || d.Schema == nil {
-			continue
-		}
-		key := d.Table + "|" + d.FactFK + "|" + d.Pred.String()
-		e.hintMu.Lock()
-		hint, cached := e.hintCache[key]
-		e.hintMu.Unlock()
-		if !cached {
-			hint = deriveFKHint(e.mr.FS(), e.cat, d)
-			e.hintMu.Lock()
-			if e.hintCache == nil {
-				e.hintCache = make(map[string]expr.Pred)
-			}
-			e.hintCache[key] = hint
-			e.hintMu.Unlock()
-		}
-		if hint != nil {
-			hints = append(hints, hint)
+		if ds := e.dimScanFor(&q.Dims[i]); ds != nil && ds.hint != nil {
+			hints = append(hints, ds.hint)
 		}
 	}
 	return hints
 }
 
-// deriveFKHint scans one filtered dimension and returns the FK range hint,
-// or nil when none can be derived.
-func deriveFKHint(fs *hdfs.FileSystem, cat *Catalog, d *DimSpec) expr.Pred {
+// semiJoinFilters returns one KeyFilter per dimension whose predicate is
+// selective enough to pay for per-row filtering (see bloomMaxSelectivity).
+// The filters are derived on the driver before the job is submitted — they
+// are plain immutable state shipped with the input format, so retried,
+// speculative, and failed-over task attempts all see the same filters.
+func (e *Engine) semiJoinFilters(q *Query) []colstore.KeyFilter {
+	var filters []colstore.KeyFilter
+	for i := range q.Dims {
+		d := &q.Dims[i]
+		if ds := e.dimScanFor(d); ds != nil && ds.bloom != nil {
+			filters = append(filters, colstore.KeyFilter{Column: d.FactFK, Keys: ds.bloom})
+		}
+	}
+	return filters
+}
+
+// deriveDimScan scans one filtered dimension once, collecting the
+// qualifying-key range (→ prune hint) and the qualifying keys themselves
+// (→ bloom filter, when selective enough). Never returns nil; an empty
+// dimScan means nothing was derivable.
+func deriveDimScan(fs *hdfs.FileSystem, cat *Catalog, d *DimSpec) *dimScan {
+	ds := &dimScan{}
 	pkIdx := d.Schema.Index(d.DimPK)
 	if pkIdx < 0 || d.Schema.Field(pkIdx).Kind != records.KindInt64 {
-		return nil
+		return ds
 	}
 	dir, err := cat.DimDir(d.Table)
 	if err != nil {
-		return nil
+		return ds
 	}
 	pred, err := expr.CompilePred(d.Pred, d.Schema)
 	if err != nil {
-		return nil
+		return ds
 	}
-	found := false
+	var keys []int64
+	var total int64
 	var lo, hi int64
 	err = colstore.ScanRowTable(fs, dir, "", func(r records.Record) error {
+		total++
 		if !pred(r) {
 			return nil
 		}
 		v := r.At(pkIdx).Int64()
-		if !found {
-			lo, hi, found = v, v, true
-			return nil
+		if len(keys) == 0 {
+			lo, hi = v, v
+		} else {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
 		}
-		if v < lo {
-			lo = v
-		}
-		if v > hi {
-			hi = v
-		}
+		keys = append(keys, v)
 		return nil
 	})
-	if err != nil || !found {
-		return nil
+	if err != nil || len(keys) == 0 {
+		return ds
 	}
-	return expr.Between(expr.Col(d.FactFK), records.Int(lo), records.Int(hi))
+	ds.hint = expr.Between(expr.Col(d.FactFK), records.Int(lo), records.Int(hi))
+	if float64(len(keys)) <= bloomMaxSelectivity*float64(total) {
+		ds.bloom = colstore.NewKeyBloom(keys, colstore.DefaultBloomBitsPerKey)
+	}
+	return ds
 }
 
 // factFKs lists the fact-side join keys, the columns the probe needs before

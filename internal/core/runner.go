@@ -22,6 +22,11 @@ const (
 	CtrProbeEmits      = "CLYDESDALE_PROBE_EMITS"
 	CtrProbeNanos      = "CLYDESDALE_PROBE_NANOS"
 	CtrProbeThreads    = "CLYDESDALE_PROBE_THREADS"
+	// CtrCodeSideTables counts code→offset side-table builds (one per
+	// dimension table × fact FK dictionary); CtrCodeProbeRows counts probe
+	// lookups answered by a side-table array read instead of a hash probe.
+	CtrCodeSideTables = "CLYDESDALE_CODE_SIDE_TABLES"
+	CtrCodeProbeRows  = "CLYDESDALE_CODE_PROBE_ROWS"
 )
 
 // starJoinRunner is Clydesdale's MTMapRunner (§5.1, Figure 5): it builds or
@@ -213,6 +218,8 @@ func (r *starJoinRunner) reserve(ctx *mr.TaskContext, hts []*DimHashTable) error
 type probeScratch struct {
 	auxRow  [][]records.Value
 	fkCols  [][]int64
+	fkCodes [][]uint32 // per dim: the FK column's dictionary codes, when carried
+	fkSide  [][]int32  // per dim: code→arena-offset side table, nil → hash probe
 	keyVals []records.Value
 	keyRec  records.Record // wraps keyVals
 	valVals []records.Value
@@ -225,6 +232,8 @@ func (r *starJoinRunner) newScratch() *probeScratch {
 	sc := &probeScratch{
 		auxRow:  make([][]records.Value, len(r.q.Dims)),
 		fkCols:  make([][]int64, len(r.q.Dims)),
+		fkCodes: make([][]uint32, len(r.q.Dims)),
+		fkSide:  make([][]int32, len(r.q.Dims)),
 		keyVals: make([]records.Value, len(r.groupSrcs)),
 		valVals: make([]records.Value, 1),
 	}
@@ -378,7 +387,7 @@ func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReade
 	var fkIdx []int
 	compiled := false
 	auxRow := sc.auxRow
-	var rows, emits int64
+	var rows, emits, codeProbes int64
 
 	for {
 		if err := ctx.Err(); err != nil {
@@ -415,9 +424,23 @@ func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReade
 			}
 			compiled = true
 		}
-		fkCols := sc.fkCols
+		fkCols, fkCodes, fkSide := sc.fkCols, sc.fkCodes, sc.fkSide
 		for i, ix := range fkIdx {
-			fkCols[i] = blk.Col(ix).Ints
+			cv := blk.Col(ix)
+			fkCols[i] = cv.Ints
+			fkSide[i] = nil
+			// Dictionary-probe side table: when the reader carried the FK
+			// column's codes out of the scan, translate its dictionary to
+			// arena offsets once and probe by array index below.
+			if !r.eng.opts.NoCodeSpacePreds && cv.Dict != nil && len(cv.Codes) == len(cv.Ints) {
+				if side, built := hts[i].CodeSideTable(cv.Dict); side != nil {
+					fkSide[i] = side
+					fkCodes[i] = cv.Codes
+					if built {
+						ctx.Counters.Add(CtrCodeSideTables, 1)
+					}
+				}
+			}
 		}
 		n := blk.Len()
 		rows += int64(n)
@@ -428,6 +451,15 @@ func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReade
 			}
 			// Early-out probe (§4.2): stop at the first dimension miss.
 			for _, d := range order {
+				if side := fkSide[d]; side != nil {
+					codeProbes++ // misses are side-table answers too
+					off := side[fkCodes[d][i]]
+					if off < 0 {
+						continue rowLoop
+					}
+					auxRow[d] = hts[d].AuxAt(off)
+					continue
+				}
 				aux, ok := hts[d].Probe(fkCols[d][i])
 				if !ok {
 					continue rowLoop
@@ -442,6 +474,7 @@ func (r *starJoinRunner) probeBlocks(ctx *mr.TaskContext, br colstore.BlockReade
 	}
 	ctx.Counters.Add(CtrProbeRows, rows)
 	ctx.Counters.Add(CtrProbeEmits, emits)
+	ctx.Counters.Add(CtrCodeProbeRows, codeProbes)
 	return nil
 }
 

@@ -1,0 +1,138 @@
+package expr
+
+import (
+	"math"
+
+	"clydesdale/internal/records"
+)
+
+// Code-space compilation support: the scan translates per-row predicates on
+// dictionary-encoded columns into per-dictionary-entry decisions (evaluate
+// the predicate once per distinct value, then test raw codes against the
+// resulting bitmap), and range predicates on delta-encoded columns into
+// bounds checked during decode. The helpers here are the expression-side
+// half of that: splitting a predicate into independently-pushable
+// conjuncts, evaluating a single-column predicate over one value, and
+// extracting an integer interval from a range-shaped conjunct.
+
+// Conjuncts flattens p into its top-level AND factors. A nil predicate
+// yields nil; a non-AND predicate yields itself. Each factor can be pushed
+// into the scan independently because AND commutes with per-row filtering.
+func Conjuncts(p Pred) []Pred {
+	if p == nil {
+		return nil
+	}
+	a, ok := p.(AndPred)
+	if !ok {
+		return []Pred{p}
+	}
+	var out []Pred
+	for _, q := range a.Parts {
+		out = append(out, Conjuncts(q)...)
+	}
+	return out
+}
+
+// SingleColumn returns the only column p reads, or ok=false when p reads
+// zero or more than one distinct column.
+func SingleColumn(p Pred) (string, bool) {
+	cols := ColumnsOf(nil, []Pred{p})
+	if len(cols) != 1 {
+		return "", false
+	}
+	return cols[0], true
+}
+
+// CompileValuePred compiles p — a predicate reading only col — into a
+// function of a single value of the column's kind. Evaluating the closure
+// over each dictionary entry yields a code bitmap exactly equivalent to
+// evaluating p per row, because predicates are pure functions of the value.
+// The closure is safe for concurrent use — one compiled predicate is shared
+// by every scan task planning against the same input — so it builds its
+// one-value record per call rather than mutating captured scratch; it runs
+// once per dictionary entry (≤ the dictionary cap), never per row, so the
+// allocation doesn't matter.
+func CompileValuePred(p Pred, col string, kind records.Kind) (func(records.Value) bool, error) {
+	s := records.NewSchema(records.F(col, kind))
+	rp, err := CompilePred(p, s)
+	if err != nil {
+		return nil, err
+	}
+	return func(v records.Value) bool {
+		return rp(records.Make(s, v))
+	}, nil
+}
+
+// IntRangeOf extracts the closed interval [lo, hi] that p imposes on col,
+// for range-shaped predicates over integer constants: BETWEEN and
+// column-vs-constant comparisons. ok=false for any other shape (IN,
+// disjunctions, arithmetic over the column, non-integer bounds) — callers
+// fall back to per-row evaluation.
+func IntRangeOf(p Pred, col string) (lo, hi int64, ok bool) {
+	isCol := func(e Expr) bool {
+		c, isc := e.(ColExpr)
+		return isc && c.Name == col
+	}
+	intConst := func(e Expr) (int64, bool) {
+		c, isc := e.(ConstExpr)
+		if !isc || c.Val.Kind() != records.KindInt64 {
+			return 0, false
+		}
+		return c.Val.Int64(), true
+	}
+	switch p := p.(type) {
+	case BetweenPred:
+		if !isCol(p.E) || p.Lo.Kind() != records.KindInt64 || p.Hi.Kind() != records.KindInt64 {
+			return 0, 0, false
+		}
+		return p.Lo.Int64(), p.Hi.Int64(), true
+	case CmpPred:
+		op := p.Op
+		var c int64
+		if isCol(p.L) {
+			v, isInt := intConst(p.R)
+			if !isInt {
+				return 0, 0, false
+			}
+			c = v
+		} else if isCol(p.R) {
+			v, isInt := intConst(p.L)
+			if !isInt {
+				return 0, 0, false
+			}
+			c = v
+			// Flip "const OP col" into "col OP' const".
+			switch op {
+			case CmpLt:
+				op = CmpGt
+			case CmpLe:
+				op = CmpGe
+			case CmpGt:
+				op = CmpLt
+			case CmpGe:
+				op = CmpLe
+			}
+		} else {
+			return 0, 0, false
+		}
+		switch op {
+		case CmpEq:
+			return c, c, true
+		case CmpLe:
+			return math.MinInt64, c, true
+		case CmpGe:
+			return c, math.MaxInt64, true
+		case CmpLt:
+			if c == math.MinInt64 {
+				return 0, 0, false
+			}
+			return math.MinInt64, c - 1, true
+		case CmpGt:
+			if c == math.MaxInt64 {
+				return 0, 0, false
+			}
+			return c + 1, math.MaxInt64, true
+		}
+	}
+	return 0, 0, false
+}

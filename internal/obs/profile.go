@@ -663,6 +663,7 @@ var reportCounters = []string{
 	"scan.rows_pruned",
 	"scan.bytes_skipped",
 	"scan.rows_late_skipped",
+	"scan.rows_bloom_skipped",
 	"core.probe_rows",
 	"core.probe_emits",
 	"mr.map_tasks",

@@ -4,12 +4,40 @@ import "fmt"
 
 // ColumnVector holds a batch of values for one column in a typed slice.
 // Exactly one of the payload slices is populated, matching Kind.
+//
+// A dictionary-encoded producer may additionally populate Codes and Dict so
+// downstream operators can keep working in code space (e.g. probing a join
+// hash table through a code→offset side table instead of hashing the key).
+// Codes, when present, is parallel to the value slice; producers that cannot
+// supply codes leave Codes empty and Dict nil, and consumers must check
+// len(Codes) == Len() before trusting it.
 type ColumnVector struct {
 	Kind   Kind
 	Ints   []int64
 	Floats []float64
 	Strs   []string
 	Bools  []bool
+
+	Codes []uint32
+	Dict  *ColumnDict
+}
+
+// ColumnDict describes the dictionary that a vector's Codes index into.
+// Exactly one of Ints/Strs is populated. ID fingerprints the contents so
+// consumers can cache per-dictionary structures across blocks and partitions:
+// equal dictionaries (same entries, same order) carry equal IDs.
+type ColumnDict struct {
+	ID   uint64
+	Ints []int64
+	Strs []string
+}
+
+// Len returns the number of dictionary entries.
+func (d *ColumnDict) Len() int {
+	if d.Ints != nil {
+		return len(d.Ints)
+	}
+	return len(d.Strs)
 }
 
 // NewColumnVector allocates an empty vector of the given kind with the given
@@ -115,14 +143,30 @@ func (cv *ColumnVector) Compact(sel []bool) {
 		}
 		cv.Bools = cv.Bools[:k]
 	}
+	// Codes travel with the values they annotate; a partial Codes slice
+	// (producer stopped mid-block) is dropped rather than misaligned.
+	if len(cv.Codes) >= len(sel) {
+		k := 0
+		for i := range sel {
+			if sel[i] {
+				cv.Codes[k] = cv.Codes[i]
+				k++
+			}
+		}
+		cv.Codes = cv.Codes[:k]
+	} else {
+		cv.Codes = cv.Codes[:0]
+	}
 }
 
-// Reset truncates the vector to zero length, keeping capacity.
+// Reset truncates the vector to zero length, keeping capacity. Dict is kept:
+// it describes the producer's current dictionary, which outlives blocks.
 func (cv *ColumnVector) Reset() {
 	cv.Ints = cv.Ints[:0]
 	cv.Floats = cv.Floats[:0]
 	cv.Strs = cv.Strs[:0]
 	cv.Bools = cv.Bools[:0]
+	cv.Codes = cv.Codes[:0]
 }
 
 // RowBlock is a batch of rows in columnar layout: one ColumnVector per

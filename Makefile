@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency chaos bench bench-smoke profile-smoke clean
+.PHONY: check fmt vet build test race race-concurrency chaos plan-golden bench bench-smoke profile-smoke clean
 
-check: fmt vet build race-concurrency chaos
+check: fmt vet build race-concurrency chaos plan-golden
 
 # Fail if any file is not gofmt-clean, listing the offenders.
 fmt:
@@ -39,6 +39,14 @@ race-concurrency:
 # where scheduler, namenode and cache state interleave.
 chaos:
 	$(GO) test -race ./internal/chaos/... ./internal/hdfs/... ./internal/cluster/...
+
+# Planner gate (see DESIGN.md "Planner"): the golden plan texts for all 13
+# SSB queries (regenerate with `go test ./internal/plan -run GoldenPlans
+# -update`), the snowflake property suite holding every lowering — star,
+# staged, cascade, and both Hive strategies — to the logical-plan oracle,
+# and the cascade's zero-intermediate-reduce span check, all under -race.
+plan-golden:
+	$(GO) test -race ./internal/plan/...
 
 # Probe-path regression guard (see DESIGN.md "Probe hot path"): the table
 # probe/build microbenchmarks and the per-row emit benchmark, with allocation

@@ -33,6 +33,7 @@ import (
 	"clydesdale/internal/hdfs"
 	"clydesdale/internal/mr"
 	"clydesdale/internal/obs"
+	"clydesdale/internal/plan"
 	"clydesdale/internal/results"
 	"clydesdale/internal/serve"
 	"clydesdale/internal/sql"
@@ -145,11 +146,15 @@ func main() {
 	queries := ssb.Queries()
 	switch {
 	case *sqlText != "":
-		q, err := sql.Parse(*sqlText, sql.StarFromCatalog(lay.Catalog(), ssb.TableLineorder))
+		l, err := sql.Parse(*sqlText, lay.Catalog())
 		if err != nil {
 			fatal(err)
 		}
-		q.Name = "ad-hoc"
+		l.Name = "ad-hoc"
+		q, err := core.QueryFromLogical(l)
+		if err != nil {
+			fatal(err)
+		}
 		queries = []*ssb.Query{q}
 	case *query != "all":
 		q, err := ssb.QueryByName(*query)
@@ -167,6 +172,18 @@ func main() {
 	var lastJob *mr.JobResult
 	for _, q := range queries {
 		fmt.Printf("\n== %s\n", q)
+		if *explain {
+			// The cost-based chooser's verdict: chosen strategy per join
+			// with its cost, plus the rejected alternatives. The measured
+			// EXPLAIN ANALYZE profile follows after execution.
+			phys, err := eng.Plan(q)
+			if err != nil {
+				fatal(fmt.Errorf("%s: plan: %w", q.Name, err))
+			}
+			if err := plan.Explain(os.Stdout, phys); err != nil {
+				fatal(err)
+			}
+		}
 		if memSink != nil {
 			memSink.Reset()
 		}

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"clydesdale/internal/cluster"
+	"clydesdale/internal/core"
 	"clydesdale/internal/hdfs"
 	"clydesdale/internal/hive"
 	"clydesdale/internal/mr"
@@ -60,11 +61,15 @@ func main() {
 	queries := ssb.Queries()
 	switch {
 	case *sqlText != "":
-		q, err := sql.Parse(*sqlText, sql.StarFromCatalog(lay.Catalog(), ssb.TableLineorder))
+		l, err := sql.Parse(*sqlText, lay.Catalog())
 		if err != nil {
 			fatal(err)
 		}
-		q.Name = "ad-hoc"
+		l.Name = "ad-hoc"
+		q, err := core.QueryFromLogical(l)
+		if err != nil {
+			fatal(err)
+		}
 		queries = []*ssb.Query{q}
 	case *query != "all":
 		q, err := ssb.QueryByName(*query)

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/expr"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/records"
+	"clydesdale/internal/results"
+)
+
+// aggJobSpec parameterizes the final grouped-SUM job shared by the staged
+// and cascade executors, which both feed it a row-table intermediate.
+type aggJobSpec struct {
+	name         string
+	agg          expr.Expr
+	gschema      *records.Schema
+	groupBy      []string
+	resultSchema *records.Schema
+}
+
+// runAggJob sums the measure grouped by the group-by columns over a
+// row-table directory.
+func (e *Engine) runAggJob(ctx context.Context, spec aggJobSpec, inDir string, inSchema *records.Schema) (*results.ResultSet, *mr.JobResult, error) {
+	aggFn, err := expr.CompileNum(spec.agg, inSchema)
+	if err != nil {
+		return nil, nil, err
+	}
+	gIdx := make([]int, len(spec.groupBy))
+	for i, g := range spec.groupBy {
+		j := inSchema.Index(g)
+		if j < 0 {
+			return nil, nil, fmt.Errorf("core: aggregation input lacks group column %s", g)
+		}
+		gIdx[i] = j
+	}
+	numReduce := e.opts.Reducers
+	if len(spec.groupBy) == 0 {
+		numReduce = 1
+	}
+	conf := mr.NewJobConf()
+	if e.opts.Speculative {
+		conf.SetBool(mr.ConfSpeculative, true)
+	}
+	gschema := spec.gschema
+	out := &mr.MemoryOutput{}
+	job := &mr.Job{
+		Name:   spec.name,
+		Conf:   conf,
+		Input:  &colstore.RowInput{Dir: inDir, Schema: inSchema},
+		Output: out,
+		NewMapper: func() mr.Mapper {
+			return mr.MapperFunc(func(_, v records.Record, c mr.Collector) error {
+				keyVals := make([]records.Value, len(gIdx))
+				for i, ix := range gIdx {
+					keyVals[i] = v.At(ix)
+				}
+				return c.Collect(records.Make(gschema, keyVals...),
+					records.Make(aggValueSchema, records.Float(aggFn(v))))
+			})
+		},
+		NewReducer:     func() mr.Reducer { return sumReducer{} },
+		NewCombiner:    func() mr.Reducer { return sumReducer{} },
+		NumReduceTasks: numReduce,
+		KeySchema:      gschema,
+		ValueSchema:    aggValueSchema,
+	}
+	res, err := e.mr.Submit(ctx, job)
+	if err != nil {
+		return nil, nil, err
+	}
+	return collectRows(spec.resultSchema, len(spec.groupBy) > 0, out), res, nil
+}
+
+// collectRows turns grouped-SUM reduce output into a result set.
+func collectRows(schema *records.Schema, grouped bool, out *mr.MemoryOutput) *results.ResultSet {
+	rs := &results.ResultSet{Schema: schema}
+	pairs := out.Pairs()
+	if len(pairs) == 0 && !grouped {
+		// Grand aggregate over an empty selection: one zero row.
+		rs.Rows = append(rs.Rows, records.Make(schema, records.Float(0)))
+		return rs
+	}
+	for _, kv := range pairs {
+		vals := make([]records.Value, 0, schema.Len())
+		vals = append(vals, kv.Key.Values()...)
+		vals = append(vals, records.Float(kv.Value.At(0).Float64()))
+		rs.Rows = append(rs.Rows, records.Make(schema, vals...))
+	}
+	return rs
+}

@@ -186,6 +186,11 @@ type Report struct {
 	// Staged reports whether the staged (one pass per dimension) plan ran,
 	// either by explicit ModeStaged or by ModeAuto's OOM fallback.
 	Staged bool
+	// Cascade reports whether the cascading map-side join executor ran;
+	// CascadePasses counts its map-side join jobs (the star pass plus one
+	// per snowflake edge).
+	Cascade       bool
+	CascadePasses int
 	// PartitionsPruned and BytesSkipped summarize zone-map partition
 	// pruning on the fact scan (the scan.* counters).
 	PartitionsPruned int64
@@ -205,29 +210,25 @@ func (r *Report) fillScanStats(c *mr.Counters) {
 	r.RowsBloomSkipped = c.Get(colstore.CtrRowsBloomSkipped)
 }
 
-// Run executes the query under the engine's configured Options.Mode: the
+// Run executes the query by lowering it into a physical plan and running
+// that: under the engine's configured Options.Mode the plan is the
 // single-pass star join, the staged per-dimension plan, or (the default)
-// single-pass with automatic staged fallback on memory exhaustion. ctx
-// cancels the query; the error then matches the context cause and
-// mr.ErrCanceled.
+// single-pass with automatic staged fallback on memory exhaustion. Callers
+// that want the cost-based chooser to pick the shape — including the
+// cascading map-side join for snowflake plans — go through Plan /
+// PlanLogical and RunPlan instead. ctx cancels the query; the error then
+// matches the context cause and mr.ErrCanceled.
 func (e *Engine) Run(ctx context.Context, q *Query) (rs *results.ResultSet, rep *Report, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ctx, finish := e.traceRoot(ctx, q)
-	defer func() { finish(err) }()
-	switch e.opts.Mode {
-	case ModeSinglePass:
-		return e.executeSinglePass(ctx, q)
-	case ModeStaged:
-		return e.executeStaged(ctx, q)
-	default:
-		rs, rep, err = e.executeSinglePass(ctx, q)
-		if err == nil || !errors.Is(err, ErrOOM) || ctx.Err() != nil {
-			return rs, rep, err
-		}
-		return e.executeStaged(ctx, q)
+	p, err := e.lowerQuery(q)
+	if err != nil {
+		return nil, nil, err
 	}
+	ctx, finish := e.traceRoot(ctx, q.Name)
+	defer func() { finish(err) }()
+	return e.runPhysical(ctx, p, e.opts.Mode)
 }
 
 // traceRoot makes the query the root of its own trace when tracing is on
@@ -235,7 +236,7 @@ func (e *Engine) Run(ctx context.Context, q *Query) (rs *results.ResultSet, rep 
 // standalone CLI or test does not). The returned context carries the root
 // span context for the jobs below; the returned finish emits the root
 // "query" span — call it exactly once, after the query ends.
-func (e *Engine) traceRoot(ctx context.Context, q *Query) (context.Context, func(error)) {
+func (e *Engine) traceRoot(ctx context.Context, name string) (context.Context, func(error)) {
 	tr := e.mr.Tracer()
 	if _, ok := obs.FromContext(ctx); ok || !tr.Enabled() {
 		return ctx, func(error) {}
@@ -248,7 +249,7 @@ func (e *Engine) traceRoot(ctx context.Context, q *Query) (context.Context, func
 			status = "error"
 		}
 		s := obs.Span{Name: obs.PhaseQuery, Start: start, End: time.Now(),
-			Attrs: obs.Attrs("query", q.Name, "status", status)}
+			Attrs: obs.Attrs("query", name, "status", status)}
 		sc.Fill(&s, "")
 		tr.Emit(s)
 	}
@@ -261,7 +262,7 @@ func (e *Engine) Execute(ctx context.Context, q *Query) (rs *results.ResultSet, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ctx, finish := e.traceRoot(ctx, q)
+	ctx, finish := e.traceRoot(ctx, q.Name)
 	defer func() { finish(err) }()
 	return e.executeSinglePass(ctx, q)
 }
@@ -275,7 +276,7 @@ func (e *Engine) ExecuteAuto(ctx context.Context, q *Query) (rs *results.ResultS
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	ctx, finish := e.traceRoot(ctx, q)
+	ctx, finish := e.traceRoot(ctx, q.Name)
 	defer func() { finish(err) }()
 	rs, rep, err = e.executeSinglePass(ctx, q)
 	if err == nil || !errors.Is(err, ErrOOM) || ctx.Err() != nil {
@@ -412,20 +413,5 @@ func (e *Engine) factReaderSchema(cols []string) (*records.Schema, error) {
 
 // collect turns the reduce output into the result set.
 func (e *Engine) collect(q *Query, out *mr.MemoryOutput) *results.ResultSet {
-	schema := q.ResultSchema()
-	rs := &results.ResultSet{Schema: schema}
-	pairs := out.Pairs()
-	if len(pairs) == 0 && len(q.GroupBy) == 0 {
-		// Grand aggregate over an empty selection: one zero row.
-		vals := []records.Value{records.Float(0)}
-		rs.Rows = append(rs.Rows, records.Make(schema, vals...))
-		return rs
-	}
-	for _, kv := range pairs {
-		vals := make([]records.Value, 0, schema.Len())
-		vals = append(vals, kv.Key.Values()...)
-		vals = append(vals, records.Float(kv.Value.At(0).Float64()))
-		rs.Rows = append(rs.Rows, records.Make(schema, vals...))
-	}
-	return rs
+	return collectRows(q.ResultSchema(), len(q.GroupBy) > 0, out)
 }

@@ -195,6 +195,9 @@ func (q *Query) Orders() []OrderKey {
 
 // Catalog locates a star schema's tables in HDFS.
 type Catalog struct {
+	// FactName is the fact table's name, so a bound plan can refer to the
+	// catalog's tables uniformly (the SQL binder requires it).
+	FactName string
 	// FactDir is the fact table's CIF directory.
 	FactDir string
 	// FactSchema is the fact table's schema.

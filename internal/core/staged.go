@@ -10,6 +10,7 @@ import (
 	"clydesdale/internal/expr"
 	"clydesdale/internal/mr"
 	"clydesdale/internal/obs"
+	"clydesdale/internal/plan"
 	"clydesdale/internal/records"
 	"clydesdale/internal/results"
 )
@@ -147,6 +148,108 @@ func predOnlyColumn(col string, factPredCols, measures []string, q *Query, stage
 		}
 	}
 	return true
+}
+
+// runStagedShape executes a KindStaged physical plan directly from the
+// shape's linearized pipeline. Unlike executeStaged it is not limited to
+// star queries: snowflake edges run as additional passes probing their
+// parent's carried FK, so the chooser's always-feasible staged candidate
+// executes for any shape the IR can express.
+func (e *Engine) runStagedShape(ctx context.Context, p *plan.Physical) (*results.ResultSet, *Report, error) {
+	start := time.Now()
+	sh := p.Shape
+	steps := p.Steps
+	if len(steps) == 0 {
+		var err error
+		if steps, err = sh.Linearize(); err != nil {
+			return nil, nil, err
+		}
+	}
+	if len(steps) == 0 {
+		return nil, nil, fmt.Errorf("core: staged plan for %s has no joins", sh.Name)
+	}
+
+	// cacheQ carries every edge so each pass finds its table cached; hintQ
+	// carries only the depth-1 edges, whose FKs are fact columns — the only
+	// ones zone-map prune hints and eager-read sets may reference.
+	cacheQ := &Query{Name: sh.Name}
+	hintQ := &Query{Name: sh.Name, FactPred: sh.FactPred}
+	for i := range steps {
+		st := &steps[i]
+		spec := DimSpec{
+			Table: st.Table, Schema: st.Schema, FactFK: st.FK, DimPK: st.PK,
+			Pred: st.Pred, Aux: append([]string(nil), st.Aux...),
+		}
+		cacheQ.Dims = append(cacheQ.Dims, spec)
+		if st.Depth == 1 {
+			hintQ.Dims = append(hintQ.Dims, spec)
+		}
+	}
+	cacheDone := e.phaseSpan(ctx, obs.PhaseDimCache)
+	if _, err := EnsureCatalogCachedFor(e.mr.FS(), e.cat, cacheQ); err != nil {
+		cacheDone()
+		return nil, nil, err
+	}
+	cacheDone()
+
+	tmp := fmt.Sprintf("/tmp/clydesdale/%s-staged-%d", sh.Name, stagedSeq.Add(1))
+	defer e.mr.FS().DeletePrefix(tmp)
+
+	// The pipeline already resolved column liveness; the first pass reads
+	// Steps[0].In from CIF (or the full fact schema on row storage — the
+	// pruned Out schemas still apply, carry indexes are matched by name).
+	curSchema := steps[0].In
+	if !e.feats.ColumnarStorage {
+		s, err := e.cat.FactSchema.Project(e.cat.FactSchema.Names()...)
+		if err != nil {
+			return nil, nil, err
+		}
+		curSchema = s
+	}
+
+	agg := mr.NewCounters()
+	report := &Report{Query: sh.Name, Staged: true}
+	var curDir string // "" means the fact table
+
+	for i := range steps {
+		st := &steps[i]
+		spec := &cacheQ.Dims[i]
+		outDir := fmt.Sprintf("%s/pass-%d", tmp, i+1)
+		res, err := e.runStagedJoinPass(ctx, hintQ, spec, curDir, curSchema, outDir, st.Out, i == 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %s staged pass %d (%s): %w", sh.Name, i+1, st.Table, err)
+		}
+		agg.Merge(res.Counters)
+		curDir, curSchema = outDir, st.Out
+	}
+
+	rs, res, err := e.runAggJob(ctx, aggJobSpec{
+		name:         "clydesdale-staged-agg-" + sh.Name,
+		agg:          sh.Agg,
+		gschema:      sh.GroupSchema(),
+		groupBy:      sh.GroupBy,
+		resultSchema: sh.ResultSchema(),
+	}, curDir, curSchema)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: %s staged aggregation: %w", sh.Name, err)
+	}
+	agg.Merge(res.Counters)
+
+	orders := make([]results.Order, 0, len(sh.GroupBy))
+	for _, o := range sh.Orders() {
+		orders = append(orders, results.Order{Col: o.Col, Desc: o.Desc})
+	}
+	sortStart := time.Now()
+	if len(orders) > 0 {
+		if err := rs.Sort(orders); err != nil {
+			return nil, nil, err
+		}
+	}
+	report.SortTime = time.Since(sortStart)
+	report.Total = time.Since(start)
+	report.Job = &mr.JobResult{JobID: "staged", Counters: agg, Duration: report.Total}
+	report.fillScanStats(agg)
+	return rs, report, nil
 }
 
 // runStagedJoinPass joins the current intermediate (or the fact table) with
@@ -301,52 +404,11 @@ func (m *stagedJoinMapper) Cleanup(mr.Collector) error { return nil }
 
 // runStagedAggregation sums the measure grouped by the group-by columns.
 func (e *Engine) runStagedAggregation(ctx context.Context, q *Query, inDir string, inSchema *records.Schema) (*results.ResultSet, *mr.JobResult, error) {
-	aggFn, err := expr.CompileNum(q.AggExpr, inSchema)
-	if err != nil {
-		return nil, nil, err
-	}
-	gschema := q.GroupSchema()
-	gIdx := make([]int, len(q.GroupBy))
-	for i, g := range q.GroupBy {
-		j := inSchema.Index(g)
-		if j < 0 {
-			return nil, nil, fmt.Errorf("core: staged schema lacks group column %s", g)
-		}
-		gIdx[i] = j
-	}
-	numReduce := e.opts.Reducers
-	if len(q.GroupBy) == 0 {
-		numReduce = 1
-	}
-	conf := mr.NewJobConf()
-	if e.opts.Speculative {
-		conf.SetBool(mr.ConfSpeculative, true)
-	}
-	out := &mr.MemoryOutput{}
-	job := &mr.Job{
-		Name:   "clydesdale-staged-agg-" + q.Name,
-		Conf:   conf,
-		Input:  &colstore.RowInput{Dir: inDir, Schema: inSchema},
-		Output: out,
-		NewMapper: func() mr.Mapper {
-			return mr.MapperFunc(func(_, v records.Record, c mr.Collector) error {
-				keyVals := make([]records.Value, len(gIdx))
-				for i, ix := range gIdx {
-					keyVals[i] = v.At(ix)
-				}
-				return c.Collect(records.Make(gschema, keyVals...),
-					records.Make(aggValueSchema, records.Float(aggFn(v))))
-			})
-		},
-		NewReducer:     func() mr.Reducer { return sumReducer{} },
-		NewCombiner:    func() mr.Reducer { return sumReducer{} },
-		NumReduceTasks: numReduce,
-		KeySchema:      gschema,
-		ValueSchema:    aggValueSchema,
-	}
-	res, err := e.mr.Submit(ctx, job)
-	if err != nil {
-		return nil, nil, err
-	}
-	return e.collect(q, out), res, nil
+	return e.runAggJob(ctx, aggJobSpec{
+		name:         "clydesdale-staged-agg-" + q.Name,
+		agg:          q.AggExpr,
+		gschema:      q.GroupSchema(),
+		groupBy:      q.GroupBy,
+		resultSchema: q.ResultSchema(),
+	}, inDir, inSchema)
 }

@@ -28,6 +28,7 @@ import (
 
 	"clydesdale/internal/core"
 	"clydesdale/internal/mr"
+	"clydesdale/internal/plan"
 	"clydesdale/internal/records"
 	"clydesdale/internal/results"
 )
@@ -105,34 +106,43 @@ type Report struct {
 	Total    time.Duration
 }
 
-// Execute runs the staged plan and returns the ordered result.
+// Execute binds a star query into the shared logical IR and runs it with
+// the staged plan.
 func (e *Engine) Execute(ctx context.Context, q *core.Query) (*results.ResultSet, *Report, error) {
-	start := time.Now()
-	if err := q.Validate(); err != nil {
-		return nil, nil, err
-	}
-	plan, err := e.plan(q)
+	l, err := core.LogicalOf(q, e.cat)
 	if err != nil {
 		return nil, nil, err
 	}
-	report := &Report{Query: q.Name, Strategy: e.opts.Strategy, Counters: mr.NewCounters()}
-	defer e.cleanup(plan)
+	return e.ExecutePlan(ctx, l)
+}
 
-	cur := stageInput{dir: e.cat.FactDir, schema: plan.factRead, isFact: true}
-	for i := range plan.joins {
-		st := &plan.joins[i]
+// ExecutePlan runs a bound logical plan — star or snowflake — as a sequence
+// of two-way join jobs in the shape's bind order, then the group-by and
+// order-by jobs, and returns the ordered result.
+func (e *Engine) ExecutePlan(ctx context.Context, l *plan.Logical) (*results.ResultSet, *Report, error) {
+	start := time.Now()
+	sp, err := e.lower(l)
+	if err != nil {
+		return nil, nil, err
+	}
+	report := &Report{Query: sp.name, Strategy: e.opts.Strategy, Counters: mr.NewCounters()}
+	defer e.cleanup(sp)
+
+	cur := stageInput{dir: e.cat.FactDir, schema: sp.factRead, isFact: true}
+	for i := range sp.joins {
+		st := &sp.joins[i]
 		stStart := time.Now()
 		var res *mr.JobResult
 		if e.opts.Strategy == MapJoin {
-			res, err = e.runMapJoinStage(ctx, q, plan, st, cur)
+			res, err = e.runMapJoinStage(ctx, sp, st, cur)
 		} else {
-			res, err = e.runRepartitionStage(ctx, q, plan, st, cur)
+			res, err = e.runRepartitionStage(ctx, sp, st, cur)
 		}
 		if err != nil {
-			return nil, report, fmt.Errorf("hive: %s stage %d (%s): %w", q.Name, i+1, st.dim.Table, err)
+			return nil, report, fmt.Errorf("hive: %s stage %d (%s): %w", sp.name, i+1, st.spec.Table, err)
 		}
 		report.Stages = append(report.Stages, StageReport{
-			Name: "join-" + st.dim.Table, Kind: "join", Duration: time.Since(stStart), Job: res,
+			Name: "join-" + st.spec.Table, Kind: "join", Duration: time.Since(stStart), Job: res,
 		})
 		report.Counters.Merge(res.Counters)
 		report.Counters.Add(CtrStages, 1)
@@ -141,9 +151,9 @@ func (e *Engine) Execute(ctx context.Context, q *core.Query) (*results.ResultSet
 
 	// Group-by stage.
 	gbStart := time.Now()
-	gbOut, gbRes, err := e.runGroupByStage(ctx, q, plan, cur)
+	gbOut, gbRes, err := e.runGroupByStage(ctx, sp, cur)
 	if err != nil {
-		return nil, report, fmt.Errorf("hive: %s group-by: %w", q.Name, err)
+		return nil, report, fmt.Errorf("hive: %s group-by: %w", sp.name, err)
 	}
 	report.Stages = append(report.Stages, StageReport{
 		Name: "groupby", Kind: "groupby", Duration: time.Since(gbStart), Job: gbRes,
@@ -151,16 +161,16 @@ func (e *Engine) Execute(ctx context.Context, q *core.Query) (*results.ResultSet
 	report.Counters.Merge(gbRes.Counters)
 	report.Counters.Add(CtrStages, 1)
 
-	rs := e.collect(q, gbOut)
+	rs := e.collect(sp, gbOut)
 
 	// Order-by stage: Hive runs a single-reducer MapReduce job; its cost is
 	// modeled by the job below, and the driver applies the final ordering
 	// to the collected rows.
-	if len(q.OrderBy) > 0 {
+	if sp.hasOrderBy {
 		obStart := time.Now()
-		obRes, err := e.runOrderByStage(ctx, q, plan, rs)
+		obRes, err := e.runOrderByStage(ctx, sp, rs)
 		if err != nil {
-			return nil, report, fmt.Errorf("hive: %s order-by: %w", q.Name, err)
+			return nil, report, fmt.Errorf("hive: %s order-by: %w", sp.name, err)
 		}
 		report.Stages = append(report.Stages, StageReport{
 			Name: "orderby", Kind: "orderby", Duration: time.Since(obStart), Job: obRes,
@@ -168,8 +178,8 @@ func (e *Engine) Execute(ctx context.Context, q *core.Query) (*results.ResultSet
 		report.Counters.Merge(obRes.Counters)
 		report.Counters.Add(CtrStages, 1)
 	}
-	orders := make([]results.Order, 0, len(q.OrderBy))
-	for _, o := range q.Orders() {
+	orders := make([]results.Order, 0, len(sp.orders))
+	for _, o := range sp.orders {
 		orders = append(orders, results.Order{Col: o.Col, Desc: o.Desc})
 	}
 	if len(orders) > 0 {
@@ -182,11 +192,11 @@ func (e *Engine) Execute(ctx context.Context, q *core.Query) (*results.ResultSet
 }
 
 // collect converts group-by output pairs to a result set.
-func (e *Engine) collect(q *core.Query, out *mr.MemoryOutput) *results.ResultSet {
-	schema := q.ResultSchema()
+func (e *Engine) collect(sp *stagedPlan, out *mr.MemoryOutput) *results.ResultSet {
+	schema := sp.resultSchema
 	rs := &results.ResultSet{Schema: schema}
 	pairs := out.Pairs()
-	if len(pairs) == 0 && len(q.GroupBy) == 0 {
+	if len(pairs) == 0 && len(sp.groupBy) == 0 {
 		rs.Rows = append(rs.Rows, records.Make(schema, records.Float(0)))
 		return rs
 	}
@@ -199,9 +209,9 @@ func (e *Engine) collect(q *core.Query, out *mr.MemoryOutput) *results.ResultSet
 	return rs
 }
 
-func (e *Engine) cleanup(p *plan) {
-	for _, st := range p.joins {
+func (e *Engine) cleanup(sp *stagedPlan) {
+	for _, st := range sp.joins {
 		e.mr.FS().DeletePrefix(st.outDir)
 	}
-	e.mr.FS().DeletePrefix(p.tmpDir)
+	e.mr.FS().DeletePrefix(sp.tmpDir)
 }

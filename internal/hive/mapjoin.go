@@ -9,6 +9,7 @@ import (
 	"clydesdale/internal/core"
 	"clydesdale/internal/expr"
 	"clydesdale/internal/mr"
+	"clydesdale/internal/plan"
 	"clydesdale/internal/records"
 )
 
@@ -21,7 +22,7 @@ import (
 // phase.
 
 // runMapJoinStage executes one broadcast join stage.
-func (e *Engine) runMapJoinStage(ctx context.Context, q *core.Query, p *plan, st *joinStage, in stageInput) (*mr.JobResult, error) {
+func (e *Engine) runMapJoinStage(ctx context.Context, sp *stagedPlan, st *joinStage, in stageInput) (*mr.JobResult, error) {
 	bigInput, err := e.bigSideInput(in)
 	if err != nil {
 		return nil, err
@@ -30,21 +31,21 @@ func (e *Engine) runMapJoinStage(ctx context.Context, q *core.Query, p *plan, st
 	// Driver-side build: scan the dimension from HDFS (the driver is not a
 	// cluster node), filter, and serialize [pk, aux...] entries.
 	buildStart := time.Now()
-	dimDir, err := e.cat.DimDir(st.dim.Table)
+	dimDir, err := e.cat.DimDir(st.spec.Table)
 	if err != nil {
 		return nil, err
 	}
 	var dimPred expr.RowPred
-	if st.dim.Pred != nil {
-		dimPred, err = expr.CompilePred(st.dim.Pred, st.dim.Schema)
+	if st.spec.Pred != nil {
+		dimPred, err = expr.CompilePred(st.spec.Pred, st.spec.Schema)
 		if err != nil {
 			return nil, err
 		}
 	}
-	pkIdx := st.dim.Schema.MustIndex(st.dim.DimPK)
-	auxIdx := make([]int, len(st.dim.Aux))
-	for i, a := range st.dim.Aux {
-		auxIdx[i] = st.dim.Schema.MustIndex(a)
+	pkIdx := st.spec.Schema.MustIndex(st.spec.DimPK)
+	auxIdx := make([]int, len(st.spec.Aux))
+	for i, a := range st.spec.Aux {
+		auxIdx[i] = st.spec.Schema.MustIndex(a)
 	}
 	var blob []byte
 	entrySchema := anonSchema(1 + len(auxIdx))
@@ -65,15 +66,15 @@ func (e *Engine) runMapJoinStage(ctx context.Context, q *core.Query, p *plan, st
 	}
 	buildDur := time.Since(buildStart)
 
-	cachePath := fmt.Sprintf("%s/hashtable-%s", p.tmpDir, st.dim.Table)
+	cachePath := fmt.Sprintf("%s/hashtable-%s", sp.tmpDir, st.spec.Table)
 	e.mr.FS().Delete(cachePath)
 	if err := e.mr.FS().WriteFile(cachePath, "", blob); err != nil {
 		return nil, err
 	}
 
 	var factPred expr.RowPred
-	if st.applyFactPred && q.FactPred != nil {
-		factPred, err = expr.CompilePred(q.FactPred, in.schema)
+	if st.applyFactPred && sp.factPred != nil {
+		factPred, err = expr.CompilePred(sp.factPred, in.schema)
 		if err != nil {
 			return nil, err
 		}
@@ -85,7 +86,7 @@ func (e *Engine) runMapJoinStage(ctx context.Context, q *core.Query, p *plan, st
 	}
 
 	job := &mr.Job{
-		Name:       fmt.Sprintf("hive-mapjoin-%s-%s", q.Name, st.dim.Table),
+		Name:       fmt.Sprintf("hive-mapjoin-%s-%s", sp.name, st.spec.Table),
 		Conf:       mr.NewJobConf(), // note: no JVM reuse, default task memory
 		Input:      bigInput,
 		Output:     &colstore.RowOutput{Dir: st.outDir, Schema: st.outSchema},
@@ -146,11 +147,7 @@ func (m *mapJoinMapper) Setup(ctx *mr.TaskContext) error {
 		vals := rec.Values()
 		aux := append([]records.Value(nil), vals[1:]...)
 		m.hash[vals[0].Int64()] = aux
-		entry := int64(48)
-		for _, v := range aux {
-			entry += v.MemSize()
-		}
-		memBytes += entry
+		memBytes += plan.MapJoinEntryBytes(aux)
 	}
 	if err := ctx.ReserveMemory(memBytes); err != nil {
 		return fmt.Errorf("hive: mapjoin hash table for %s: %w", m.cachePath, err)
@@ -183,11 +180,12 @@ func (m *mapJoinMapper) Cleanup(mr.Collector) error { return nil }
 // EstimateMapJoinHashBytes computes the memory one deserialized mapjoin
 // hash-table copy occupies per query dimension (in query order), by
 // evaluating the dimension predicates over rows supplied by each(table).
-// The model is the boxed map mapJoinMapper.Setup builds — ~48 bytes of map
-// entry overhead plus the aux values per row — and must mirror Setup's
-// accounting, since the benchmark harness calibrates the §6.4 OOM budgets
-// from it: each mapjoin task holds one dimension at a time, so its
-// constraint is the *maximum* dimension.
+// The per-entry model is plan.MapJoinEntryBytes — the boxed map
+// mapJoinMapper.Setup builds — which keeps this estimate, Setup's runtime
+// accounting, and the cost model's feasibility check in exact agreement;
+// the benchmark harness calibrates the §6.4 OOM budgets from it: each
+// mapjoin task holds one dimension at a time, so its constraint is the
+// *maximum* dimension.
 func EstimateMapJoinHashBytes(q *core.Query, each func(table string, fn func(records.Record) error) error) ([]int64, error) {
 	out := make([]int64, len(q.Dims))
 	for i := range q.Dims {
@@ -204,15 +202,15 @@ func EstimateMapJoinHashBytes(q *core.Query, each func(table string, fn func(rec
 		for j, a := range spec.Aux {
 			auxIx[j] = spec.Schema.MustIndex(a)
 		}
+		aux := make([]records.Value, len(auxIx))
 		err := each(spec.Table, func(rec records.Record) error {
 			if pred != nil && !pred(rec) {
 				return nil
 			}
-			entry := int64(48)
-			for _, ix := range auxIx {
-				entry += rec.At(ix).MemSize()
+			for j, ix := range auxIx {
+				aux[j] = rec.At(ix)
 			}
-			out[i] += entry
+			out[i] += plan.MapJoinEntryBytes(aux)
 			return nil
 		})
 		if err != nil {

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"clydesdale/internal/colstore"
-	"clydesdale/internal/core"
 	"clydesdale/internal/expr"
 	"clydesdale/internal/mr"
 	"clydesdale/internal/records"
@@ -79,36 +78,36 @@ func (r *taggedReader) Close() error { return r.inner.Close() }
 var joinKeySchema = records.NewSchema(records.F("k", records.KindInt64))
 
 // runRepartitionStage executes one repartition join stage.
-func (e *Engine) runRepartitionStage(ctx context.Context, q *core.Query, p *plan, st *joinStage, in stageInput) (*mr.JobResult, error) {
+func (e *Engine) runRepartitionStage(ctx context.Context, sp *stagedPlan, st *joinStage, in stageInput) (*mr.JobResult, error) {
 	bigInput, err := e.bigSideInput(in)
 	if err != nil {
 		return nil, err
 	}
-	dimDir, err := e.cat.DimDir(st.dim.Table)
+	dimDir, err := e.cat.DimDir(st.spec.Table)
 	if err != nil {
 		return nil, err
 	}
-	dimInput := &colstore.RowInput{Dir: dimDir, Schema: st.dim.Schema}
+	dimInput := &colstore.RowInput{Dir: dimDir, Schema: st.spec.Schema}
 
 	// Compile what the mapper needs.
 	var dimPred expr.RowPred
-	if st.dim.Pred != nil {
-		dimPred, err = expr.CompilePred(st.dim.Pred, st.dim.Schema)
+	if st.spec.Pred != nil {
+		dimPred, err = expr.CompilePred(st.spec.Pred, st.spec.Schema)
 		if err != nil {
 			return nil, err
 		}
 	}
 	var factPred expr.RowPred
-	if st.applyFactPred && q.FactPred != nil {
-		factPred, err = expr.CompilePred(q.FactPred, in.schema)
+	if st.applyFactPred && sp.factPred != nil {
+		factPred, err = expr.CompilePred(sp.factPred, in.schema)
 		if err != nil {
 			return nil, err
 		}
 	}
-	dimPK := st.dim.Schema.MustIndex(st.dim.DimPK)
-	auxIdx := make([]int, len(st.dim.Aux))
-	for i, a := range st.dim.Aux {
-		auxIdx[i] = st.dim.Schema.MustIndex(a)
+	dimPK := st.spec.Schema.MustIndex(st.spec.DimPK)
+	auxIdx := make([]int, len(st.spec.Aux))
+	for i, a := range st.spec.Aux {
+		auxIdx[i] = st.spec.Schema.MustIndex(a)
 	}
 	fkIdx := in.schema.MustIndex(st.fk)
 	carryIdx, err := projectionIndexes(in.schema, st.outSchema, st.auxSchema)
@@ -117,7 +116,7 @@ func (e *Engine) runRepartitionStage(ctx context.Context, q *core.Query, p *plan
 	}
 
 	job := &mr.Job{
-		Name:  fmt.Sprintf("hive-rep-%s-%s", q.Name, st.dim.Table),
+		Name:  fmt.Sprintf("hive-rep-%s-%s", sp.name, st.spec.Table),
 		Conf:  mr.NewJobConf(),
 		Input: &taggedInput{sources: []mr.InputFormat{dimInput, bigInput}},
 		Output: &colstore.RowOutput{

@@ -5,7 +5,6 @@ import (
 	"fmt"
 
 	"clydesdale/internal/colstore"
-	"clydesdale/internal/core"
 	"clydesdale/internal/expr"
 	"clydesdale/internal/mr"
 	"clydesdale/internal/records"
@@ -16,18 +15,18 @@ import (
 // (group key, measure), a combiner pre-aggregates, reducers produce the
 // final sums. This is the separate MapReduce job Hive launches after the
 // join chain (§6.3: "one for the group by").
-func (e *Engine) runGroupByStage(ctx context.Context, q *core.Query, p *plan, in stageInput) (*mr.MemoryOutput, *mr.JobResult, error) {
+func (e *Engine) runGroupByStage(ctx context.Context, sp *stagedPlan, in stageInput) (*mr.MemoryOutput, *mr.JobResult, error) {
 	input, err := e.bigSideInput(in)
 	if err != nil {
 		return nil, nil, err
 	}
-	agg, err := expr.CompileNum(q.AggExpr, in.schema)
+	agg, err := expr.CompileNum(sp.agg, in.schema)
 	if err != nil {
 		return nil, nil, err
 	}
-	gschema := q.GroupSchema()
-	gIdx := make([]int, len(q.GroupBy))
-	for i, g := range q.GroupBy {
+	gschema := sp.gschema
+	gIdx := make([]int, len(sp.groupBy))
+	for i, g := range sp.groupBy {
 		j := in.schema.Index(g)
 		if j < 0 {
 			return nil, nil, fmt.Errorf("hive: group column %s missing from joined schema %v", g, in.schema)
@@ -36,12 +35,12 @@ func (e *Engine) runGroupByStage(ctx context.Context, q *core.Query, p *plan, in
 	}
 
 	numReduce := e.opts.Reducers
-	if len(q.GroupBy) == 0 {
+	if len(sp.groupBy) == 0 {
 		numReduce = 1
 	}
 	out := &mr.MemoryOutput{}
 	job := &mr.Job{
-		Name:   "hive-groupby-" + q.Name,
+		Name:   "hive-groupby-" + sp.name,
 		Conf:   mr.NewJobConf(),
 		Input:  input,
 		Output: out,
@@ -87,9 +86,9 @@ func (hiveSumReducer) Reduce(key records.Record, values mr.Values, out mr.Collec
 // emitted in order. The driver applies the authoritative ordering to the
 // collected result separately; this stage exists to charge the plan's real
 // cost and produce its counters.
-func (e *Engine) runOrderByStage(ctx context.Context, q *core.Query, p *plan, rs *results.ResultSet) (*mr.JobResult, error) {
-	schema := q.ResultSchema()
-	dir := p.tmpDir + "/groupby-out"
+func (e *Engine) runOrderByStage(ctx context.Context, sp *stagedPlan, rs *results.ResultSet) (*mr.JobResult, error) {
+	schema := sp.resultSchema
+	dir := sp.tmpDir + "/groupby-out"
 	e.mr.FS().DeletePrefix(dir)
 	if _, err := colstore.WriteRowTable(e.mr.FS(), dir, schema, func(emit func(records.Record) error) error {
 		for _, r := range rs.Rows {
@@ -104,7 +103,7 @@ func (e *Engine) runOrderByStage(ctx context.Context, q *core.Query, p *plan, rs
 
 	out := &mr.MemoryOutput{}
 	job := &mr.Job{
-		Name:   "hive-orderby-" + q.Name,
+		Name:   "hive-orderby-" + sp.name,
 		Conf:   mr.NewJobConf(),
 		Input:  &colstore.RowInput{Dir: dir, Schema: schema},
 		Output: out,

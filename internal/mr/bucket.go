@@ -1,0 +1,17 @@
+package mr
+
+import "clydesdale/internal/records"
+
+// BucketOf is the co-partitioned output contract: every producer of
+// hash-bucketed data — a map task writing its join output bucketed on the
+// next join key, and the driver laying out the matching side table — must
+// place a key with this exact function for a later map-side join to pair
+// probe bucket i with build bucket i and skip the shuffle entirely. Any
+// disagreement here silently drops join matches, so there is exactly one
+// implementation.
+func BucketOf(v records.Value, buckets int) int {
+	if buckets <= 1 {
+		return 0
+	}
+	return int(v.Hash(records.HashSeed) % uint64(buckets))
+}

@@ -1,0 +1,169 @@
+// Package plan is the shared logical-plan IR that sits between the SQL
+// binder and the execution engines. A query binds into a tree of scan /
+// filter / join / aggregate / order nodes; Decompose canonicalizes the tree
+// into a Shape (fact scan + join pipeline + aggregation), Linearize turns
+// the join tree into an ordered pipeline of Steps with resolved column
+// liveness, and Choose lowers each join into a physical strategy — the
+// Clydesdale star join, a Hive-style mapjoin or repartition join, or a
+// cascading map-side join whose co-partitioned output feeds the next join
+// without an intervening reduce (after "Cascading Map-Side Joins over
+// HBase", arXiv 1206.6293).
+//
+// The package deliberately depends only on the expression and record
+// layers, so the engines (core, hive), the binder (sql) and the schema
+// generators (ssb) can all share it without cycles.
+package plan
+
+import (
+	"fmt"
+
+	"clydesdale/internal/expr"
+	"clydesdale/internal/records"
+)
+
+// Node is one operator of the logical plan tree.
+type Node interface {
+	// Schema is the operator's output schema.
+	Schema() *records.Schema
+	// Children returns the operator's inputs, left to right.
+	Children() []Node
+}
+
+// Scan reads one table.
+type Scan struct {
+	Table string
+	// Source is the table's full schema; projection is derived later from
+	// liveness, not declared here.
+	Source *records.Schema
+	// Fact marks the scan of the plan's fact (big) table.
+	Fact bool
+}
+
+// Schema implements Node.
+func (s *Scan) Schema() *records.Schema { return s.Source }
+
+// Children implements Node.
+func (s *Scan) Children() []Node { return nil }
+
+// Filter keeps the input rows satisfying Pred.
+type Filter struct {
+	Input Node
+	Pred  expr.Pred
+}
+
+// Schema implements Node.
+func (f *Filter) Schema() *records.Schema { return f.Input.Schema() }
+
+// Children implements Node.
+func (f *Filter) Children() []Node { return []Node{f.Input} }
+
+// Join is an equi-join. Left is the probe (big) side, Right the build
+// (small) side; LeftKey must be a column of the left subtree's schema and
+// RightKey a column of the right one. Snowflake chains are expressed
+// left-deep: a sub-dimension's LeftKey names a column that an earlier join
+// carried up from its parent dimension.
+type Join struct {
+	Left, Right       Node
+	LeftKey, RightKey string
+}
+
+// Schema implements Node: the concatenation of both input schemas (column
+// names must be globally unique; Decompose rejects ambiguity).
+func (j *Join) Schema() *records.Schema {
+	fields := append([]records.Field(nil), j.Left.Schema().Fields()...)
+	fields = append(fields, j.Right.Schema().Fields()...)
+	return records.NewSchema(fields...)
+}
+
+// Children implements Node.
+func (j *Join) Children() []Node { return []Node{j.Left, j.Right} }
+
+// Requires is the join's required-partitioning property: for a
+// co-partitioned (map-side, shuffle-free) execution, the probe input must
+// arrive hash-partitioned on the probe key, with the build side bucketed by
+// the same function.
+func (j *Join) Requires() Partitioning { return Partitioning{Key: j.LeftKey} }
+
+// Aggregate computes one SUM measure over the input, grouped by GroupBy
+// columns.
+type Aggregate struct {
+	Input   Node
+	Agg     expr.Expr // SUM argument
+	AggName string    // output column name
+	GroupBy []string
+}
+
+// Schema implements Node: group columns followed by the float aggregate.
+func (a *Aggregate) Schema() *records.Schema {
+	in := a.Input.Schema()
+	fields := make([]records.Field, 0, len(a.GroupBy)+1)
+	for _, g := range a.GroupBy {
+		kind := records.KindString
+		if i := in.Index(g); i >= 0 {
+			kind = in.Field(i).Kind
+		}
+		fields = append(fields, records.F(g, kind))
+	}
+	fields = append(fields, records.F(a.AggName, records.KindFloat64))
+	return records.NewSchema(fields...)
+}
+
+// Children implements Node.
+func (a *Aggregate) Children() []Node { return []Node{a.Input} }
+
+// Order sorts the input.
+type Order struct {
+	Input Node
+	Keys  []OrderKey
+}
+
+// Schema implements Node.
+func (o *Order) Schema() *records.Schema { return o.Input.Schema() }
+
+// Children implements Node.
+func (o *Order) Children() []Node { return []Node{o.Input} }
+
+// OrderKey is one ORDER BY term.
+type OrderKey struct {
+	Col  string
+	Desc bool
+}
+
+// Partitioning describes how an operator's output rows are distributed:
+// hash-partitioned on Key into Buckets buckets, or unconstrained when Key
+// is empty. All writers and side-table builders must place keys with the
+// same bucket function (see the co-partitioned output contract,
+// mr.BucketOf) for a Satisfies answer to mean anything across jobs.
+type Partitioning struct {
+	Key     string
+	Buckets int
+}
+
+// IsNone reports an unconstrained (or unknown) distribution.
+func (p Partitioning) IsNone() bool { return p.Key == "" }
+
+// Satisfies reports whether rows distributed like p meet requirement req.
+func (p Partitioning) Satisfies(req Partitioning) bool {
+	if req.IsNone() {
+		return true
+	}
+	return p.Key == req.Key && (req.Buckets == 0 || p.Buckets == req.Buckets)
+}
+
+// String renders the property for EXPLAIN output.
+func (p Partitioning) String() string {
+	if p.IsNone() {
+		return "none"
+	}
+	if p.Buckets > 0 {
+		return fmt.Sprintf("hash(%s)%%%d", p.Key, p.Buckets)
+	}
+	return fmt.Sprintf("hash(%s)", p.Key)
+}
+
+// Logical is a bound logical plan: what sql.Parse returns and what the
+// engines lower.
+type Logical struct {
+	Name string
+	Root Node
+}

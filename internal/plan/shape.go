@@ -1,0 +1,415 @@
+package plan
+
+import (
+	"fmt"
+
+	"clydesdale/internal/expr"
+	"clydesdale/internal/records"
+)
+
+// JoinEdge is one join of the canonicalized plan: a small (build-side)
+// table joined into the pipeline on Parent's FK column. Column ownership is
+// resolved once here, when the plan is bound — the lowerings read it off
+// the edge instead of re-deriving it with per-stage string scans.
+type JoinEdge struct {
+	Table  string
+	Schema *records.Schema
+	// FK is the probe-side key column; it belongs to the fact when Parent
+	// is empty, otherwise to the Parent dimension (a snowflake edge).
+	FK string
+	// PK is the build-side key column in Schema.
+	PK   string
+	Pred expr.Pred
+	// Parent is the table owning FK: "" for the fact, else an earlier
+	// edge's Table.
+	Parent string
+	// Depth is 1 for edges off the fact, parent depth + 1 for snowflake
+	// edges.
+	Depth int
+	// Aux lists the columns this table must carry up the pipeline: its
+	// group-by columns (in group order) plus the FK columns of its child
+	// edges.
+	Aux []string
+}
+
+// Shape is a canonicalized logical plan: a filtered fact scan, a join
+// pipeline in bind order (parents always precede children), and a single
+// grouped SUM with optional ordering. Decompose produces it; the physical
+// lowerings consume it.
+type Shape struct {
+	Name       string
+	Fact       string
+	FactSchema *records.Schema
+	FactPred   expr.Pred
+	Joins      []JoinEdge
+	Agg        expr.Expr
+	AggName    string
+	GroupBy    []string
+	OrderBy    []OrderKey
+}
+
+// Decompose canonicalizes a bound logical tree into a Shape. It validates
+// the tree against what the engines can execute: a left-deep join chain
+// rooted at a single fact scan, one SUM aggregate, group columns owned by
+// joined dimensions, and order keys drawn from the output schema.
+func Decompose(l *Logical) (*Shape, error) {
+	if l == nil || l.Root == nil {
+		return nil, fmt.Errorf("plan: empty logical plan")
+	}
+	sh := &Shape{Name: l.Name}
+	n := l.Root
+	if o, ok := n.(*Order); ok {
+		sh.OrderBy = o.Keys
+		n = o.Input
+	}
+	agg, ok := n.(*Aggregate)
+	if !ok {
+		return nil, fmt.Errorf("plan: the root of the plan must be an aggregate")
+	}
+	if agg.Agg == nil || agg.AggName == "" {
+		return nil, fmt.Errorf("plan: the aggregate needs a SUM expression and an output name")
+	}
+	sh.Agg, sh.AggName, sh.GroupBy = agg.Agg, agg.AggName, agg.GroupBy
+
+	// Walk the left spine collecting joins, then reverse into bind order.
+	var joins []*Join
+	n = agg.Input
+	for {
+		j, ok := n.(*Join)
+		if !ok {
+			break
+		}
+		joins = append(joins, j)
+		n = j.Left
+	}
+	for i, j := 0, len(joins)-1; i < j; i, j = i+1, j-1 {
+		joins[i], joins[j] = joins[j], joins[i]
+	}
+	if f, ok := n.(*Filter); ok {
+		sh.FactPred = f.Pred
+		n = f.Input
+	}
+	fact, ok := n.(*Scan)
+	if !ok {
+		return nil, fmt.Errorf("plan: the join chain must bottom out at the fact table scan")
+	}
+	sh.Fact, sh.FactSchema = fact.Table, fact.Source
+
+	// owner maps every column visible in the pipeline to the table that
+	// produced it. Bound once; this is the ownership the hive lowering
+	// used to re-guess per stage.
+	owner := make(map[string]string, sh.FactSchema.Len())
+	for _, f := range sh.FactSchema.Fields() {
+		owner[f.Name] = sh.Fact
+	}
+	depth := map[string]int{sh.Fact: 0}
+	seenTable := map[string]bool{sh.Fact: true}
+	for _, j := range joins {
+		rn := j.Right
+		var pred expr.Pred
+		if f, ok := rn.(*Filter); ok {
+			pred = f.Pred
+			rn = f.Input
+		}
+		sc, ok := rn.(*Scan)
+		if !ok {
+			return nil, fmt.Errorf("plan: the build side of a join must be a (optionally filtered) table scan")
+		}
+		if seenTable[sc.Table] {
+			return nil, fmt.Errorf("plan: table %s joined twice", sc.Table)
+		}
+		e := JoinEdge{Table: sc.Table, Schema: sc.Source, FK: j.LeftKey, PK: j.RightKey, Pred: pred}
+		if !e.Schema.Has(e.PK) {
+			return nil, fmt.Errorf("plan: join key %s is not a column of %s", e.PK, e.Table)
+		}
+		parent, ok := owner[e.FK]
+		if !ok {
+			return nil, fmt.Errorf("plan: join key %s is not produced by the plan below the join with %s", e.FK, e.Table)
+		}
+		if parent != sh.Fact {
+			e.Parent = parent
+		}
+		e.Depth = depth[parent] + 1
+		for _, f := range sc.Source.Fields() {
+			if _, dup := owner[f.Name]; dup {
+				return nil, fmt.Errorf("plan: column %s is ambiguous between %s and %s", f.Name, owner[f.Name], sc.Table)
+			}
+			owner[f.Name] = sc.Table
+		}
+		depth[sc.Table] = e.Depth
+		seenTable[sc.Table] = true
+		sh.Joins = append(sh.Joins, e)
+	}
+
+	// Resolve auxiliary (carried) columns per edge: group columns it owns,
+	// then FKs of its child edges.
+	byTable := make(map[string]*JoinEdge, len(sh.Joins))
+	for i := range sh.Joins {
+		byTable[sh.Joins[i].Table] = &sh.Joins[i]
+	}
+	for _, g := range sh.GroupBy {
+		t, ok := owner[g]
+		if !ok {
+			return nil, fmt.Errorf("plan: group column %s is not produced by the plan", g)
+		}
+		e, ok := byTable[t]
+		if !ok {
+			return nil, fmt.Errorf("plan: group column %s must come from a joined dimension", g)
+		}
+		e.Aux = append(e.Aux, g)
+	}
+	for i := range sh.Joins {
+		e := &sh.Joins[i]
+		if e.Parent == "" {
+			continue
+		}
+		p := byTable[e.Parent]
+		if !contains(p.Aux, e.FK) {
+			p.Aux = append(p.Aux, e.FK)
+		}
+	}
+
+	// Validate the aggregate and the predicates against ownership.
+	for _, c := range expr.ColumnsOf([]expr.Expr{sh.Agg}, nil) {
+		if owner[c] != sh.Fact {
+			return nil, fmt.Errorf("plan: aggregate column %s is not a fact column", c)
+		}
+	}
+	for _, c := range expr.ColumnsOf(nil, []expr.Pred{sh.FactPred}) {
+		if owner[c] != sh.Fact {
+			return nil, fmt.Errorf("plan: fact predicate column %s is not a fact column", c)
+		}
+	}
+	for i := range sh.Joins {
+		e := &sh.Joins[i]
+		for _, c := range expr.ColumnsOf(nil, []expr.Pred{e.Pred}) {
+			if owner[c] != e.Table {
+				return nil, fmt.Errorf("plan: predicate column %s does not belong to %s", c, e.Table)
+			}
+		}
+	}
+	out := map[string]bool{sh.AggName: true}
+	for _, g := range sh.GroupBy {
+		out[g] = true
+	}
+	for _, k := range sh.OrderBy {
+		if !out[k.Col] {
+			return nil, fmt.Errorf("plan: order column %s is neither grouped nor the aggregate", k.Col)
+		}
+	}
+	return sh, nil
+}
+
+// MaxDepth is the deepest join edge: 1 for a pure star, ≥ 2 for a
+// snowflake.
+func (sh *Shape) MaxDepth() int {
+	d := 0
+	for i := range sh.Joins {
+		if sh.Joins[i].Depth > d {
+			d = sh.Joins[i].Depth
+		}
+	}
+	return d
+}
+
+// FactColumns is the fact read set in scan order: depth-1 FKs (bind
+// order), then measure columns, then fact-predicate columns, deduplicated.
+func (sh *Shape) FactColumns() []string {
+	var cols []string
+	seen := map[string]bool{}
+	add := func(c string) {
+		if !seen[c] {
+			seen[c] = true
+			cols = append(cols, c)
+		}
+	}
+	for i := range sh.Joins {
+		if sh.Joins[i].Depth == 1 {
+			add(sh.Joins[i].FK)
+		}
+	}
+	for _, c := range expr.ColumnsOf([]expr.Expr{sh.Agg}, nil) {
+		add(c)
+	}
+	for _, c := range expr.ColumnsOf(nil, []expr.Pred{sh.FactPred}) {
+		add(c)
+	}
+	return cols
+}
+
+// GroupSchema is the shuffle key schema of the final aggregation.
+func (sh *Shape) GroupSchema() *records.Schema {
+	fields := make([]records.Field, 0, len(sh.GroupBy))
+	for _, g := range sh.GroupBy {
+		fields = append(fields, records.F(g, sh.columnKind(g)))
+	}
+	return records.NewSchema(fields...)
+}
+
+// ResultSchema is the schema of the final result rows.
+func (sh *Shape) ResultSchema() *records.Schema {
+	fields := make([]records.Field, 0, len(sh.GroupBy)+1)
+	for _, g := range sh.GroupBy {
+		fields = append(fields, records.F(g, sh.columnKind(g)))
+	}
+	fields = append(fields, records.F(sh.AggName, records.KindFloat64))
+	return records.NewSchema(fields...)
+}
+
+// Orders is the effective result ordering: OrderBy if present, else the
+// group columns ascending.
+func (sh *Shape) Orders() []OrderKey {
+	if len(sh.OrderBy) > 0 {
+		return sh.OrderBy
+	}
+	keys := make([]OrderKey, len(sh.GroupBy))
+	for i, g := range sh.GroupBy {
+		keys[i] = OrderKey{Col: g}
+	}
+	return keys
+}
+
+func (sh *Shape) columnKind(col string) records.Kind {
+	if i := sh.FactSchema.Index(col); i >= 0 {
+		return sh.FactSchema.Field(i).Kind
+	}
+	for _, e := range sh.Joins {
+		if i := e.Schema.Index(col); i >= 0 {
+			return e.Schema.Field(i).Kind
+		}
+	}
+	panic(fmt.Sprintf("plan: unknown column %q", col))
+}
+
+// Step is one join of the physical pipeline with its column liveness
+// resolved: In is the probe stream's schema entering the step, Out the
+// stream leaving it (dead columns dropped, aux columns appended).
+type Step struct {
+	JoinEdge
+	// ApplyFactPred marks the step that evaluates the fact predicate
+	// (always the first, where the fact stream is first materialized).
+	ApplyFactPred bool
+	In, Out       *records.Schema
+	// Strategy is filled by the chooser.
+	Strategy Strategy
+	// Require / Deliver are the step's partitioning properties under a
+	// cascade lowering: Require is what the step's probe input must
+	// satisfy, Deliver what its output provides for the next step.
+	Require, Deliver Partitioning
+	// BuildRows / BuildBytes are the chooser's build-side estimates
+	// (filtered row count and hash table footprint under the chosen
+	// strategy); zero when no stats were available.
+	BuildRows, BuildBytes int64
+}
+
+// AuxSchema is the build-side payload schema: the columns of Aux, typed
+// from the edge's table schema.
+func (st *Step) AuxSchema() *records.Schema {
+	fields := make([]records.Field, 0, len(st.Aux))
+	for _, a := range st.Aux {
+		fields = append(fields, st.Schema.Field(st.Schema.MustIndex(a)))
+	}
+	return records.NewSchema(fields...)
+}
+
+// Linearize computes the join pipeline in the plan's bind order — the
+// order the staged (Hive-style) lowering executes, matching Hive's
+// join-order faithfulness rather than re-optimizing.
+func (sh *Shape) Linearize() ([]Step, error) {
+	order := make([]int, len(sh.Joins))
+	for i := range order {
+		order[i] = i
+	}
+	return sh.Pipeline(order)
+}
+
+// Pipeline computes the join pipeline for an explicit edge order (indexes
+// into Joins). The order must be topological: a snowflake edge after the
+// edge producing its FK. Column liveness is resolved per step: a consumed
+// FK is dropped as soon as no later step, measure, or group column needs
+// it, and fact-predicate-only columns are dropped by the first step.
+func (sh *Shape) Pipeline(order []int) ([]Step, error) {
+	if len(order) != len(sh.Joins) {
+		return nil, fmt.Errorf("plan: pipeline order has %d entries for %d joins", len(order), len(sh.Joins))
+	}
+	produced := map[string]bool{sh.Fact: true}
+	for _, i := range order {
+		if i < 0 || i >= len(sh.Joins) {
+			return nil, fmt.Errorf("plan: pipeline order index %d out of range", i)
+		}
+		e := &sh.Joins[i]
+		parent := e.Parent
+		if parent == "" {
+			parent = sh.Fact
+		}
+		if !produced[parent] {
+			return nil, fmt.Errorf("plan: pipeline order joins %s before its parent %s", e.Table, parent)
+		}
+		produced[e.Table] = true
+	}
+
+	measures := map[string]bool{}
+	for _, c := range expr.ColumnsOf([]expr.Expr{sh.Agg}, nil) {
+		measures[c] = true
+	}
+	predCols := map[string]bool{}
+	for _, c := range expr.ColumnsOf(nil, []expr.Pred{sh.FactPred}) {
+		predCols[c] = true
+	}
+	grouped := map[string]bool{}
+	for _, g := range sh.GroupBy {
+		grouped[g] = true
+	}
+	liveLater := func(col string, after int) bool {
+		if measures[col] || grouped[col] {
+			return true
+		}
+		for _, i := range order[after+1:] {
+			if sh.Joins[i].FK == col {
+				return true
+			}
+		}
+		return false
+	}
+
+	factRead, err := sh.FactSchema.Project(sh.FactColumns()...)
+	if err != nil {
+		return nil, fmt.Errorf("plan: fact read set: %w", err)
+	}
+	steps := make([]Step, 0, len(order))
+	cur := factRead
+	for k, i := range order {
+		e := sh.Joins[i]
+		if !cur.Has(e.FK) {
+			return nil, fmt.Errorf("plan: join key %s not live entering the %s join", e.FK, e.Table)
+		}
+		var fields []records.Field
+		for _, f := range cur.Fields() {
+			if f.Name == e.FK && !liveLater(f.Name, k) {
+				continue
+			}
+			if k == 0 && predCols[f.Name] && !measures[f.Name] && !liveLater(f.Name, k) && f.Name != e.FK {
+				// Fact-predicate-only columns die after the first step
+				// evaluates the predicate.
+				continue
+			}
+			fields = append(fields, f)
+		}
+		for _, a := range e.Aux {
+			fields = append(fields, e.Schema.Field(e.Schema.MustIndex(a)))
+		}
+		st := Step{JoinEdge: e, ApplyFactPred: k == 0, In: cur, Out: records.NewSchema(fields...)}
+		steps = append(steps, st)
+		cur = st.Out
+	}
+	return steps, nil
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -5,11 +5,15 @@ import (
 
 	"clydesdale/internal/core"
 	"clydesdale/internal/expr"
+	"clydesdale/internal/plan"
 	"clydesdale/internal/records"
 )
 
 // Star describes the tables a statement may reference: one fact table and
 // its dimensions.
+//
+// Deprecated: bind against a core.Catalog with Parse; Star remains only to
+// serve ParseStar.
 type Star struct {
 	Fact       string
 	FactSchema *records.Schema
@@ -17,83 +21,114 @@ type Star struct {
 }
 
 // StarFromCatalog builds the binder's table view from an engine catalog.
+//
+// Deprecated: pass the catalog itself to Parse.
 func StarFromCatalog(cat *core.Catalog, factName string) *Star {
 	return &Star{Fact: factName, FactSchema: cat.FactSchema, Dims: cat.DimSchemas}
 }
 
-// owner resolves which table a column belongs to ("" = unknown).
-func (s *Star) owner(col string) string {
-	if s.FactSchema.Has(col) {
-		return s.Fact
-	}
-	for name, schema := range s.Dims {
-		if schema.Has(col) {
-			return name
-		}
-	}
-	return ""
-}
-
-// Parse compiles a SQL string against the star schema into a core.Query.
-func Parse(input string, star *Star) (*core.Query, error) {
+// Parse compiles a SQL string against the catalog's tables into a bound
+// logical plan. Join edges may relate the fact table to a dimension or a
+// joined dimension to a further dimension (a snowflake chain); the only
+// requirement is that every FROM table is reachable from the fact table
+// through the WHERE equalities.
+func Parse(input string, cat *core.Catalog) (*plan.Logical, error) {
 	st, err := parse(input)
 	if err != nil {
 		return nil, err
 	}
-	return bind(st, star)
+	return bind(st, cat)
 }
 
-func bind(st *stmt, star *Star) (*core.Query, error) {
-	q := &core.Query{Name: "sql"}
+// ParseStar compiles a SQL string against a star schema into a core.Query.
+//
+// Deprecated: use Parse with the engine catalog; it returns the logical
+// plan all three executors now accept. ParseStar still works for pure star
+// statements but rejects snowflake joins, which core.Query cannot express.
+func ParseStar(input string, star *Star) (*core.Query, error) {
+	cat := &core.Catalog{
+		FactName:   star.Fact,
+		FactSchema: star.FactSchema,
+		DimSchemas: star.Dims,
+	}
+	l, err := Parse(input, cat)
+	if err != nil {
+		return nil, err
+	}
+	return core.QueryFromLogical(l)
+}
 
-	// FROM: the fact table plus dimensions, in clause order (the order the
-	// baseline engine joins in).
+// binder resolves column ownership for the tables a statement references.
+type binder struct {
+	fact       string
+	factSchema *records.Schema
+	dims       map[string]*records.Schema // FROM dimensions only
+	order      []string                   // FROM order of the dimensions
+}
+
+// owner resolves which referenced table a column belongs to ("" = unknown);
+// a column present in several tables is an error, since the grammar has no
+// table qualifiers to disambiguate it.
+func (b *binder) owner(col string) (string, error) {
+	var found string
+	if b.factSchema.Has(col) {
+		found = b.fact
+	}
+	for _, name := range b.order {
+		if b.dims[name].Has(col) {
+			if found != "" {
+				return "", fmt.Errorf("sql: column %q is ambiguous between %s and %s", col, found, name)
+			}
+			found = name
+		}
+	}
+	return found, nil
+}
+
+func bind(st *stmt, cat *core.Catalog) (*plan.Logical, error) {
+	factName := cat.FactName
+	if factName == "" {
+		factName = "fact"
+	}
+	b := &binder{fact: factName, factSchema: cat.FactSchema, dims: map[string]*records.Schema{}}
+
+	// FROM: the fact table plus the joined tables, in clause order.
 	sawFact := false
-	var dimOrder []string
 	for _, t := range st.from {
 		switch {
-		case t == star.Fact:
+		case t == factName:
 			sawFact = true
-		case star.Dims[t] != nil:
-			dimOrder = append(dimOrder, t)
+		case cat.DimSchemas[t] != nil:
+			if b.dims[t] != nil {
+				return nil, fmt.Errorf("sql: table %s appears twice in FROM", t)
+			}
+			b.dims[t] = cat.DimSchemas[t]
+			b.order = append(b.order, t)
 		default:
 			return nil, fmt.Errorf("sql: unknown table %q in FROM", t)
 		}
 	}
 	if !sawFact {
-		return nil, fmt.Errorf("sql: FROM must include the fact table %q", star.Fact)
-	}
-	dims := make(map[string]*core.DimSpec, len(dimOrder))
-	for _, d := range dimOrder {
-		dims[d] = &core.DimSpec{Table: d, Schema: star.Dims[d]}
+		return nil, fmt.Errorf("sql: FROM must include the fact table %q", factName)
 	}
 
-	// WHERE: join edges and predicates.
-	dimPreds := map[string][]expr.Pred{}
-	var factPreds []expr.Pred
+	// WHERE: split join edges from predicates.
+	type edge struct {
+		fk, pk string // fk on the attached side, pk on the table being joined
+		table  string
+	}
+	joined := map[string]*edge{}
+	preds := map[string][]expr.Pred{}
+	var pendingJoins []condition
 	for _, c := range st.where {
 		if c.isJoin {
-			lo, ro := star.owner(c.left), star.owner(c.right)
-			factCol, dimCol, dimTbl := c.left, c.right, ro
-			switch {
-			case lo == star.Fact && ro != "" && ro != star.Fact:
-				// as initialized
-			case ro == star.Fact && lo != "" && lo != star.Fact:
-				factCol, dimCol, dimTbl = c.right, c.left, lo
-			default:
-				return nil, fmt.Errorf("sql: join %s = %s must relate the fact table to a dimension", c.left, c.right)
-			}
-			spec, ok := dims[dimTbl]
-			if !ok {
-				return nil, fmt.Errorf("sql: join references %s, which is not in FROM", dimTbl)
-			}
-			if spec.FactFK != "" {
-				return nil, fmt.Errorf("sql: dimension %s joined twice", dimTbl)
-			}
-			spec.FactFK, spec.DimPK = factCol, dimCol
+			pendingJoins = append(pendingJoins, c)
 			continue
 		}
-		owner := star.owner(c.col)
+		owner, err := b.owner(c.col)
+		if err != nil {
+			return nil, err
+		}
 		if owner == "" {
 			return nil, fmt.Errorf("sql: unknown column %q in WHERE", c.col)
 		}
@@ -101,66 +136,110 @@ func bind(st *stmt, star *Star) (*core.Query, error) {
 		if err != nil {
 			return nil, err
 		}
-		if owner == star.Fact {
-			factPreds = append(factPreds, pred)
-		} else {
-			if _, ok := dims[owner]; !ok {
-				return nil, fmt.Errorf("sql: predicate on %s.%s but %s is not in FROM", owner, c.col, owner)
+		preds[owner] = append(preds[owner], pred)
+	}
+
+	// Attach loop: a join edge becomes resolvable once one of its sides
+	// belongs to an attached table (the fact, or a dimension already
+	// joined). The attached side's column is the foreign key, the new
+	// side's the primary key — so snowflake chains bind in topological
+	// order regardless of how WHERE lists them.
+	attached := map[string]bool{factName: true}
+	var joinOrder []string
+	for len(pendingJoins) > 0 {
+		progressed := false
+		var rest []condition
+		for _, c := range pendingJoins {
+			lo, err := b.owner(c.left)
+			if err != nil {
+				return nil, err
 			}
-			dimPreds[owner] = append(dimPreds[owner], pred)
+			ro, err := b.owner(c.right)
+			if err != nil {
+				return nil, err
+			}
+			if lo == "" {
+				return nil, fmt.Errorf("sql: unknown column %q in join", c.left)
+			}
+			if ro == "" {
+				return nil, fmt.Errorf("sql: unknown column %q in join", c.right)
+			}
+			var fkCol, pkCol, pkTbl string
+			switch {
+			case attached[lo] && !attached[ro]:
+				fkCol, pkCol, pkTbl = c.left, c.right, ro
+			case attached[ro] && !attached[lo]:
+				fkCol, pkCol, pkTbl = c.right, c.left, lo
+			case attached[lo] && attached[ro]:
+				return nil, fmt.Errorf("sql: join %s = %s relates two already-joined tables", c.left, c.right)
+			default:
+				rest = append(rest, c) // neither side attached yet; retry
+				continue
+			}
+			if pkTbl == factName {
+				return nil, fmt.Errorf("sql: join %s = %s cannot re-join the fact table", c.left, c.right)
+			}
+			joined[pkTbl] = &edge{fk: fkCol, pk: pkCol, table: pkTbl}
+			attached[pkTbl] = true
+			joinOrder = append(joinOrder, pkTbl)
+			progressed = true
+		}
+		if !progressed {
+			c := rest[0]
+			return nil, fmt.Errorf("sql: join %s = %s is not connected to the fact table", c.left, c.right)
+		}
+		pendingJoins = rest
+	}
+	for _, d := range b.order {
+		if joined[d] == nil {
+			return nil, fmt.Errorf("sql: table %s has no join condition", d)
 		}
 	}
-	for _, d := range dimOrder {
-		if dims[d].FactFK == "" {
-			return nil, fmt.Errorf("sql: dimension %s has no join condition", d)
+	for t := range preds {
+		if t != factName && joined[t] == nil {
+			return nil, fmt.Errorf("sql: predicate on %s, which is not joined", t)
 		}
-		if ps := dimPreds[d]; len(ps) == 1 {
-			dims[d].Pred = ps[0]
-		} else if len(ps) > 1 {
-			dims[d].Pred = expr.And(ps...)
-		}
-	}
-	if len(factPreds) == 1 {
-		q.FactPred = factPreds[0]
-	} else if len(factPreds) > 1 {
-		q.FactPred = expr.And(factPreds...)
 	}
 
 	// SELECT: exactly one SUM aggregate plus the group columns.
+	var aggExpr expr.Expr
+	aggName := ""
 	var plainCols []string
 	for _, item := range st.selects {
 		if item.isSum {
-			if q.AggExpr != nil {
+			if aggExpr != nil {
 				return nil, fmt.Errorf("sql: only one SUM aggregate is supported")
 			}
-			q.AggExpr = item.sum
-			q.AggName = item.alias
-			if q.AggName == "" {
-				q.AggName = "sum"
+			aggExpr = item.sum
+			aggName = item.alias
+			if aggName == "" {
+				aggName = "sum"
 			}
 			continue
 		}
 		plainCols = append(plainCols, item.col)
 	}
-	if q.AggExpr == nil {
+	if aggExpr == nil {
 		return nil, fmt.Errorf("sql: the select list needs a SUM aggregate")
 	}
-	for _, c := range expr.ColumnsOf([]expr.Expr{q.AggExpr}, nil) {
-		if !star.FactSchema.Has(c) {
+	for _, c := range expr.ColumnsOf([]expr.Expr{aggExpr}, nil) {
+		if !cat.FactSchema.Has(c) {
 			return nil, fmt.Errorf("sql: SUM argument column %q is not a fact column", c)
 		}
 	}
 
-	// GROUP BY: dimension columns; each becomes an aux column of its dim.
+	// GROUP BY: dimension columns.
 	groupSet := map[string]bool{}
+	var groupBy []string
 	for _, g := range st.groupBy {
-		owner := star.owner(g)
-		spec, ok := dims[owner]
-		if !ok {
+		owner, err := b.owner(g)
+		if err != nil {
+			return nil, err
+		}
+		if owner == "" || owner == factName || joined[owner] == nil {
 			return nil, fmt.Errorf("sql: GROUP BY column %q must come from a joined dimension", g)
 		}
-		spec.Aux = append(spec.Aux, g)
-		q.GroupBy = append(q.GroupBy, g)
+		groupBy = append(groupBy, g)
 		groupSet[g] = true
 	}
 	for _, c := range plainCols {
@@ -170,18 +249,51 @@ func bind(st *stmt, star *Star) (*core.Query, error) {
 	}
 
 	// ORDER BY: group columns or the aggregate alias.
+	var orderBy []plan.OrderKey
 	for _, o := range st.orderBy {
-		if !groupSet[o.col] && o.col != q.AggName {
+		if !groupSet[o.col] && o.col != aggName {
 			return nil, fmt.Errorf("sql: ORDER BY column %q is neither grouped nor the aggregate", o.col)
 		}
-		q.OrderBy = append(q.OrderBy, core.OrderKey{Col: o.col, Desc: o.desc})
+		orderBy = append(orderBy, plan.OrderKey{Col: o.col, Desc: o.desc})
 	}
 
-	q.Dims = make([]core.DimSpec, 0, len(dimOrder))
-	for _, d := range dimOrder {
-		q.Dims = append(q.Dims, *dims[d])
+	// Assemble the logical tree: fact scan, join edges in attach order,
+	// aggregate, order.
+	var root plan.Node = &plan.Scan{Table: factName, Source: cat.FactSchema, Fact: true}
+	if p := andAll(preds[factName]); p != nil {
+		root = &plan.Filter{Input: root, Pred: p}
 	}
-	return q, q.Validate()
+	for _, t := range joinOrder {
+		ed := joined[t]
+		var right plan.Node = &plan.Scan{Table: t, Source: b.dims[t]}
+		if p := andAll(preds[t]); p != nil {
+			right = &plan.Filter{Input: right, Pred: p}
+		}
+		root = &plan.Join{Left: root, Right: right, LeftKey: ed.fk, RightKey: ed.pk}
+	}
+	root = &plan.Aggregate{Input: root, Agg: aggExpr, AggName: aggName, GroupBy: groupBy}
+	if len(orderBy) > 0 {
+		root = &plan.Order{Input: root, Keys: orderBy}
+	}
+	l := &plan.Logical{Name: "sql", Root: root}
+	// Decompose validates the whole statement (ownership, reachability,
+	// aux resolution) so errors surface at bind time, not execution time.
+	if _, err := plan.Decompose(l); err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// andAll conjoins a predicate list (nil when empty).
+func andAll(ps []expr.Pred) expr.Pred {
+	switch len(ps) {
+	case 0:
+		return nil
+	case 1:
+		return ps[0]
+	default:
+		return expr.And(ps...)
+	}
 }
 
 // conditionPred turns a parsed predicate condition into an expr.Pred.

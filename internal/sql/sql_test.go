@@ -4,6 +4,8 @@ import (
 	"strings"
 	"testing"
 
+	"clydesdale/internal/core"
+	"clydesdale/internal/plan"
 	"clydesdale/internal/records"
 	"clydesdale/internal/refexec"
 	"clydesdale/internal/results"
@@ -110,7 +112,7 @@ func TestSSBQueriesFromSQLMatchCatalog(t *testing.T) {
 		if !ok {
 			t.Fatalf("no SQL text for %s", q.Name)
 		}
-		parsed, err := Parse(text, star)
+		parsed, err := ParseStar(text, star)
 		if err != nil {
 			t.Fatalf("%s: %v", q.Name, err)
 		}
@@ -164,14 +166,15 @@ func TestParseErrors(t *testing.T) {
 		{"order not grouped", "SELECT SUM(lo_revenue) AS r FROM lineorder, date WHERE lo_orderdate = d_datekey ORDER BY d_year", "ORDER BY"},
 		{"two sums", "SELECT SUM(lo_revenue), SUM(lo_quantity) FROM lineorder, date WHERE lo_orderdate = d_datekey", "one SUM"},
 		{"sum of dim col", "SELECT SUM(d_year) FROM lineorder, date WHERE lo_orderdate = d_datekey", "fact column"},
-		{"join dim dim", "SELECT SUM(lo_revenue) FROM lineorder, date, part WHERE lo_orderdate = d_datekey AND d_datekey = p_partkey AND lo_partkey = p_partkey", "fact table to a dimension"},
-		{"joined twice", "SELECT SUM(lo_revenue) FROM lineorder, date WHERE lo_orderdate = d_datekey AND lo_commitdate = d_datekey", "joined twice"},
+		{"join dim dim", "SELECT SUM(lo_revenue) FROM lineorder, date, part WHERE lo_orderdate = d_datekey AND d_datekey = p_partkey AND lo_partkey = p_partkey", "already-joined"},
+		{"joined twice", "SELECT SUM(lo_revenue) FROM lineorder, date WHERE lo_orderdate = d_datekey AND lo_commitdate = d_datekey", "already-joined"},
+		{"disconnected join", "SELECT SUM(lo_revenue) FROM lineorder, date, part WHERE d_datekey = p_partkey", "not connected"},
 		{"unterminated string", "SELECT SUM(lo_revenue) FROM lineorder WHERE lo_shipmode = 'AIR", "unterminated"},
 		{"trailing garbage", "SELECT SUM(lo_revenue) FROM lineorder, date WHERE lo_orderdate = d_datekey )", "trailing"},
 		{"bad char", "SELECT SUM(lo_revenue) FROM lineorder @", "unexpected character"},
 	}
 	for _, c := range cases {
-		_, err := Parse(c.text, star)
+		_, err := ParseStar(c.text, star)
 		if err == nil {
 			t.Errorf("%s: expected error", c.name)
 			continue
@@ -184,7 +187,7 @@ func TestParseErrors(t *testing.T) {
 
 func TestParseDefaults(t *testing.T) {
 	star := ssbStar()
-	q, err := Parse("SELECT SUM(lo_revenue) FROM lineorder, date WHERE lo_orderdate = d_datekey", star)
+	q, err := ParseStar("SELECT SUM(lo_revenue) FROM lineorder, date WHERE lo_orderdate = d_datekey", star)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +198,7 @@ func TestParseDefaults(t *testing.T) {
 		t.Error("unexpected clauses")
 	}
 	// Reversed join order (dim column on the left) binds identically.
-	q2, err := Parse("SELECT SUM(lo_revenue) FROM lineorder, date WHERE d_datekey = lo_orderdate", star)
+	q2, err := ParseStar("SELECT SUM(lo_revenue) FROM lineorder, date WHERE d_datekey = lo_orderdate", star)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,11 +206,65 @@ func TestParseDefaults(t *testing.T) {
 		t.Errorf("reversed join bound as %s=%s", q2.Dims[0].FactFK, q2.Dims[0].DimPK)
 	}
 	// Float literals and division parse.
-	q3, err := Parse("SELECT SUM(lo_revenue / 100.5) FROM lineorder, date WHERE lo_orderdate = d_datekey", star)
+	q3, err := ParseStar("SELECT SUM(lo_revenue / 100.5) FROM lineorder, date WHERE lo_orderdate = d_datekey", star)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if q3.AggExpr == nil {
 		t.Error("no aggregate expr")
+	}
+}
+
+// TestParseSnowflake binds a statement whose second join hangs off a
+// dimension rather than the fact table, which the logical IR expresses and
+// the deprecated star binding rejects.
+func TestParseSnowflake(t *testing.T) {
+	cat := &core.Catalog{
+		FactName: "f",
+		FactSchema: records.NewSchema(
+			records.F("f_a_fk", records.KindInt64),
+			records.F("f_m", records.KindInt64),
+		),
+		DimSchemas: map[string]*records.Schema{
+			"a": records.NewSchema(
+				records.F("a_pk", records.KindInt64),
+				records.F("a_b_fk", records.KindInt64),
+				records.F("a_attr", records.KindString),
+			),
+			"b": records.NewSchema(
+				records.F("b_pk", records.KindInt64),
+				records.F("b_attr", records.KindString),
+			),
+		},
+	}
+	// The WHERE lists the deep edge first: the attach loop must defer it
+	// until a joins.
+	text := `SELECT b_attr, SUM(f_m) AS total FROM f, a, b
+		WHERE a_b_fk = b_pk AND f_a_fk = a_pk GROUP BY b_attr`
+	l, err := Parse(text, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := plan.Decompose(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh.MaxDepth() != 2 {
+		t.Errorf("max depth = %d, want 2", sh.MaxDepth())
+	}
+	var deep *plan.JoinEdge
+	for i := range sh.Joins {
+		if sh.Joins[i].Table == "b" {
+			deep = &sh.Joins[i]
+		}
+	}
+	if deep == nil || deep.Parent != "a" || deep.Depth != 2 || deep.FK != "a_b_fk" {
+		t.Errorf("edge b bound as %+v", deep)
+	}
+
+	// The star wrapper cannot express the chain.
+	star := &Star{Fact: "f", FactSchema: cat.FactSchema, Dims: cat.DimSchemas}
+	if _, err := ParseStar(text, star); err == nil {
+		t.Error("ParseStar accepted a snowflake statement")
 	}
 }

@@ -89,6 +89,7 @@ func (l *Layout) DimPath(table string) string { return l.Dims[table] }
 // Catalog exposes the layout to the query engines.
 func (l *Layout) Catalog() *core.Catalog {
 	return &core.Catalog{
+		FactName:   TableLineorder,
 		FactDir:    l.FactCIF,
 		FactSchema: LineorderSchema,
 		DimDirs:    l.Dims,

@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency chaos plan-golden bench bench-smoke profile-smoke clean
+.PHONY: check fmt vet build test race race-concurrency chaos plan-golden bench bench-smoke profile-smoke serve-bench serve-smoke clean
 
 check: fmt vet build race-concurrency chaos plan-golden
 
@@ -72,6 +72,19 @@ bench-smoke:
 profile-smoke:
 	@out="$$($(GO) run ./cmd/clydesdale -query Q1.1 -factrows 20000 -explain -explain-check)" || \
 		{ echo "$$out"; exit 1; }; echo "$$out" | grep 'explain-check'
+
+# Serving benchmark (see EXPERIMENTS.md "Serving at scale"): replay one
+# seed-deterministic open-loop tenant mix under FIFO, weighted fair-share,
+# and fair-share + result cache, writing per-class latency/SLO/shed numbers
+# and the cache cold/warm measurement to BENCH_serve.json.
+serve-bench:
+	$(GO) run ./cmd/loadgen -out BENCH_serve.json
+
+# CI gate for the serving path: a short load run must complete queries in
+# every pass without shedding its whole offered load, and the warm
+# result-cache pass must submit zero MapReduce jobs (counter-verified).
+serve-smoke:
+	$(GO) run ./cmd/loadgen -duration 5s -rate 40 -fact-rows 60000 -check -out ''
 
 clean:
 	$(GO) clean ./...

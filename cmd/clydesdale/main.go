@@ -335,6 +335,9 @@ func runServe(mreng *mr.Engine, cat *core.Catalog, feats core.Features, queries 
 		st.Builds, st.Hits, st.Misses, st.Evictions, st.ResidentBytes)
 	fmt.Printf("   admission:   %d admitted, %d rejected, peak %d concurrent\n",
 		st.Admitted, st.Rejected, st.PeakConcurrent)
+	fmt.Printf("   result cache: %d hits (%d by subsumption), %d misses, %d invalidated, %d bytes resident\n",
+		st.ResultHits+st.ResultSubsumedHits, st.ResultSubsumedHits, st.ResultMisses,
+		st.ResultInvalidations, st.ResultBytes)
 	if err := sess.Close(); err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,133 @@
+// Command loadgen drives the serving layer at production scale: an
+// open-loop Poisson arrival process over thousands of simulated tenants,
+// mixing interactive flight-1 dashboards with bursty flight-4 reporting
+// refreshes. It replays the identical seed-deterministic workload under
+// three admission policies — global FIFO, weighted fair-share, and
+// fair-share plus the fingerprint result cache — and reports per-class
+// throughput, P50/P99 latency, SLO attainment and shed rate, then measures
+// the result cache's cold/warm behavior directly.
+//
+// Usage:
+//
+//	loadgen                                  # default 6s run → BENCH_serve.json
+//	loadgen -duration 10s -rate 120          # heavier offered load
+//	loadgen -tenants 5000 -burst 8           # more tenants, bigger reporting bursts
+//	loadgen -check -duration 5s              # CI smoke: exit nonzero on overload collapse
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"clydesdale/internal/bench"
+)
+
+func main() {
+	var (
+		duration   = flag.Duration("duration", 0, "open-loop arrival window (default 12s)")
+		rate       = flag.Float64("rate", 0, "mean arrival events per second (default 10)")
+		tenants    = flag.Int("tenants", 0, "interactive tenant population (default 2000)")
+		repTenants = flag.Int("reporting-tenants", 0, "reporting tenant pool (default 4)")
+		repShare   = flag.Float64("reporting-share", 0, "probability an arrival is a reporting burst (default 0.10)")
+		burst      = flag.Int("burst", 0, "flight-4 queries per reporting event (default 8)")
+		maxConc    = flag.Int("max-concurrent", 0, "session concurrency cap (default 1)")
+		queueDepth = flag.Int("queue-depth", 0, "admission queue depth (default 256)")
+		factRows   = flag.Int64("fact-rows", 0, "fact table rows (default 500000)")
+		workers    = flag.Int("workers", 0, "cluster workers (default 4)")
+		seed       = flag.Uint64("seed", 0, "workload seed (default 42)")
+		out        = flag.String("out", "BENCH_serve.json", "result JSON path ('-' for stdout, '' to skip)")
+		check      = flag.Bool("check", false, "smoke-check mode: fail unless the run completed queries and shed less than everything")
+	)
+	flag.Parse()
+
+	// With -out -, stdout carries the result JSON; keep the live progress
+	// table off it so the stream stays machine-parseable.
+	progress := os.Stdout
+	if *out == "-" {
+		progress = os.Stderr
+	}
+
+	res, err := bench.RunServeBench(bench.ServeBenchConfig{
+		Duration:         *duration,
+		Rate:             *rate,
+		Tenants:          *tenants,
+		ReportingTenants: *repTenants,
+		ReportingShare:   *repShare,
+		ReportingBurst:   *burst,
+		MaxConcurrent:    *maxConc,
+		QueueDepth:       *queueDepth,
+		FactRows:         *factRows,
+		Workers:          *workers,
+		Seed:             *seed,
+	}, progress)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *out {
+	case "":
+	case "-":
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *check {
+		if err := smokeCheck(res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(progress, "smoke check passed")
+	}
+}
+
+// smokeCheck is the CI gate: every pass must have completed queries (the
+// SLO histograms are non-empty) without shedding its entire offered load,
+// and the warm result-cache pass must not have submitted MapReduce jobs.
+func smokeCheck(res *bench.ServeBenchResult) error {
+	for _, p := range res.Passes {
+		var offered, completed, shed int64
+		for _, c := range p.Classes {
+			offered += c.Offered
+			completed += c.Completed
+			shed += c.Shed
+		}
+		if completed == 0 {
+			return fmt.Errorf("smoke: %s pass completed 0 of %d offered queries", p.Policy, offered)
+		}
+		if offered > 0 && shed >= offered {
+			return fmt.Errorf("smoke: %s pass shed all %d offered queries", p.Policy, offered)
+		}
+		if p.WallNs <= 0 || time.Duration(p.WallNs) > 10*res.Config.Duration {
+			return fmt.Errorf("smoke: %s pass wall time %v implausible for a %v window",
+				p.Policy, time.Duration(p.WallNs), res.Config.Duration)
+		}
+	}
+	if res.Cache.WarmJobs != 0 {
+		return fmt.Errorf("smoke: warm result-cache pass submitted %d MapReduce jobs, want 0", res.Cache.WarmJobs)
+	}
+	if !res.Cache.Equivalent || res.Cache.SubsumptionHits == 0 {
+		return fmt.Errorf("smoke: result cache equivalence=%v subsumption hits=%d",
+			res.Cache.Equivalent, res.Cache.SubsumptionHits)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}

@@ -154,6 +154,9 @@ func (e *Engine) Submit(ctx context.Context, job *Job) (res *JobResult, err erro
 	}
 	start := time.Now()
 	jobID := fmt.Sprintf("job-%d", e.jobSeq.Add(1))
+	if m := e.opts.Metrics; m != nil {
+		m.Counter("mr.jobs_submitted").Inc()
+	}
 	counters := NewCounters()
 	jctx := &JobContext{JobID: jobID, Conf: job.conf(), FS: e.fs, Cluster: e.cluster, Counters: counters, Tracer: e.opts.Tracer}
 

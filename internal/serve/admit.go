@@ -4,40 +4,133 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"clydesdale/internal/obs"
 )
 
 // ErrQueueFull is returned by Session.Query when the admission queue is at
 // QueueDepth; callers shed load instead of piling up. Check with errors.Is.
 var ErrQueueFull = errors.New("serve: admission queue full")
 
-// admitter is the FIFO admission controller: a query runs only while the
+// admitter is the weighted fair-share admission controller. Queries queue
+// per tenant (strict FIFO within a tenant) and tenants are served by
+// deficit scheduling: each scheduling round credits every waiting tenant
+// quantum×weight bytes of deficit, and a tenant's head query runs once its
+// cost fits the tenant's accumulated deficit — so over time each tenant's
+// admitted bytes are proportional to its weight, and one tenant's burst
+// cannot monopolize the budget. Globally a query runs only while the
 // concurrency cap holds and its estimated memory cost fits the remaining
-// budget; otherwise it queues. One escape valve prevents starvation: a
-// query whose cost alone exceeds the budget is admitted once nothing else
-// is in flight (it will then either fit in practice or fail over to the
-// staged plan, rather than wait forever).
+// budget.
+//
+// Two starvation guards are layered on top. The escape valve (kept from the
+// FIFO admitter): a query whose cost alone exceeds the whole budget is
+// admitted once nothing else is in flight, rather than waiting forever.
+// Priority aging: a query that has watched agingPasses other admissions go
+// by has its deficit requirement waived — it then competes on global
+// feasibility alone, so a big reporting query in a low-weight tenant is
+// delayed proportionally, never indefinitely.
+//
+// A session serving a single tenant reduces exactly to the old global FIFO:
+// one queue, arrival order, head-of-line blocking and all.
 type admitter struct {
-	budget  int64
-	maxConc int
-	depth   int
+	budget      int64
+	maxConc     int
+	depth       int   // global bound on queued waiters
+	quantum     int64 // deficit credited per round per unit weight
+	agingPasses int   // passes before a waiter's deficit gate is waived; <= 0 disables
+	weights     map[string]int64
+
+	reg *obs.Registry // live gauges (queue depth, in-flight, reserved); may be nil
 
 	mu       sync.Mutex
 	reserved int64
 	inFlight int
-	waiters  []*waiter
+	queued   int
+	tenants  map[string]*tenantQueue
+	active   []*tenantQueue // tenants with waiters, in first-wait order
+	rr       int            // round-robin cursor into active
 
 	admitted     int64
 	rejected     int64
 	peakInFlight int
 }
 
+type tenantQueue struct {
+	name    string
+	weight  int64
+	deficit int64
+	fifo    []*waiter
+}
+
 type waiter struct {
+	tq      *tenantQueue
 	cost    int64
+	passes  int // admissions of other queries observed while queued
 	granted chan struct{}
 }
 
-func newAdmitter(budget int64, maxConc, depth int) *admitter {
-	return &admitter{budget: budget, maxConc: maxConc, depth: depth}
+// admitConfig bundles the admitter's tuning knobs.
+type admitConfig struct {
+	budget      int64
+	maxConc     int
+	depth       int
+	weights     map[string]int64 // tenant → weight; missing or < 1 means 1
+	agingPasses int              // 0 → default 64; < 0 → disabled
+	quantum     int64            // 0 → budget/64 (min 1)
+}
+
+func newAdmitter(cfg admitConfig, reg *obs.Registry) *admitter {
+	if cfg.quantum <= 0 {
+		cfg.quantum = cfg.budget / 64
+		if cfg.quantum < 1 {
+			cfg.quantum = 1
+		}
+	}
+	switch {
+	case cfg.agingPasses == 0:
+		cfg.agingPasses = 64
+	case cfg.agingPasses < 0:
+		cfg.agingPasses = 0
+	}
+	return &admitter{
+		budget:      cfg.budget,
+		maxConc:     cfg.maxConc,
+		depth:       cfg.depth,
+		quantum:     cfg.quantum,
+		agingPasses: cfg.agingPasses,
+		weights:     cfg.weights,
+		reg:         reg,
+		tenants:     make(map[string]*tenantQueue),
+	}
+}
+
+func (a *admitter) tenantLocked(name string) *tenantQueue {
+	tq, ok := a.tenants[name]
+	if !ok {
+		w := int64(1)
+		if cfgW, ok := a.weights[name]; ok && cfgW >= 1 {
+			w = cfgW
+		}
+		tq = &tenantQueue{name: name, weight: w}
+		a.tenants[name] = tq
+	}
+	return tq
+}
+
+// chargeOf is the deficit a grant consumes: the query's byte cost, floored
+// at one quantum. Without the floor, cheap queries (e.g. fully cache-warm
+// ones costing ~0 bytes) would let one tenant's burst bank a single round's
+// credit into many consecutive grants, recreating the head-of-line blocking
+// fair sharing exists to break. With it, leftover deficit after a grant is
+// always below quantum×weight for one round, so a weight-1 tenant yields
+// after every grant while others wait, and weight-w tenants get up to w
+// cheap grants per round — byte proportionality for big queries, weighted
+// round-robin for small ones.
+func (a *admitter) chargeOf(cost int64) int64 {
+	if cost < a.quantum {
+		return a.quantum
+	}
+	return cost
 }
 
 func (a *admitter) canRunLocked(cost int64) bool {
@@ -56,23 +149,44 @@ func (a *admitter) grantLocked(cost int64) {
 	a.admitted++
 }
 
+// updateGaugesLocked publishes the live admission levels; /metrics scrapes
+// read them without touching the admitter.
+func (a *admitter) updateGaugesLocked() {
+	if a.reg == nil {
+		return
+	}
+	a.reg.Gauge("serve.admission.queue_depth").Set(int64(a.queued))
+	a.reg.Gauge("serve.admission.in_flight").Set(int64(a.inFlight))
+	a.reg.Gauge("serve.admission.reserved_bytes").Set(a.reserved)
+}
+
 // admit blocks until the query may run, the queue overflows, or ctx ends.
 // On success the returned release must be called exactly once when the
 // query finishes (however it finishes).
-func (a *admitter) admit(ctx context.Context, cost int64) (func(), error) {
+func (a *admitter) admit(ctx context.Context, tenant string, cost int64) (func(), error) {
 	a.mu.Lock()
-	if len(a.waiters) == 0 && a.canRunLocked(cost) {
+	if a.queued == 0 && a.canRunLocked(cost) {
 		a.grantLocked(cost)
+		a.updateGaugesLocked()
 		a.mu.Unlock()
 		return func() { a.release(cost) }, nil
 	}
-	if len(a.waiters) >= a.depth {
+	if a.queued >= a.depth {
 		a.rejected++
 		a.mu.Unlock()
 		return nil, ErrQueueFull
 	}
-	w := &waiter{cost: cost, granted: make(chan struct{})}
-	a.waiters = append(a.waiters, w)
+	tq := a.tenantLocked(tenant)
+	w := &waiter{tq: tq, cost: cost, granted: make(chan struct{})}
+	if len(tq.fifo) == 0 {
+		a.active = append(a.active, tq)
+	}
+	tq.fifo = append(tq.fifo, w)
+	a.queued++
+	// The new waiter may be schedulable right away (e.g. its tenant holds
+	// deficit while the others' heads do not fit the budget).
+	a.scheduleLocked()
+	a.updateGaugesLocked()
 	a.mu.Unlock()
 
 	select {
@@ -88,39 +202,156 @@ func (a *admitter) admit(ctx context.Context, cost int64) (func(), error) {
 			return nil, ctx.Err()
 		default:
 		}
-		for i, q := range a.waiters {
-			if q == w {
-				a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
-				break
-			}
-		}
+		a.removeWaiterLocked(w)
+		// The cancelled waiter may have been the head of the line; whoever
+		// is behind it could fit the free capacity right now, so run the
+		// scheduler instead of waiting for the next release.
+		a.scheduleLocked()
+		a.updateGaugesLocked()
 		a.mu.Unlock()
 		return nil, ctx.Err()
 	}
 }
 
+// removeWaiterLocked drops w from its tenant queue (cancellation path).
+func (a *admitter) removeWaiterLocked(w *waiter) {
+	tq := w.tq
+	for i, q := range tq.fifo {
+		if q == w {
+			tq.fifo = append(tq.fifo[:i], tq.fifo[i+1:]...)
+			a.queued--
+			break
+		}
+	}
+	if len(tq.fifo) == 0 {
+		a.deactivateLocked(tq)
+	}
+}
+
+// deactivateLocked removes an emptied tenant from the active list and
+// resets its deficit: deficit is owed service while waiting, not a bankable
+// credit across idle periods (classic DRR).
+func (a *admitter) deactivateLocked(tq *tenantQueue) {
+	for i, t := range a.active {
+		if t == tq {
+			a.active = append(a.active[:i], a.active[i+1:]...)
+			if a.rr > i {
+				a.rr--
+			}
+			break
+		}
+	}
+	if len(a.active) > 0 {
+		a.rr %= len(a.active)
+	} else {
+		a.rr = 0
+	}
+	tq.deficit = 0
+}
+
 func (a *admitter) release(cost int64) {
 	a.mu.Lock()
 	a.releaseLocked(cost)
+	a.updateGaugesLocked()
 	a.mu.Unlock()
 }
 
 func (a *admitter) releaseLocked(cost int64) {
 	a.reserved -= cost
 	a.inFlight--
-	// Wake queued queries strictly in FIFO order: stop at the first that
-	// still does not fit, preserving arrival fairness over utilization.
-	for len(a.waiters) > 0 && a.canRunLocked(a.waiters[0].cost) {
-		w := a.waiters[0]
-		a.waiters = a.waiters[1:]
-		a.grantLocked(w.cost)
-		close(w.granted)
+	a.scheduleLocked()
+}
+
+// scheduleLocked admits every waiter that can run, in weighted fair-share
+// order. Each iteration considers only queue heads (within a tenant order
+// is strict FIFO) that are globally feasible, and picks the one needing the
+// fewest deficit rounds — aged waiters need zero by definition and oldest
+// wins among them. Rounds are advanced in one step rather than spun:
+// crediting every active tenant quantum×weight per round makes admitted
+// bytes track weights without a busy loop.
+func (a *admitter) scheduleLocked() {
+	for {
+		var (
+			best       *tenantQueue
+			bestIdx    int
+			bestRounds int64
+			bestAged   bool
+			bestPasses int
+			found      bool
+		)
+		n := len(a.active)
+		for i := 0; i < n; i++ {
+			idx := (a.rr + i) % n
+			tq := a.active[idx]
+			head := tq.fifo[0]
+			if !a.canRunLocked(head.cost) {
+				continue
+			}
+			aged := a.agingPasses > 0 && head.passes >= a.agingPasses
+			charge := a.chargeOf(head.cost)
+			var rounds int64
+			if !aged && tq.deficit < charge {
+				per := a.quantum * tq.weight
+				need := charge - tq.deficit
+				rounds = (need + per - 1) / per
+			}
+			better := false
+			switch {
+			case !found:
+				better = true
+			case aged != bestAged:
+				better = aged
+			case aged:
+				better = head.passes > bestPasses
+			default:
+				better = rounds < bestRounds
+			}
+			if better {
+				best, bestIdx, bestRounds, bestAged, bestPasses, found = tq, idx, rounds, aged, head.passes, true
+			}
+		}
+		if !found {
+			return
+		}
+		if bestRounds > 0 {
+			for _, tq := range a.active {
+				tq.deficit += bestRounds * a.quantum * tq.weight
+			}
+		}
+		head := best.fifo[0]
+		best.fifo = best.fifo[1:]
+		a.queued--
+		best.deficit -= a.chargeOf(head.cost)
+		if best.deficit < 0 {
+			best.deficit = 0
+		}
+		if len(best.fifo) == 0 {
+			a.deactivateLocked(best)
+		} else {
+			a.rr = (bestIdx + 1) % len(a.active)
+		}
+		a.grantLocked(head.cost)
+		close(head.granted)
+		// Everyone still waiting watched an admission go by: age them.
+		for _, tq := range a.active {
+			for _, w := range tq.fifo {
+				w.passes++
+			}
+		}
 	}
+}
+
+// syncGauges republishes the current admission levels (scrape-time refresh,
+// so gauges exist even before the first admit).
+func (a *admitter) syncGauges() {
+	a.mu.Lock()
+	a.updateGaugesLocked()
+	a.mu.Unlock()
 }
 
 // snapshot returns (running, queued, admitted, rejected, peak).
 func (a *admitter) snapshot() (int, int, int64, int64, int) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	return a.inFlight, len(a.waiters), a.admitted, a.rejected, a.peakInFlight
+	return a.inFlight, a.queued, a.admitted, a.rejected, a.peakInFlight
 }

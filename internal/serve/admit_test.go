@@ -7,9 +7,16 @@ import (
 	"time"
 )
 
+// testAdmitter builds an admitter with the FIFO-era knobs; a single tenant
+// under the fair-share scheduler reduces exactly to the old global FIFO, so
+// these tests still pin that contract.
+func testAdmitter(budget int64, maxConc, depth int) *admitter {
+	return newAdmitter(admitConfig{budget: budget, maxConc: maxConc, depth: depth}, nil)
+}
+
 func mustAdmit(t *testing.T, a *admitter, cost int64) func() {
 	t.Helper()
-	release, err := a.admit(context.Background(), cost)
+	release, err := a.admit(context.Background(), DefaultTenant, cost)
 	if err != nil {
 		t.Fatalf("admit(%d): %v", cost, err)
 	}
@@ -20,14 +27,14 @@ func mustAdmit(t *testing.T, a *admitter, cost int64) func() {
 // expensive head-of-line waiter must not jump the queue, even though its
 // cost alone would fit the remaining budget.
 func TestAdmitterFIFO(t *testing.T) {
-	a := newAdmitter(100, 4, 8)
+	a := testAdmitter(100, 4, 8)
 	release := mustAdmit(t, a, 50)
 
 	done := make(chan int, 2)
 	for i, cost := range []int64{60, 10} {
 		i, cost := i, cost
 		go func() {
-			rel, err := a.admit(context.Background(), cost)
+			rel, err := a.admit(context.Background(), DefaultTenant, cost)
 			if err != nil {
 				t.Errorf("waiter %d: %v", i, err)
 				return
@@ -60,12 +67,12 @@ func TestAdmitterFIFO(t *testing.T) {
 }
 
 func TestAdmitterQueueFull(t *testing.T) {
-	a := newAdmitter(100, 1, 1)
+	a := testAdmitter(100, 1, 1)
 	release := mustAdmit(t, a, 100)
 
 	queued := make(chan struct{})
 	go func() {
-		rel, err := a.admit(context.Background(), 1)
+		rel, err := a.admit(context.Background(), DefaultTenant, 1)
 		if err != nil {
 			t.Errorf("queued waiter: %v", err)
 			return
@@ -80,7 +87,7 @@ func TestAdmitterQueueFull(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 
-	if _, err := a.admit(context.Background(), 1); !errors.Is(err, ErrQueueFull) {
+	if _, err := a.admit(context.Background(), DefaultTenant, 1); !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow admit: got %v, want ErrQueueFull", err)
 	}
 	if _, _, _, rejected, _ := a.snapshot(); rejected != 1 {
@@ -92,13 +99,13 @@ func TestAdmitterQueueFull(t *testing.T) {
 }
 
 func TestAdmitterCancelWhileQueued(t *testing.T) {
-	a := newAdmitter(100, 1, 8)
+	a := testAdmitter(100, 1, 8)
 	release := mustAdmit(t, a, 100)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
 	go func() {
-		_, err := a.admit(ctx, 1)
+		_, err := a.admit(ctx, DefaultTenant, 1)
 		errc <- err
 	}()
 	for {
@@ -126,7 +133,7 @@ func TestAdmitterCancelWhileQueued(t *testing.T) {
 // TestAdmitterEscapeValve: a query costing more than the whole budget still
 // runs once the system is idle, instead of queueing forever.
 func TestAdmitterEscapeValve(t *testing.T) {
-	a := newAdmitter(100, 2, 8)
+	a := testAdmitter(100, 2, 8)
 	release := mustAdmit(t, a, 500)
 	if running, _, _, _, _ := a.snapshot(); running != 1 {
 		t.Fatalf("over-budget query not admitted on idle admitter")
@@ -134,7 +141,7 @@ func TestAdmitterEscapeValve(t *testing.T) {
 	// While it runs, a second over-budget query must wait.
 	done := make(chan struct{})
 	go func() {
-		rel, err := a.admit(context.Background(), 500)
+		rel, err := a.admit(context.Background(), DefaultTenant, 500)
 		if err != nil {
 			t.Errorf("second over-budget query: %v", err)
 			return
@@ -156,13 +163,13 @@ func TestAdmitterEscapeValve(t *testing.T) {
 }
 
 func TestAdmitterConcurrencyCap(t *testing.T) {
-	a := newAdmitter(1000, 2, 8)
+	a := testAdmitter(1000, 2, 8)
 	r1 := mustAdmit(t, a, 1)
 	r2 := mustAdmit(t, a, 1)
 
 	granted := make(chan struct{})
 	go func() {
-		rel, err := a.admit(context.Background(), 1)
+		rel, err := a.admit(context.Background(), DefaultTenant, 1)
 		if err != nil {
 			t.Errorf("third query: %v", err)
 			return
@@ -178,4 +185,153 @@ func TestAdmitterConcurrencyCap(t *testing.T) {
 	r1()
 	<-granted
 	r2()
+}
+
+// TestAdmitterCancelHeadWakesQueue is the head-of-line wake regression: a
+// cheap waiter queued behind an expensive cancelled head must be admitted
+// the moment the head leaves, not at the next release.
+func TestAdmitterCancelHeadWakesQueue(t *testing.T) {
+	a := testAdmitter(100, 4, 8)
+	release := mustAdmit(t, a, 50)
+	defer release()
+
+	headCtx, cancelHead := context.WithCancel(context.Background())
+	headErr := make(chan error, 1)
+	go func() {
+		_, err := a.admit(headCtx, DefaultTenant, 60) // 50+60 > 100: blocks
+		headErr <- err
+	}()
+	for {
+		if _, n, _, _, _ := a.snapshot(); n == 1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	granted := make(chan func(), 1)
+	go func() {
+		rel, err := a.admit(context.Background(), DefaultTenant, 10) // fits, but behind the head
+		if err != nil {
+			t.Errorf("cheap waiter: %v", err)
+			return
+		}
+		granted <- rel
+	}()
+	for {
+		if _, n, _, _, _ := a.snapshot(); n == 2 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	cancelHead()
+	if err := <-headErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled head: got %v, want context.Canceled", err)
+	}
+	select {
+	case rel := <-granted:
+		rel()
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter behind cancelled head not woken until next release")
+	}
+}
+
+// TestAdmitterFairShareInterleaves: under equal weights, a tenant arriving
+// behind another tenant's backlog is served interleaved with it, not after
+// the whole backlog drains (the global-FIFO failure mode).
+func TestAdmitterFairShareInterleaves(t *testing.T) {
+	a := testAdmitter(100, 1, 16)
+	release := mustAdmit(t, a, 10)
+
+	order := make(chan string, 8)
+	enqueue := func(tenant string, n int) {
+		_, before, _, _, _ := a.snapshot()
+		go func() {
+			rel, err := a.admit(context.Background(), tenant, 10)
+			if err != nil {
+				t.Errorf("%s: %v", tenant, err)
+				return
+			}
+			order <- tenant
+			rel()
+		}()
+		for {
+			if _, queued, _, _, _ := a.snapshot(); queued == before+n {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		_ = before
+	}
+	for i := 0; i < 4; i++ {
+		enqueue("bulk", 1)
+	}
+	enqueue("dash", 1)
+
+	release()
+	first, second := <-order, <-order
+	if first != "bulk" || second != "dash" {
+		t.Fatalf("first grants = %s, %s; want the dash tenant interleaved after one bulk grant", first, second)
+	}
+	for i := 0; i < 3; i++ {
+		if got := <-order; got != "bulk" {
+			t.Fatalf("grant %d = %s, want bulk backlog", i+3, got)
+		}
+	}
+}
+
+// TestAdmitterAgingUnstarves: a heavy query in a low-weight tenant facing a
+// stream of cheap high-weight queries is admitted once it has watched
+// agingPasses admissions go by, instead of losing every deficit race.
+func TestAdmitterAgingUnstarves(t *testing.T) {
+	a := newAdmitter(admitConfig{
+		budget:      1000,
+		maxConc:     1,
+		depth:       16,
+		weights:     map[string]int64{"light": 10, "heavy": 1},
+		agingPasses: 2,
+	}, nil)
+	release := mustAdmit(t, a, 10)
+
+	order := make(chan string, 8)
+	enqueue := func(tenant string, cost int64) {
+		_, before, _, _, _ := a.snapshot()
+		go func() {
+			rel, err := a.admit(context.Background(), tenant, cost)
+			if err != nil {
+				t.Errorf("%s: %v", tenant, err)
+				return
+			}
+			order <- tenant
+			rel()
+		}()
+		for {
+			if _, queued, _, _, _ := a.snapshot(); queued == before+1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	enqueue("heavy", 500)
+	for i := 0; i < 5; i++ {
+		enqueue("light", 10)
+	}
+
+	release()
+	got := make([]string, 6)
+	for i := range got {
+		got[i] = <-order
+	}
+	pos := -1
+	for i, tenant := range got {
+		if tenant == "heavy" {
+			pos = i
+			break
+		}
+	}
+	// Two light admissions age the heavy head past agingPasses=2; the third
+	// grant must be the heavy query.
+	if pos != 2 {
+		t.Fatalf("heavy query admitted at position %d of %v, want 2 (after agingPasses light grants)", pos, got)
+	}
 }

@@ -81,6 +81,10 @@ func (d *DebugServer) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		http.Error(w, "no metrics registry attached", http.StatusServiceUnavailable)
 		return
 	}
+	// Refresh the live serve gauges (queue depth, in-flight, reserved
+	// bytes, cache residency) so the scrape reflects this instant;
+	// re-setting a gauge to its current value keeps scrapes idempotent.
+	d.session.syncGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	m.WriteProm(w)
 }

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -99,6 +100,51 @@ func TestDebugMetricsEndpoint(t *testing.T) {
 	again, _ := get(t, srv.URL+"/metrics")
 	if !bytes.Equal([]byte(body), []byte(again)) {
 		t.Error("two idle scrapes differ byte-for-byte")
+	}
+}
+
+// TestDebugMetricsLiveGauges checks the serving layer's live state reaches
+// /metrics: admission levels (idle at scrape time), table-cache residency,
+// and the result cache's entry count and bytes for the two cached queries.
+func TestDebugMetricsLiveGauges(t *testing.T) {
+	_, srv := debugEnv(t, "Q1.1", "Q2.1")
+	body, _ := get(t, srv.URL+"/metrics")
+
+	gauge := func(name string) int64 {
+		t.Helper()
+		re := regexp.MustCompile(`(?m)^` + name + ` (-?\d+)$`)
+		m := re.FindStringSubmatch(body)
+		if m == nil {
+			t.Fatalf("exposition missing gauge %s:\n%s", name, body)
+		}
+		v, err := strconv.ParseInt(m[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	// Nothing is queued or running at scrape time.
+	for _, name := range []string{
+		"serve_admission_queue_depth",
+		"serve_admission_in_flight",
+		"serve_admission_reserved_bytes",
+	} {
+		if v := gauge(name); v != 0 {
+			t.Errorf("%s = %d on an idle session, want 0", name, v)
+		}
+	}
+	if v := gauge("serve_cache_resident_bytes"); v <= 0 {
+		t.Errorf("serve_cache_resident_bytes = %d with warm dimension tables", v)
+	}
+	if v := gauge("serve_result_cache_entries"); v != 2 {
+		t.Errorf("serve_result_cache_entries = %d after 2 distinct queries, want 2", v)
+	}
+	if v := gauge("serve_result_cache_resident_bytes"); v <= 0 {
+		t.Errorf("serve_result_cache_resident_bytes = %d with 2 cached results", v)
+	}
+	if v := gauge("serve_result_cache_hits"); v != 0 {
+		t.Errorf("serve_result_cache_hits = %d with no repeated query, want 0", v)
 	}
 }
 

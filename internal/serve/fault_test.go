@@ -76,9 +76,10 @@ func TestServeSurvivesNodeDeathBetweenQueries(t *testing.T) {
 func TestServeAdmissionNoLivelockWhenCacheFull(t *testing.T) {
 	e := newEnv(t, 3, 0.002, mr.Options{})
 	s := e.session(serve.Options{
-		MaxConcurrent:   4,
-		CacheBudget:     1, // no table ever fits
-		AdmissionBudget: 1, // no query is ever affordable
+		MaxConcurrent:     4,
+		CacheBudget:       1,  // no table ever fits
+		AdmissionBudget:   1,  // no query is ever affordable
+		ResultCacheBudget: -1, // repeats must reach admission, not the result cache
 	})
 	defer s.Close()
 

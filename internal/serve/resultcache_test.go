@@ -1,0 +1,208 @@
+package serve_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/core"
+	"clydesdale/internal/expr"
+	"clydesdale/internal/mr"
+	"clydesdale/internal/obs"
+	"clydesdale/internal/refexec"
+	"clydesdale/internal/results"
+	"clydesdale/internal/serve"
+	"clydesdale/internal/ssb"
+)
+
+// TestServeResultCacheSingleflight: concurrent identical queries coalesce
+// into ONE MapReduce job — the first becomes the builder, the rest block on
+// the in-flight entry — and every caller gets the reference answer.
+func TestServeResultCacheSingleflight(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := newEnv(t, 2, 0.002, mr.Options{Metrics: reg})
+	s := e.session(serve.Options{MaxConcurrent: 8})
+	defer s.Close()
+
+	q, err := ssb.QueryByName("Q2.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	var wg sync.WaitGroup
+	sets := make([]*results.ResultSet, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sets[i], _, errs[i] = s.Query(context.Background(), q)
+		}(i)
+	}
+	wg.Wait()
+
+	want, err := refexec.Run(e.gen, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if ok, why := results.Equivalent(sets[i], want, 1e-9); !ok {
+			t.Errorf("caller %d: %s", i, why)
+		}
+	}
+	if jobs := reg.Counter("mr.jobs_submitted").Value(); jobs != 1 {
+		t.Errorf("%d concurrent identical queries submitted %d MR jobs, want 1", callers, jobs)
+	}
+	st := s.Stats()
+	if st.ResultMisses != 1 || st.ResultHits != callers-1 {
+		t.Errorf("misses=%d hits=%d, want 1 miss and %d piggybacked hits",
+			st.ResultMisses, st.ResultHits, callers-1)
+	}
+}
+
+// narrowedQ41 clones Q4.1 with an extra date-dimension predicate reading
+// only a group-by column (d_year) — the shape the subsumption rule serves by
+// post-filtering the cached broad result's group rows.
+func narrowedQ41(t *testing.T) *core.Query {
+	t.Helper()
+	broad, err := ssb.QueryByName("Q4.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := *broad
+	q.Dims = append([]core.DimSpec(nil), broad.Dims...)
+	d := &q.Dims[0] // date dimension: no predicate in broad Q4.1
+	if d.Table != "date" || d.Pred != nil {
+		t.Fatalf("Q4.1 dim 0 = %s pred %v; the narrowing below needs updating", d.Table, d.Pred)
+	}
+	d.Pred = expr.Eq(expr.Col("d_year"), expr.ConstInt(1997))
+	return &q
+}
+
+// TestServeResultCacheSubsumption: after the broad Q4.1 is cached, the
+// strictly-narrower d_year=1997 variant is answered from the cached rows —
+// no MapReduce job — and still matches the reference executor run on the
+// narrow query itself.
+func TestServeResultCacheSubsumption(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := newEnv(t, 2, 0.002, mr.Options{Metrics: reg})
+	s := e.session(serve.Options{})
+	defer s.Close()
+
+	broad, err := ssb.QueryByName("Q4.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query(context.Background(), broad); err != nil {
+		t.Fatal(err)
+	}
+	coldJobs := reg.Counter("mr.jobs_submitted").Value()
+	if coldJobs == 0 {
+		t.Fatal("cold Q4.1 submitted no MR jobs")
+	}
+
+	narrow := narrowedQ41(t)
+	rs, _, err := s.Query(context.Background(), narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs := reg.Counter("mr.jobs_submitted").Value(); jobs != coldJobs {
+		t.Errorf("narrow query submitted %d MR jobs; subsumption must serve from cache", jobs-coldJobs)
+	}
+	if st := s.Stats(); st.ResultSubsumedHits != 1 {
+		t.Errorf("subsumption hits = %d, want 1", st.ResultSubsumedHits)
+	}
+	want, err := refexec.Run(e.gen, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, why := results.Equivalent(rs, want, 1e-9); !ok {
+		t.Errorf("subsumed answer vs reference: %s", why)
+	}
+}
+
+// TestServeResultCacheRollInInvalidates: rolling new fact partitions in and
+// calling InvalidateTable makes the next identical query recompute against
+// the grown table instead of serving the stale cached sum. Duplicating the
+// whole fact table makes the staleness arithmetic exact: the fresh Q1.1
+// revenue must be exactly twice the cached one.
+func TestServeResultCacheRollInInvalidates(t *testing.T) {
+	reg := obs.NewRegistry()
+	e := newEnv(t, 2, 0.002, mr.Options{Metrics: reg})
+	s := e.session(serve.Options{})
+	defer s.Close()
+
+	q, err := ssb.QueryByName("Q1.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before.Rows) != 1 {
+		t.Fatalf("Q1.1 returned %d rows, want 1", len(before.Rows))
+	}
+	jobsBefore := reg.Counter("mr.jobs_submitted").Value()
+
+	// Roll-in: append a full copy of the fact data (no rewrite of existing
+	// partitions), then drop cached results that read lineorder.
+	w, err := colstore.AppendPartitions(e.fs, e.lay.FactCIF, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.gen.Each(ssb.TableLineorder, w.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.InvalidateTable(ssb.TableLineorder); n == 0 {
+		t.Fatal("InvalidateTable(lineorder) dropped no cached results")
+	}
+
+	after, _, err := s.Query(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs := reg.Counter("mr.jobs_submitted").Value(); jobs == jobsBefore {
+		t.Error("post-roll-in query served from cache; invalidation must force recompute")
+	}
+	got := after.Rows[0].Get(q.AggName).Float64()
+	want := 2 * before.Rows[0].Get(q.AggName).Float64()
+	if got != want {
+		t.Errorf("post-roll-in revenue = %v, want exactly doubled %v", got, want)
+	}
+	if st := s.Stats(); st.ResultInvalidations == 0 {
+		t.Error("invalidation counter did not move")
+	}
+}
+
+// TestServeResultCacheCloseReleases: cached result bytes are reserved like
+// table bytes and must be zero after Close.
+func TestServeResultCacheCloseReleases(t *testing.T) {
+	e := newEnv(t, 2, 0.002, mr.Options{})
+	s := e.session(serve.Options{})
+
+	q, err := ssb.QueryByName("Q3.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ResultBytes == 0 {
+		t.Fatal("no resident result bytes after a cacheable query")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.ResultBytes != 0 {
+		t.Errorf("%d result bytes still resident after Close", st.ResultBytes)
+	}
+	e.checkNoLeak(t)
+}

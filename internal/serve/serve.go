@@ -24,6 +24,7 @@ import (
 	"clydesdale/internal/core"
 	"clydesdale/internal/mr"
 	"clydesdale/internal/obs"
+	"clydesdale/internal/plan"
 	"clydesdale/internal/records"
 	"clydesdale/internal/results"
 )
@@ -55,6 +56,17 @@ type Options struct {
 	// 0 uses 16; negative disables per-query profiling entirely (no trace
 	// collection, no assembly cost).
 	ProfileDepth int
+	// TenantWeights maps tenant identity (see WithTenant) to its fair-share
+	// weight; missing tenants weigh 1. A tenant with weight 3 is admitted
+	// roughly 3× the bytes of a weight-1 tenant under contention.
+	TenantWeights map[string]int64
+	// AgingPasses bounds queue starvation: a queued query that has watched
+	// this many other admissions go by has its fair-share deficit gate
+	// waived. 0 uses 64; negative disables aging.
+	AgingPasses int
+	// ResultCacheBudget bounds driver-resident cached result bytes for the
+	// fingerprint result cache; 0 uses 64 MiB, negative disables the cache.
+	ResultCacheBudget int64
 }
 
 // Stats is a point-in-time snapshot of the session's serving counters.
@@ -66,17 +78,22 @@ type Stats struct {
 	Admitted, Rejected int64
 	Running, Queued    int
 	PeakConcurrent     int
+	// Result cache.
+	ResultHits, ResultSubsumedHits, ResultMisses int64
+	ResultEvictions, ResultInvalidations         int64
+	ResultBytes                                  int64
 }
 
 // Session serves queries over one cluster, sharing dimension hash tables
 // across them. Safe for concurrent use.
 type Session struct {
-	mrEng *mr.Engine
-	cat   *core.Catalog
-	eng   *core.Engine
-	cache *tableCache
-	adm   *admitter
-	opts  Options
+	mrEng  *mr.Engine
+	cat    *core.Catalog
+	eng    *core.Engine
+	cache  *tableCache
+	adm    *admitter
+	rcache *resultCache // nil when Options.ResultCacheBudget < 0
+	opts   Options
 
 	// collector buckets the session's spans by trace; recorder keeps the
 	// recently assembled profiles. Both nil when profiling is disabled.
@@ -109,15 +126,36 @@ func New(mrEngine *mr.Engine, cat *core.Catalog, opts Options) *Session {
 	if opts.AdmissionBudget <= 0 {
 		opts.AdmissionBudget = opts.CacheBudget
 	}
+	// The serving layer's accounting (SLO histograms, live gauges, /metrics)
+	// needs a registry; give the engine one if its owner didn't.
+	if mrEngine.Metrics() == nil {
+		mrEngine.SetMetrics(obs.NewRegistry())
+	}
+	reg := mrEngine.Metrics()
 	cache := newTableCache(opts.CacheBudget)
 	engOpts := opts.Engine
 	engOpts.Tables = cache
+	var rcache *resultCache
+	if opts.ResultCacheBudget >= 0 {
+		budget := opts.ResultCacheBudget
+		if budget == 0 {
+			budget = 64 << 20
+		}
+		rcache = newResultCache(budget, reg)
+	}
 	s := &Session{
-		mrEng:     mrEngine,
-		cat:       cat,
-		eng:       core.New(mrEngine, cat, engOpts),
-		cache:     cache,
-		adm:       newAdmitter(opts.AdmissionBudget, opts.MaxConcurrent, opts.QueueDepth),
+		mrEng:  mrEngine,
+		cat:    cat,
+		eng:    core.New(mrEngine, cat, engOpts),
+		cache:  cache,
+		rcache: rcache,
+		adm: newAdmitter(admitConfig{
+			budget:      opts.AdmissionBudget,
+			maxConc:     opts.MaxConcurrent,
+			depth:       opts.QueueDepth,
+			weights:     opts.TenantWeights,
+			agingPasses: opts.AgingPasses,
+		}, reg),
 		opts:      opts,
 		estimates: make(map[string]int64),
 	}
@@ -127,11 +165,6 @@ func New(mrEngine *mr.Engine, cat *core.Catalog, opts Options) *Session {
 	s.unwatch = mrEngine.Cluster().OnDeath(func(n *cluster.Node) {
 		cache.dropNode(n.ID())
 	})
-	// The serving layer's accounting (SLO histograms, /metrics) needs a
-	// registry; give the engine one if its owner didn't.
-	if mrEngine.Metrics() == nil {
-		mrEngine.SetMetrics(obs.NewRegistry())
-	}
 	if opts.ProfileDepth >= 0 {
 		// Profiling needs the span stream: attach a per-trace collector,
 		// creating the tracer when the owner didn't supply one.
@@ -184,12 +217,13 @@ func (s *Session) slo(class, outcome string, latency time.Duration) {
 // Engine exposes the session's core engine (e.g. for catalog access).
 func (s *Session) Engine() *core.Engine { return s.eng }
 
-// Query runs one star query through admission control and the shared table
-// cache. It blocks while queued; ctx cancels both the wait and, once
-// running, the query itself. Each call is one trace: the session emits the
-// root "query" span, every job/task/read span the query causes parents into
-// it via the context, and the assembled profile lands in the flight
-// recorder.
+// Query runs one star query through the result cache, admission control and
+// the shared table cache. It blocks while queued; ctx cancels both the wait
+// and, once running, the query itself. ctx also carries the tenant identity
+// (WithTenant) the admission controller fair-shares on. Each call is one
+// trace: the session emits the root "query" span, every job/task/read span
+// the query causes parents into it via the context, and the assembled
+// profile lands in the flight recorder.
 func (s *Session) Query(ctx context.Context, q *core.Query) (*results.ResultSet, *core.Report, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -204,12 +238,52 @@ func (s *Session) Query(ctx context.Context, q *core.Query) (*results.ResultSet,
 	defer s.wg.Done()
 
 	class := QueryClass(q.Name)
+	tenant := TenantFrom(ctx)
 	qstart := time.Now()
 	var sc obs.SpanContext
 	if s.mrEng.Tracer().Enabled() {
 		sc = obs.NewTrace()
 		ctx = obs.ContextWith(ctx, sc)
 	}
+
+	// Result cache first: a hit (exact or by subsumption) answers without
+	// touching admission or MapReduce at all. A miss leaves us owning the
+	// singleflight placeholder — concurrent equal queries block on it, so
+	// the publish below (or the abort on any failure path) must always run.
+	var cachePublish func(*results.ResultSet)
+	if s.rcache != nil {
+		if key, fp, ok := s.cacheKey(q); ok {
+			crs, kind, publish, lerr := s.rcache.lookup(ctx, key, fp)
+			if lerr != nil {
+				s.slo(class, "error", 0)
+				s.finishTrace(sc, q, qstart, lerr, nil)
+				return nil, nil, fmt.Errorf("serve: %s: %w", q.Name, lerr)
+			}
+			if kind != "miss" {
+				if err := crs.Sort(resultOrders(q)); err != nil {
+					s.slo(class, "error", 0)
+					s.finishTrace(sc, q, qstart, err, nil)
+					return nil, nil, fmt.Errorf("serve: %s: %w", q.Name, err)
+				}
+				rep := &core.Report{
+					Query: q.Name,
+					// No job ran; synthesize empty counters so report
+					// consumers need no cache-hit special case.
+					Job:   &mr.JobResult{Counters: mr.NewCounters()},
+					Total: time.Since(qstart),
+				}
+				s.slo(class, "ok", time.Since(qstart))
+				s.finishTrace(sc, q, qstart, nil, rep)
+				return crs, rep, nil
+			}
+			cachePublish = publish
+		}
+	}
+	defer func() {
+		if cachePublish != nil {
+			cachePublish(nil) // not cached: unblock singleflight waiters
+		}
+	}()
 
 	cost, err := s.admissionCost(q)
 	if err != nil {
@@ -219,7 +293,7 @@ func (s *Session) Query(ctx context.Context, q *core.Query) (*results.ResultSet,
 	}
 
 	waitStart := time.Now()
-	release, err := s.adm.admit(ctx, cost)
+	release, err := s.adm.admit(ctx, tenant, cost)
 	if err != nil {
 		outcome := "error"
 		if errors.Is(err, ErrQueueFull) {
@@ -234,12 +308,67 @@ func (s *Session) Query(ctx context.Context, q *core.Query) (*results.ResultSet,
 
 	rs, rep, err := s.eng.Run(ctx, q)
 	if err == nil {
+		if cachePublish != nil {
+			cachePublish(rs)
+			cachePublish = nil
+		}
 		s.slo(class, "ok", time.Since(qstart))
 	} else {
 		s.slo(class, "error", 0)
 	}
 	s.finishTrace(sc, q, qstart, err, rep)
 	return rs, rep, err
+}
+
+// cacheKey canonicalizes the query into its result-cache identity; ok is
+// false for queries the plan layer cannot normalize (those just bypass the
+// cache rather than fail).
+func (s *Session) cacheKey(q *core.Query) (*plan.CacheKey, string, bool) {
+	lg, err := core.LogicalOf(q, s.cat)
+	if err != nil {
+		return nil, "", false
+	}
+	sh, err := plan.Decompose(lg)
+	if err != nil {
+		return nil, "", false
+	}
+	k := plan.KeyOf(sh)
+	return &k, k.Fingerprint(), true
+}
+
+// resultOrders is the query's effective ORDER BY in the result package's
+// vocabulary (cached rows are re-sorted per query; ordering is not part of
+// the cache identity).
+func resultOrders(q *core.Query) []results.Order {
+	ords := q.Orders()
+	out := make([]results.Order, len(ords))
+	for i, o := range ords {
+		out[i] = results.Order{Col: o.Col, Desc: o.Desc}
+	}
+	return out
+}
+
+// InvalidateTable drops every cached result whose plan read the named table
+// (fact or dimension); call it after rolling new data into the table so
+// stale sums never serve. Returns the number of results dropped.
+func (s *Session) InvalidateTable(table string) int {
+	if s.rcache == nil {
+		return 0
+	}
+	return s.rcache.invalidateTable(table)
+}
+
+// syncGauges refreshes scrape-time gauges for sources without inline update
+// hooks (the table cache) and republishes the admission and result-cache
+// levels so every scrape sees the full gauge set.
+func (s *Session) syncGauges() {
+	if m := s.Metrics(); m != nil {
+		m.Gauge("serve.cache.resident_bytes").Set(s.cache.residentBytes())
+	}
+	s.adm.syncGauges()
+	if s.rcache != nil {
+		s.rcache.updateGauges()
+	}
 }
 
 // finishTrace emits the root query span, claims the trace's spans from the
@@ -375,7 +504,7 @@ func (s *Session) aliveIDs() []string {
 // Stats snapshots the serving counters.
 func (s *Session) Stats() Stats {
 	running, queued, admitted, rejected, peak := s.adm.snapshot()
-	return Stats{
+	st := Stats{
 		Hits:           s.cache.hits.Load(),
 		Misses:         s.cache.misses.Load(),
 		Builds:         s.cache.builds.Load(),
@@ -387,11 +516,20 @@ func (s *Session) Stats() Stats {
 		Queued:         queued,
 		PeakConcurrent: peak,
 	}
+	if s.rcache != nil {
+		st.ResultHits = s.rcache.hits.Load()
+		st.ResultSubsumedHits = s.rcache.subsumedHits.Load()
+		st.ResultMisses = s.rcache.misses.Load()
+		st.ResultEvictions = s.rcache.evictions.Load()
+		st.ResultInvalidations = s.rcache.invalidations.Load()
+		st.ResultBytes = s.rcache.residentBytes()
+	}
+	return st
 }
 
 // Close drains in-flight queries, evicts every cached table (returning its
-// node memory reservation), and fails all future Query calls with
-// ErrClosed. Safe to call more than once.
+// node memory reservation), drops every cached result, and fails all future
+// Query calls with ErrClosed. Safe to call more than once.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -406,5 +544,8 @@ func (s *Session) Close() error {
 	}
 	cl := s.mrEng.Cluster()
 	s.cache.evictAll(cl.Node)
+	if s.rcache != nil {
+		s.rcache.evictAll()
+	}
 	return nil
 }

@@ -147,9 +147,10 @@ func TestServeConcurrentQueries(t *testing.T) {
 func TestServeAdmissionSerializes(t *testing.T) {
 	e := newEnv(t, 2, 0.002, mr.Options{})
 	s := e.session(serve.Options{
-		MaxConcurrent:   4,
-		AdmissionBudget: 1000,
-		TaskMemory:      600,
+		MaxConcurrent:     4,
+		AdmissionBudget:   1000,
+		TaskMemory:        600,
+		ResultCacheBudget: -1, // repeated runs must exercise admission
 	})
 	defer s.Close()
 
@@ -257,7 +258,9 @@ func TestServeCancellationReleasesMemory(t *testing.T) {
 func TestServeCacheHitSkipsHashBuild(t *testing.T) {
 	sink := obs.NewMemorySink()
 	e := newEnv(t, 2, 0.002, mr.Options{Tracer: obs.NewTracer(sink)})
-	s := e.session(serve.Options{})
+	// Result cache off: the warm run must re-execute and probe the TABLE
+	// cache, not answer from cached rows.
+	s := e.session(serve.Options{ResultCacheBudget: -1})
 	defer s.Close()
 
 	q, err := ssb.QueryByName("Q2.3")

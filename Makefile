@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race race-concurrency chaos plan-golden bench bench-smoke profile-smoke serve-bench serve-smoke clean
+.PHONY: check fmt vet build test race race-concurrency chaos plan-golden bench bench-smoke profile-smoke serve-bench serve-smoke ingest-smoke clean
 
-check: fmt vet build race-concurrency chaos plan-golden
+check: fmt vet build race-concurrency chaos plan-golden ingest-smoke
 
 # Fail if any file is not gofmt-clean, listing the offenders.
 fmt:
@@ -85,6 +85,15 @@ serve-bench:
 # result-cache pass must submit zero MapReduce jobs (counter-verified).
 serve-smoke:
 	$(GO) run ./cmd/loadgen -duration 5s -rate 40 -fact-rows 60000 -check -out ''
+
+# CI gate for live ingestion (see DESIGN.md "Live ingestion"): batched fact
+# roll-ins racing queries, the background compactor, a dimension roll-in and
+# date retention; after every step a query must answer exactly like the
+# in-memory reference over the rows acknowledged so far, and the final table
+# must hold every acknowledged row. The run is its own check — any torn
+# snapshot, stale cache or lost row exits non-zero.
+ingest-smoke:
+	$(GO) run ./cmd/loadgen -ingest -out ''
 
 clean:
 	$(GO) clean ./...

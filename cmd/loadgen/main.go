@@ -39,8 +39,14 @@ func main() {
 		seed       = flag.Uint64("seed", 0, "workload seed (default 42)")
 		out        = flag.String("out", "BENCH_serve.json", "result JSON path ('-' for stdout, '' to skip)")
 		check      = flag.Bool("check", false, "smoke-check mode: fail unless the run completed queries and shed less than everything")
+		ingest     = flag.Bool("ingest", false, "run the live-ingestion smoke instead of the serving benchmark")
 	)
 	flag.Parse()
+
+	if *ingest {
+		runIngestSmoke(*factRows, *workers, *seed, *out)
+		return
+	}
 
 	// With -out -, stdout carries the result JSON; keep the live progress
 	// table off it so the stream stays machine-parseable.
@@ -125,6 +131,50 @@ func smokeCheck(res *bench.ServeBenchResult) error {
 			res.Cache.Equivalent, res.Cache.SubsumptionHits)
 	}
 	return nil
+}
+
+// runIngestSmoke drives the live-ingestion correctness smoke: batched fact
+// roll-ins racing queries, the background compactor, a dimension roll-in,
+// and date retention, each step verified against the in-memory reference.
+// The run itself is the check — any divergence returns an error — so there
+// is no separate -check gate.
+func runIngestSmoke(factRows int64, workers int, seed uint64, out string) {
+	progress := os.Stdout
+	if out == "-" {
+		progress = os.Stderr
+	}
+	res, err := bench.RunIngestSmoke(bench.IngestSmokeConfig{
+		FactRows: factRows,
+		Workers:  workers,
+		Seed:     seed,
+	}, progress)
+	if err != nil {
+		fatal(err)
+	}
+	switch out {
+	case "":
+	case "-":
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		if out == "BENCH_serve.json" {
+			out = "BENCH_ingest.json" // don't clobber the serving benchmark's default
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.WriteJSON(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", out)
+	}
+	fmt.Fprintln(progress, "ingest smoke passed")
 }
 
 func fatal(err error) {

@@ -1,0 +1,167 @@
+package chaos_test
+
+import (
+	"testing"
+
+	"clydesdale/internal/chaos"
+	"clydesdale/internal/colstore"
+	"clydesdale/internal/records"
+	"clydesdale/internal/ssb"
+)
+
+// factFingerprint scans the visible fact table and returns (rows, sum of
+// lo_orderkey) — a cheap multiset fingerprint the ingestion chaos tests
+// compare across fault recovery.
+func factFingerprint(t *testing.T, e *env) (int64, int64) {
+	t.Helper()
+	var rows, sum int64
+	oki := ssb.LineorderSchema.Index("lo_orderkey")
+	if err := colstore.ScanCIFTable(e.fs, e.lay.Catalog().FactDir, "", func(r records.Record) error {
+		rows++
+		sum += r.At(oki).Int64()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return rows, sum
+}
+
+// TestChaosKillMidRollIn kills a datanode while a roll-in batch is being
+// staged. The two-phase protocol's contract under test: an acknowledged
+// (nil-error) roll-in is complete — every row visible — and a failed one is
+// invisible, leaving the exact pre-batch table with no uncommitted debris a
+// later reader could trip over. Either way, a retry lands the batch.
+func TestChaosKillMidRollIn(t *testing.T) {
+	e := newEnv(t, 4, 0.002)
+	reg := colstore.NewSnapshots(e.fs)
+	preRows, preSum := factFingerprint(t, e)
+
+	gen := e.gen
+	base := gen.LineorderRows()
+	const batch = 1000
+	batchSum := int64(0)
+	oki := ssb.LineorderSchema.Index("lo_orderkey")
+	for i := base; i < base+batch; i++ {
+		batchSum += gen.Lineorder(i).At(oki).Int64()
+	}
+
+	// The node dies partway through staging: writes already placed on it
+	// are mid-pipeline, the rest of the batch must place elsewhere (or the
+	// whole roll-in must fail cleanly).
+	victim := e.cluster.Node("node-1")
+	emitted := 0
+	_, _, err := reg.RollIn(e.lay.Catalog().FactDir, 200, func(emit func(records.Record) error) error {
+		for i := base; i < base+batch; i++ {
+			if emitted == batch*2/5 {
+				victim.Kill()
+			}
+			if err := emit(gen.Lineorder(i)); err != nil {
+				return err
+			}
+			emitted++
+		}
+		return nil
+	})
+	if victim.IsAlive() {
+		t.Fatal("victim survived its own kill")
+	}
+
+	rows, sum := factFingerprint(t, e)
+	if err != nil {
+		// Failed roll-in: invisible, and no debris left behind.
+		if rows != preRows || sum != preSum {
+			t.Fatalf("failed roll-in changed the table: %d rows (was %d)", rows, preRows)
+		}
+		if swept, _ := colstore.SweepUncommitted(e.fs, e.lay.Catalog().FactDir); len(swept) != 0 {
+			t.Fatalf("failed roll-in left uncommitted debris: %v", swept)
+		}
+		// Retry on the degraded cluster must succeed (3 nodes still alive).
+		if _, _, err := reg.RollIn(e.lay.Catalog().FactDir, 200, func(emit func(records.Record) error) error {
+			for i := base; i < base+batch; i++ {
+				if err := emit(gen.Lineorder(i)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			t.Fatalf("retry after clean failure: %v", err)
+		}
+		rows, sum = factFingerprint(t, e)
+	}
+	// Acknowledged state: the full batch, exactly once.
+	if rows != preRows+batch || sum != preSum+batchSum {
+		t.Fatalf("acknowledged roll-in lost rows: %d rows / sum %d, want %d / %d",
+			rows, sum, preRows+batch, preSum+batchSum)
+	}
+	if swept, _ := colstore.SweepUncommitted(e.fs, e.lay.Catalog().FactDir); len(swept) != 0 {
+		t.Fatalf("uncommitted partitions visible on disk after ack: %v", swept)
+	}
+}
+
+// TestChaosKillMidCompaction runs a compaction pass under a read-triggered
+// node kill: the gather phase serves enough block reads to fire the plan's
+// trigger mid-compaction. Reads must fail over to surviving replicas, the
+// swap must stay atomic, and the row multiset must be byte-for-byte
+// preserved — compaction can lose work to a fault, never data.
+func TestChaosKillMidCompaction(t *testing.T) {
+	e := newEnv(t, 4, 0.002)
+	preRows, preSum := factFingerprint(t, e)
+
+	ctl := chaos.New(e.cluster, e.fs, chaos.Plan{
+		Name: "kill-mid-compaction",
+		Seed: 5,
+		// The gather scan reads every fact partition; node-1 dies after
+		// serving a handful of those block reads.
+		Kills: []chaos.NodeKill{{Node: "node-1", AfterBlockReads: 10}},
+	}, e.reg)
+	if err := ctl.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Stop()
+
+	// Every loaded partition holds 1000 rows, so MinRows 2000 makes the
+	// whole table "small": the pass gathers everything (lots of reads — the
+	// kill fires mid-gather) and rewrites it re-clustered.
+	reg := colstore.NewSnapshots(e.fs)
+	res, err := colstore.Compact(reg, e.lay.Catalog().FactDir, colstore.CompactOptions{
+		MinRows:    2000,
+		TargetRows: 4000,
+		ClusterBy:  "lo_orderdate",
+	})
+	rows, sum := factFingerprint(t, e)
+	if err != nil {
+		// A failed pass must leave the pre-compaction table untouched.
+		if rows != preRows || sum != preSum {
+			t.Fatalf("failed compaction changed the table: %d rows (was %d)", rows, preRows)
+		}
+	} else {
+		if res.Rows != preRows {
+			t.Fatalf("compaction rewrote %d rows, table had %d", res.Rows, preRows)
+		}
+		if rows != preRows || sum != preSum {
+			t.Fatalf("compaction lost data: %d rows / sum %d, want %d / %d", rows, sum, preRows, preSum)
+		}
+	}
+	if !e.cluster.Node("node-1").IsAlive() {
+		if got := e.fs.Metrics().Snapshot().Failovers; got == 0 {
+			t.Error("mid-read kill caused no hdfs failovers")
+		}
+	}
+	if swept, _ := colstore.SweepUncommitted(e.fs, e.lay.Catalog().FactDir); len(swept) != 0 {
+		t.Fatalf("compaction left uncommitted partitions visible: %v", swept)
+	}
+
+	// The cluster is degraded but whole; a clean retry must converge.
+	ctl.Stop()
+	if _, err := colstore.Compact(reg, e.lay.Catalog().FactDir, colstore.CompactOptions{
+		MinRows:    2000,
+		TargetRows: 4000,
+		ClusterBy:  "lo_orderdate",
+	}); err != nil {
+		t.Fatalf("compaction retry after faults: %v", err)
+	}
+	rows, sum = factFingerprint(t, e)
+	if rows != preRows || sum != preSum {
+		t.Fatalf("post-retry multiset drifted: %d rows / sum %d, want %d / %d", rows, sum, preRows, preSum)
+	}
+}

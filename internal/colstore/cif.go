@@ -44,6 +44,58 @@ var (
 	cifMagicV2 = []byte{'C', 'C', 'F', '2'}
 )
 
+// Two-phase partition publication. A partition directory is written column
+// file by column file, so a crashed or failed writer leaves a half-written
+// directory behind; without a commit point every later ListPartitions would
+// pick the debris up. The protocol:
+//
+//	phase 1: write <pdir>/<column>.col files and the _stats sidecar;
+//	phase 2: write <pdir>/_committed — one small file, created atomically.
+//
+// ListPartitions returns only committed partitions, so readers never see a
+// partition whose phase 2 did not run. The protocol is announced by a
+// table-level _commitproto sentinel written by NewCIFWriter: tables written
+// before the protocol existed (the v1 fixtures) have no sentinel and every
+// p-* directory stays visible, exactly as before. Appending writers upgrade
+// legacy tables in a crash-safe order — markers into every existing
+// partition first, the sentinel last — so a crash mid-upgrade leaves the
+// table legacy (markers are inert without the sentinel).
+const (
+	// CommitMarkerName is the per-partition commit record; a partition
+	// without it is invisible to ListPartitions on protocol tables.
+	CommitMarkerName = "_committed"
+	// commitProtoName is the table-level sentinel announcing the commit
+	// protocol is in effect for this table.
+	commitProtoName = "_commitproto"
+)
+
+// commitPartition writes a partition's commit marker (phase 2). Idempotent:
+// re-committing a committed partition is a no-op.
+func commitPartition(fs *hdfs.FileSystem, pdir string) error {
+	path := pdir + "/" + CommitMarkerName
+	if fs.Exists(path) {
+		return nil
+	}
+	return fs.WriteFile(path, "", []byte{'c'})
+}
+
+// ensureCommitProtocol upgrades a table to two-phase publication: every
+// existing partition gets its marker first, the sentinel goes last, so a
+// crash anywhere leaves either a legacy table (markers without effect) or a
+// fully upgraded one — never a table whose pre-protocol partitions vanish.
+func ensureCommitProtocol(fs *hdfs.FileSystem, dir string) error {
+	if fs.Exists(dir + "/" + commitProtoName) {
+		return nil
+	}
+	all, _ := scanPartitionDirs(fs, dir)
+	for _, p := range all {
+		if err := commitPartition(fs, p); err != nil {
+			return err
+		}
+	}
+	return fs.WriteFile(dir+"/"+commitProtoName, "", []byte{'v'})
+}
+
 // Scan counters surfaced in job reports. The pruning set is charged by
 // CIFInput.Splits on the driver; the row set by readers on task nodes.
 const (
@@ -81,6 +133,11 @@ type CIFWriter struct {
 	partition     int
 	rows          int64
 	closed        bool
+	// staged suppresses phase 2: flushed partitions stay uncommitted
+	// (invisible to readers) and accumulate in pending until the caller
+	// publishes the whole batch atomically — see StagePartitions.
+	staged  bool
+	pending []string
 }
 
 // NewCIFWriter starts a CIF table at dir, installing the co-locating
@@ -91,6 +148,9 @@ func NewCIFWriter(fs *hdfs.FileSystem, dir string, schema *records.Schema, parti
 	}
 	fs.SetPlacementPolicy(dir+"/", hdfs.ColocatePolicy{})
 	if err := WriteSchema(fs, dir, schema); err != nil {
+		return nil, err
+	}
+	if err := ensureCommitProtocol(fs, dir); err != nil {
 		return nil, err
 	}
 	return &CIFWriter{
@@ -138,6 +198,11 @@ func (w *CIFWriter) flushPartition() error {
 	if err := WritePartitionStats(w.fs, pdir, ps); err != nil {
 		return err
 	}
+	if w.staged {
+		w.pending = append(w.pending, pdir)
+	} else if err := commitPartition(w.fs, pdir); err != nil {
+		return err
+	}
 	w.partition++
 	w.block.Reset()
 	return nil
@@ -157,17 +222,45 @@ func (w *CIFWriter) Close() error {
 // Rows returns the number of rows appended.
 func (w *CIFWriter) Rows() int64 { return w.rows }
 
+// Pending returns the partition directories a staged writer has flushed but
+// not committed, in write order. Valid after Close; publish them atomically
+// via Snapshots.Publish (or commit them directly with SweepUncommitted's
+// inverse in tests).
+func (w *CIFWriter) Pending() []string { return w.pending }
+
+// DiscardPending deletes a staged writer's uncommitted partitions — the
+// cleanup path when a roll-in fails after some partitions flushed. The
+// partitions were never visible, so this only reclaims space.
+func (w *CIFWriter) DiscardPending() {
+	w.closed = true
+	for _, pdir := range w.pending {
+		w.fs.DeletePrefix(pdir + "/")
+	}
+	w.pending = nil
+}
+
 // AppendPartitions opens an existing CIF table for roll-in: new rows go to
 // fresh partitions after the existing ones, without touching old data.
+// Opening for append upgrades legacy tables to two-phase publication (see
+// ensureCommitProtocol); each flushed partition commits immediately.
 func AppendPartitions(fs *hdfs.FileSystem, dir string, partitionRows int64) (*CIFWriter, error) {
 	schema, err := ReadSchema(fs, dir)
 	if err != nil {
 		return nil, err
 	}
-	w, err := newAppendingCIFWriter(fs, dir, schema, partitionRows)
+	return newAppendingCIFWriter(fs, dir, schema, partitionRows)
+}
+
+// StagePartitions opens an existing CIF table for staged roll-in: flushed
+// partitions stay uncommitted — invisible to every reader — until the
+// caller publishes the batch, normally via Snapshots.Publish so the whole
+// batch becomes visible atomically with respect to snapshot acquisition.
+func StagePartitions(fs *hdfs.FileSystem, dir string, partitionRows int64) (*CIFWriter, error) {
+	w, err := AppendPartitions(fs, dir, partitionRows)
 	if err != nil {
 		return nil, err
 	}
+	w.staged = true
 	return w, nil
 }
 
@@ -175,9 +268,18 @@ func newAppendingCIFWriter(fs *hdfs.FileSystem, dir string, schema *records.Sche
 	if partitionRows <= 0 {
 		partitionRows = DefaultPartitionRows
 	}
-	parts, err := ListPartitions(fs, dir)
-	if err != nil {
+	if err := ensureCommitProtocol(fs, dir); err != nil {
 		return nil, err
+	}
+	// Number after the highest existing index, committed or not: counting
+	// visible partitions would collide with uncommitted stages, and reusing
+	// indexes freed by retention would resurrect retired names.
+	next := 0
+	all, _ := scanPartitionDirs(fs, dir)
+	for _, p := range all {
+		if n, ok := partitionIndex(p); ok && n >= next {
+			next = n + 1
+		}
 	}
 	return &CIFWriter{
 		fs:            fs,
@@ -185,7 +287,7 @@ func newAppendingCIFWriter(fs *hdfs.FileSystem, dir string, schema *records.Sche
 		schema:        schema,
 		partitionRows: partitionRows,
 		block:         records.NewRowBlock(schema, int(partitionRows)),
-		partition:     len(parts),
+		partition:     next,
 	}, nil
 }
 
@@ -207,7 +309,10 @@ func WriteCIFTable(fs *hdfs.FileSystem, dir string, schema *records.Schema, part
 
 // DropPartitions removes the named partition directories from a CIF table
 // (roll-out, §2: old fact data leaves without rewriting anything else).
-// Unknown partitions are ignored.
+// Unknown partitions are ignored. The delete is immediate — callers with
+// live queries must instead retire partitions through Snapshots, which
+// unlinks them from visibility first and defers the physical delete until
+// no pinned snapshot reads them.
 func DropPartitions(fs *hdfs.FileSystem, dir string, partitions []string) error {
 	known, err := ListPartitions(fs, dir)
 	if err != nil {
@@ -222,15 +327,52 @@ func DropPartitions(fs *hdfs.FileSystem, dir string, partitions []string) error 
 			p = dir + "/" + p
 		}
 		if isKnown[p] {
+			fs.Delete(p + "/" + CommitMarkerName)
 			fs.DeletePrefix(p + "/")
 		}
 	}
 	return nil
 }
 
-// ListPartitions returns the partition directories of a CIF table, sorted.
-func ListPartitions(fs *hdfs.FileSystem, dir string) ([]string, error) {
+// partitionIndex parses the numeric index out of a "p-<n>" partition
+// directory name.
+func partitionIndex(pdir string) (int, bool) {
+	base := pdir
+	if i := strings.LastIndexByte(pdir, '/'); i >= 0 {
+		base = pdir[i+1:]
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(base, "p-"))
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// sortPartitionDirs orders partitions by numeric index. "p-%05d" is a
+// minimum width, not a fixed one: lexical order breaks at p-100000 (it
+// sorts between p-00001 and p-00002). Non-numeric names sort lexically
+// after every numeric one.
+func sortPartitionDirs(parts []string) {
+	sort.Slice(parts, func(i, j int) bool {
+		ni, oki := partitionIndex(parts[i])
+		nj, okj := partitionIndex(parts[j])
+		switch {
+		case oki && okj:
+			return ni < nj
+		case oki != okj:
+			return oki
+		default:
+			return parts[i] < parts[j]
+		}
+	})
+}
+
+// scanPartitionDirs walks a table directory once, returning every partition
+// directory (in discovery order) and the set of those holding a commit
+// marker.
+func scanPartitionDirs(fs *hdfs.FileSystem, dir string) ([]string, map[string]bool) {
 	seen := map[string]bool{}
+	committed := map[string]bool{}
 	var parts []string
 	for _, p := range fs.List(dir + "/p-") {
 		rest := p[len(dir)+1:]
@@ -243,9 +385,52 @@ func ListPartitions(fs *hdfs.FileSystem, dir string) ([]string, error) {
 			seen[pdir] = true
 			parts = append(parts, pdir)
 		}
+		if rest[slash+1:] == CommitMarkerName {
+			committed[pdir] = true
+		}
 	}
-	sort.Strings(parts)
+	return parts, committed
+}
+
+// ListPartitions returns the partition directories of a CIF table in
+// numeric order. On tables using two-phase publication (the _commitproto
+// sentinel) only committed partitions are returned, so a half-written or
+// still-staged partition is never scheduled; legacy tables return every
+// partition, as before the protocol existed.
+func ListPartitions(fs *hdfs.FileSystem, dir string) ([]string, error) {
+	all, committed := scanPartitionDirs(fs, dir)
+	parts := all
+	if fs.Exists(dir + "/" + commitProtoName) {
+		parts = all[:0]
+		for _, p := range all {
+			if committed[p] {
+				parts = append(parts, p)
+			}
+		}
+	}
+	sortPartitionDirs(parts)
 	return parts, nil
+}
+
+// SweepUncommitted removes partition directories that never committed —
+// the debris of writers that crashed between phases. Only protocol tables
+// are swept (legacy tables have no notion of uncommitted), and callers must
+// ensure no writer is actively staging into the table. Returns the swept
+// directories.
+func SweepUncommitted(fs *hdfs.FileSystem, dir string) ([]string, error) {
+	if !fs.Exists(dir + "/" + commitProtoName) {
+		return nil, nil
+	}
+	all, committed := scanPartitionDirs(fs, dir)
+	var swept []string
+	for _, p := range all {
+		if committed[p] {
+			continue
+		}
+		fs.DeletePrefix(p + "/")
+		swept = append(swept, p)
+	}
+	return swept, nil
 }
 
 // CIFSplit is one CIF partition: the unit of locality and scheduling.
@@ -301,6 +486,11 @@ type CIFInput struct {
 	Dir     string
 	Columns []string // nil → all columns
 	Schema  *records.Schema
+	// Snapshot, when non-nil, is the frozen partition list this scan reads
+	// instead of listing Dir — the per-query snapshot a Snapshots registry
+	// pins at plan time, so a query never sees a partition published or
+	// retired after it started. Zone-map pruning still applies to it.
+	Snapshot []string
 	// BlockRows is the rows per block for NextBlock (B-CIF); <= 0 uses 1024.
 	BlockRows int
 
@@ -371,14 +561,22 @@ func (in *CIFInput) Splits(ctx *mr.JobContext) ([]mr.InputSplit, error) {
 	if err := in.resolve(ctx.FS); err != nil {
 		return nil, err
 	}
-	parts, err := ListPartitions(ctx.FS, in.Dir)
-	if err != nil {
-		return nil, err
+	parts := in.Snapshot
+	if parts != nil {
+		// Pruning filters in place; the pinned snapshot slice must survive
+		// for the registry's pin accounting, so work on a copy.
+		parts = append([]string(nil), parts...)
+	} else {
+		var err error
+		parts, err = ListPartitions(ctx.FS, in.Dir)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if len(parts) == 0 {
 		return nil, fmt.Errorf("colstore: CIF table %s has no partitions", in.Dir)
 	}
-	parts, err = in.prunePartitions(ctx, parts)
+	parts, err := in.prunePartitions(ctx, parts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,403 @@
+package colstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"clydesdale/internal/records"
+)
+
+// stageBatch stages n rows starting at base into uncommitted partitions and
+// returns the writer (caller publishes or discards).
+func stageBatch(t *testing.T, e *env, dir string, base, n int, partRows int64) *CIFWriter {
+	t.Helper()
+	w, err := StagePartitions(e.fs, dir, partRows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := base; i < base+n; i++ {
+		if err := w.Append(makeRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestUncommittedPartitionsInvisible(t *testing.T) {
+	e := newEnv(2, 1024)
+	if _, err := WriteCIFTable(e.fs, "/cif", tblSchema, 32, genRows(64)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := ListPartitions(e.fs, "/cif")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Staged partitions exist on disk but are invisible until published.
+	w := stageBatch(t, e, "/cif", 64, 64, 32)
+	if len(w.Pending()) != 2 {
+		t.Fatalf("pending = %v", w.Pending())
+	}
+	for _, p := range w.Pending() {
+		if !e.fs.Exists(p + "/id.col") {
+			t.Fatalf("staged partition %s has no data", p)
+		}
+	}
+	after, err := ListPartitions(e.fs, "/cif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before) {
+		t.Fatalf("uncommitted partitions visible: %v vs %v", after, before)
+	}
+	if rows := scanAll(t, e, &CIFInput{Dir: "/cif"}, nil); len(rows) != 64 {
+		t.Fatalf("scan saw %d rows before publish, want 64", len(rows))
+	}
+
+	// SweepUncommitted treats them as debris from a crashed writer.
+	swept, err := SweepUncommitted(e.fs, "/cif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != 2 {
+		t.Fatalf("swept = %v", swept)
+	}
+	for _, p := range swept {
+		if e.fs.Exists(p + "/id.col") {
+			t.Fatalf("swept partition %s still on disk", p)
+		}
+	}
+	if got, _ := ListPartitions(e.fs, "/cif"); len(got) != len(before) {
+		t.Fatalf("partitions after sweep = %v", got)
+	}
+}
+
+func TestSweepUncommittedLegacyNoop(t *testing.T) {
+	e := newEnv(2, 1024)
+	if _, err := WriteCIFTable(e.fs, "/cif", tblSchema, 32, genRows(64)); err != nil {
+		t.Fatal(err)
+	}
+	// Strip the protocol: no sentinel means every p-* dir is data, and the
+	// sweeper must not touch any of it.
+	e.fs.Delete("/cif/" + commitProtoName)
+	swept, err := SweepUncommitted(e.fs, "/cif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(swept) != 0 {
+		t.Fatalf("sweep deleted %v from a legacy table", swept)
+	}
+	if rows := scanAll(t, e, &CIFInput{Dir: "/cif"}, nil); len(rows) != 64 {
+		t.Fatalf("legacy table lost rows: %d", len(rows))
+	}
+}
+
+func TestLegacyTableUpgradeOnAppend(t *testing.T) {
+	e := newEnv(2, 1024)
+	if _, err := WriteCIFTable(e.fs, "/cif", tblSchema, 32, genRows(64)); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a pre-protocol table: drop the sentinel and every marker.
+	parts, _ := ListPartitions(e.fs, "/cif")
+	e.fs.Delete("/cif/" + commitProtoName)
+	for _, p := range parts {
+		e.fs.Delete(p + "/" + CommitMarkerName)
+	}
+	// Legacy tables keep every partition visible.
+	if got, _ := ListPartitions(e.fs, "/cif"); len(got) != len(parts) {
+		t.Fatalf("legacy listing = %v", got)
+	}
+	// Appending upgrades: markers first, sentinel last, old rows intact.
+	w, err := AppendPartitions(e.fs, "/cif", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 64; i < 96; i++ {
+		if err := w.Append(makeRow(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.fs.Exists("/cif/" + commitProtoName) {
+		t.Fatal("append did not upgrade the table")
+	}
+	for _, p := range parts {
+		if !e.fs.Exists(p + "/" + CommitMarkerName) {
+			t.Fatalf("pre-protocol partition %s not committed by upgrade", p)
+		}
+	}
+	if rows := scanAll(t, e, &CIFInput{Dir: "/cif"}, nil); len(rows) != 96 {
+		t.Fatalf("after upgrade+append: %d rows, want 96", len(rows))
+	}
+}
+
+func TestListPartitionsNumericOrder(t *testing.T) {
+	e := newEnv(2, 1024)
+	// Build the listing shape directly: a protocol table whose partition
+	// indexes cross the five-digit boundary where lexical order breaks
+	// ("p-100000" < "p-99999" byte-wise).
+	if err := e.fs.WriteFile("/cif/"+commitProtoName, "", []byte{'v'}); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{100001, 7, 99999, 100000, 42} {
+		pdir := fmt.Sprintf("/cif/p-%05d", i)
+		if err := e.fs.WriteFile(pdir+"/id.col", "", []byte{0}); err != nil {
+			t.Fatal(err)
+		}
+		if err := commitPartition(e.fs, pdir); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := ListPartitions(e.fs, "/cif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"/cif/p-00007", "/cif/p-00042", "/cif/p-99999", "/cif/p-100000", "/cif/p-100001"}
+	if len(got) != len(want) {
+		t.Fatalf("partitions = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("partitions = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAppendNumberingSkipsRetiredGaps(t *testing.T) {
+	e := newEnv(2, 1024)
+	if _, err := WriteCIFTable(e.fs, "/cif", tblSchema, 32, genRows(96)); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewSnapshots(e.fs)
+	// Retire the highest partition while a snapshot pins it: the directory
+	// lingers until the pin drains, and the next writer must number past
+	// it — reusing p-00002 would overwrite files the snapshot still reads.
+	snap, err := reg.Acquire("/cif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	if err := reg.Retire("/cif", []string{"/cif/p-00002"}); err != nil {
+		t.Fatal(err)
+	}
+	w, err := AppendPartitions(e.fs, "/cif", 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(makeRow(96)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	parts, _ := ListPartitions(e.fs, "/cif")
+	last := parts[len(parts)-1]
+	if last != "/cif/p-00003" {
+		t.Fatalf("new partition = %s, want /cif/p-00003 (index after the retired-but-pinned p-00002)", last)
+	}
+}
+
+func TestRollInAtomicVisibilityAndFailure(t *testing.T) {
+	e := newEnv(2, 1024)
+	if _, err := WriteCIFTable(e.fs, "/cif", tblSchema, 32, genRows(64)); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewSnapshots(e.fs)
+
+	// A failing roll-in leaves nothing: no visible partitions, no debris.
+	boom := errors.New("boom")
+	_, _, err := reg.RollIn("/cif", 32, func(emit func(r records.Record) error) error {
+		for i := 64; i < 128; i++ {
+			if err := emit(makeRow(i)); err != nil {
+				return err
+			}
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("roll-in error = %v", err)
+	}
+	if parts, _ := ListPartitions(e.fs, "/cif"); len(parts) != 2 {
+		t.Fatalf("failed roll-in changed visibility: %v", parts)
+	}
+	if swept, _ := SweepUncommitted(e.fs, "/cif"); len(swept) != 0 {
+		t.Fatalf("failed roll-in left debris: %v", swept)
+	}
+
+	// A successful roll-in publishes the whole batch.
+	n, pub, err := reg.RollIn("/cif", 32, func(emit func(r records.Record) error) error {
+		for i := 64; i < 128; i++ {
+			if err := emit(makeRow(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 64 || len(pub) != 2 {
+		t.Fatalf("roll-in = %d rows, %v", n, pub)
+	}
+	if rows := scanAll(t, e, &CIFInput{Dir: "/cif"}, nil); len(rows) != 128 {
+		t.Fatalf("after roll-in: %d rows", len(rows))
+	}
+}
+
+func TestSnapshotPinsPreSwapState(t *testing.T) {
+	e := newEnv(2, 1024)
+	if _, err := WriteCIFTable(e.fs, "/cif", tblSchema, 32, genRows(64)); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewSnapshots(e.fs)
+	snap, err := reg.Acquire("/cif")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Parts) != 2 {
+		t.Fatalf("snapshot parts = %v", snap.Parts)
+	}
+
+	// Roll in a batch, then retire the snapshot's partitions (compaction
+	// shape). The pinned snapshot keeps reading the old files.
+	if _, _, err := reg.RollIn("/cif", 64, func(emit func(r records.Record) error) error {
+		for i := 0; i < 64; i++ {
+			if err := emit(makeRow(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Retire("/cif", snap.Parts); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range snap.Parts {
+		if !e.fs.Exists(p + "/id.col") {
+			t.Fatalf("pinned partition %s deleted under the snapshot", p)
+		}
+	}
+	// The frozen list still scans: exactly the pre-swap 64 rows.
+	rows := scanAll(t, e, &CIFInput{Dir: "/cif", Snapshot: snap.Parts}, nil)
+	if len(rows) != 64 {
+		t.Fatalf("snapshot scan = %d rows, want 64", len(rows))
+	}
+	// A fresh listing sees only the new batch.
+	if live, _ := ListPartitions(e.fs, "/cif"); len(live) != 1 {
+		t.Fatalf("live partitions = %v", live)
+	}
+
+	// Release drains the pin; the retired files are reclaimed.
+	snap.Release()
+	for _, p := range snap.Parts {
+		if e.fs.Exists(p + "/id.col") {
+			t.Fatalf("retired partition %s not reclaimed after release", p)
+		}
+	}
+	snap.Release() // idempotent
+}
+
+func TestCompactRewritesSmallPartitions(t *testing.T) {
+	e := newEnv(2, 4096)
+	const n = 96
+	if _, err := WriteCIFTable(e.fs, "/cif", tblSchema, 8, func(emit func(r records.Record) error) error {
+		// Descending ids: arrival order is anti-clustered, so compaction's
+		// re-sort is observable in the zone maps.
+		for i := n - 1; i >= 0; i-- {
+			if err := emit(makeRow(i)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewSnapshots(e.fs)
+	res, err := Compact(reg, "/cif", CompactOptions{MinRows: 16, TargetRows: 48, ClusterBy: "id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows != n || len(res.Retired) != 12 || len(res.Published) != 2 {
+		t.Fatalf("compact = %+v", res)
+	}
+	parts, _ := ListPartitions(e.fs, "/cif")
+	if len(parts) != 2 {
+		t.Fatalf("partitions after compact = %v", parts)
+	}
+	// Row multiset unchanged, and the rewrite is clustered: fresh zone maps
+	// on id must not overlap across the new partitions.
+	rows := scanAll(t, e, &CIFInput{Dir: "/cif"}, nil)
+	if len(rows) != n {
+		t.Fatalf("after compact: %d rows", len(rows))
+	}
+	byID := sortByID(rows)
+	for i := 0; i < n; i++ {
+		if !byID[int64(i)].Equal(makeRow(i)) {
+			t.Fatalf("row %d corrupted by compaction: %v", i, byID[int64(i)])
+		}
+	}
+	var prevMax int64 = -1
+	for _, p := range parts {
+		ps, err := ReadPartitionStats(e.fs, p)
+		if err != nil || ps == nil {
+			t.Fatalf("compacted partition %s has no stats: %v", p, err)
+		}
+		var lo, hi int64
+		for i := range ps.Cols {
+			if ps.Cols[i].Name == "id" {
+				lo, hi = ps.Cols[i].Min.Int64(), ps.Cols[i].Max.Int64()
+			}
+		}
+		if lo <= prevMax {
+			t.Fatalf("partition %s zone map [%d,%d] overlaps previous max %d", p, lo, hi, prevMax)
+		}
+		prevMax = hi
+	}
+
+	// A second pass finds nothing small: compaction is quiescent.
+	res, err = Compact(reg, "/cif", CompactOptions{MinRows: 16, TargetRows: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Retired) != 0 {
+		t.Fatalf("second compact pass rewrote %v", res.Retired)
+	}
+}
+
+func TestExpireBeforeRetiresOnlyProvablyOld(t *testing.T) {
+	e := newEnv(2, 4096)
+	// Three partitions of 32 ids each: [0,31], [32,63], [64,95].
+	if _, err := WriteCIFTable(e.fs, "/cif", tblSchema, 32, genRows(96)); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewSnapshots(e.fs)
+
+	// Cutoff inside the second partition: only the first is provably old.
+	retired, err := ExpireBefore(reg, "/cif", "id", 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retired) != 1 || retired[0] != "/cif/p-00000" {
+		t.Fatalf("retired = %v", retired)
+	}
+	rows := scanAll(t, e, &CIFInput{Dir: "/cif"}, nil)
+	if len(rows) != 64 {
+		t.Fatalf("after retention: %d rows, want 64 (straddling partition kept)", len(rows))
+	}
+
+	// Cutoff below everything: nothing to do.
+	retired, err = ExpireBefore(reg, "/cif", "id", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(retired) != 0 {
+		t.Fatalf("no-op retention retired %v", retired)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"strconv"
+	"strings"
 
 	"clydesdale/internal/hdfs"
 	"clydesdale/internal/mr"
@@ -179,6 +181,55 @@ func WriteRowTable(fs *hdfs.FileSystem, dir string, schema *records.Schema, rows
 		return 0, err
 	}
 	return n, w.Close()
+}
+
+// AppendRowTable rolls rows into an existing row table as one fresh data
+// file, published atomically: rows stream into a "_"-prefixed temp name
+// (invisible to listDataFiles, hence to every reader) that is renamed into
+// place only after its footer is written. A concurrent ScanRowTable or
+// RowInput — both list data files per call — sees the table before the
+// append or after it, never a torn file; a crashed append leaves only
+// invisible "_ingest-*" debris. Returns the rows appended.
+func AppendRowTable(fs *hdfs.FileSystem, dir string, rows func(emit func(records.Record) error) error) (int64, error) {
+	schema, err := ReadSchema(fs, dir)
+	if err != nil {
+		return 0, err
+	}
+	next := 0
+	for _, p := range listDataFiles(fs, dir) {
+		base := p[len(dir)+1:]
+		if n, err := strconv.Atoi(strings.TrimPrefix(base, "part-")); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	tmp := fmt.Sprintf("%s/_ingest-%05d", dir, next)
+	final := fmt.Sprintf("%s/part-%05d", dir, next)
+	if fs.Exists(tmp) {
+		fs.Delete(tmp) // debris of a crashed earlier append
+	}
+	w, err := NewRowWriter(fs, tmp, "", schema, 0)
+	if err != nil {
+		return 0, err
+	}
+	var n int64
+	emit := func(r records.Record) error {
+		n++
+		return w.Append(r)
+	}
+	if err := rows(emit); err != nil {
+		w.Close()
+		fs.Delete(tmp)
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		fs.Delete(tmp)
+		return 0, err
+	}
+	if err := fs.Rename(tmp, final); err != nil {
+		fs.Delete(tmp)
+		return 0, err
+	}
+	return n, nil
 }
 
 // RowSplit is a run of whole groups of one row file.

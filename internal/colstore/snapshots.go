@@ -1,0 +1,182 @@
+package colstore
+
+import (
+	"sync"
+
+	"clydesdale/internal/hdfs"
+	"clydesdale/internal/records"
+)
+
+// Snapshots is the table-visibility registry that makes roll-in, compaction
+// and retention safe to run while queries execute. It owns two things:
+//
+//   - Pinned partition-list snapshots. A query acquires its fact partition
+//     list exactly once, at plan time; every split of every pass reads that
+//     frozen list, so the query sees one table state end to end.
+//   - Atomic visibility swaps. Publishing staged partitions and retiring
+//     old ones happens under the same mutex Acquire takes, so a snapshot
+//     observes the table strictly before or strictly after a batch — never
+//     a half-published roll-in or a half-retired compaction.
+//
+// Retired partitions are unlinked from visibility immediately (their commit
+// marker is removed) but physically deleted only once no pinned snapshot
+// still reads them; until then an in-flight query keeps scanning the
+// pre-swap state it pinned.
+type Snapshots struct {
+	fs *hdfs.FileSystem
+
+	mu     sync.Mutex
+	live   map[string]map[*Snapshot]bool // dir → pinned snapshots
+	doomed map[string][]string           // dir → retired, delete when unpinned
+}
+
+// NewSnapshots creates a registry over one filesystem.
+func NewSnapshots(fs *hdfs.FileSystem) *Snapshots {
+	return &Snapshots{
+		fs:     fs,
+		live:   make(map[string]map[*Snapshot]bool),
+		doomed: make(map[string][]string),
+	}
+}
+
+// Snapshot is one pinned partition list. Parts is immutable; Release it
+// when the query ends so retired partitions it pinned can be reclaimed.
+type Snapshot struct {
+	Dir   string
+	Parts []string
+
+	reg      *Snapshots
+	released bool
+}
+
+// Acquire pins the table's current committed partition list. The listing
+// happens under the registry mutex, so it is atomic with respect to every
+// Swap: a concurrent roll-in or compaction is observed fully or not at all.
+func (s *Snapshots) Acquire(dir string) (*Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parts, err := ListPartitions(s.fs, dir)
+	if err != nil {
+		return nil, err
+	}
+	sn := &Snapshot{Dir: dir, Parts: parts, reg: s}
+	if s.live[dir] == nil {
+		s.live[dir] = make(map[*Snapshot]bool)
+	}
+	s.live[dir][sn] = true
+	return sn, nil
+}
+
+// Release unpins the snapshot, physically deleting any retired partitions
+// no other snapshot still reads. Safe on nil and idempotent.
+func (sn *Snapshot) Release() {
+	if sn == nil || sn.reg == nil {
+		return
+	}
+	s := sn.reg
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sn.released {
+		return
+	}
+	sn.released = true
+	delete(s.live[sn.Dir], sn)
+	if len(s.live[sn.Dir]) == 0 {
+		delete(s.live, sn.Dir)
+	}
+	s.reapLocked(sn.Dir)
+}
+
+// pinnedLocked reports whether any live snapshot of dir reads pdir.
+func (s *Snapshots) pinnedLocked(dir, pdir string) bool {
+	for sn := range s.live[dir] {
+		for _, p := range sn.Parts {
+			if p == pdir {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// reapLocked deletes doomed partitions of dir that no snapshot pins.
+func (s *Snapshots) reapLocked(dir string) {
+	doomed := s.doomed[dir]
+	if len(doomed) == 0 {
+		return
+	}
+	remaining := doomed[:0]
+	for _, p := range doomed {
+		if s.pinnedLocked(dir, p) {
+			remaining = append(remaining, p)
+			continue
+		}
+		s.fs.DeletePrefix(p + "/")
+	}
+	if len(remaining) == 0 {
+		delete(s.doomed, dir)
+	} else {
+		s.doomed[dir] = remaining
+	}
+}
+
+// Publish commits staged partitions, making them visible as one batch.
+func (s *Snapshots) Publish(dir string, parts []string) error {
+	return s.Swap(dir, parts, nil)
+}
+
+// Retire removes partitions from visibility as one batch; physical deletion
+// waits for pinned snapshots to drain.
+func (s *Snapshots) Retire(dir string, parts []string) error {
+	return s.Swap(dir, nil, parts)
+}
+
+// Swap atomically publishes staged partitions and retires old ones: the
+// compactor's commit point. Both lists change visibility under the mutex
+// Acquire holds, so no snapshot sees the new partitions alongside the old.
+// Marker writes are the one phase that can fail (no alive datanodes); on
+// error nothing was retired and the published prefix is committed — a
+// retried Swap is idempotent.
+func (s *Snapshots) Swap(dir string, publish, retire []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range publish {
+		if err := commitPartition(s.fs, p); err != nil {
+			return err
+		}
+	}
+	for _, p := range retire {
+		s.fs.Delete(p + "/" + CommitMarkerName)
+		s.doomed[dir] = append(s.doomed[dir], p)
+	}
+	s.reapLocked(dir)
+	return nil
+}
+
+// RollIn appends a batch of rows to the table, visible atomically: rows are
+// staged into fresh uncommitted partitions, then the whole batch publishes
+// in one Swap. On error nothing became visible and the staged debris is
+// removed — an acknowledged (nil-error) roll-in is durable and complete, a
+// failed one is invisible. Returns the row count and published partitions.
+func (s *Snapshots) RollIn(dir string, partitionRows int64, rows func(emit func(records.Record) error) error) (int64, []string, error) {
+	w, err := StagePartitions(s.fs, dir, partitionRows)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := rows(func(r records.Record) error { return w.Append(r) }); err != nil {
+		w.DiscardPending()
+		return 0, nil, err
+	}
+	if err := w.Close(); err != nil {
+		w.DiscardPending()
+		return 0, nil, err
+	}
+	pending := w.Pending()
+	if len(pending) == 0 {
+		return 0, nil, nil
+	}
+	if err := s.Publish(dir, pending); err != nil {
+		return 0, nil, err
+	}
+	return w.Rows(), pending, nil
+}

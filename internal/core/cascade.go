@@ -158,9 +158,17 @@ func (e *Engine) runCascadeStarPass(ctx context.Context, p *plan.Physical, headQ
 	if !e.opts.NoScanPruning {
 		hints = e.fkPruneHints(headQ)
 	}
+	// The cascade reads the fact table in its star pass only; deeper passes
+	// consume bucketed intermediates. Pin the partition list for this pass.
+	snap, err := e.snaps.Acquire(e.cat.FactDir)
+	if err != nil {
+		return nil, err
+	}
+	defer snap.Release()
 	input := &colstore.CIFInput{
 		Dir: e.cat.FactDir, Columns: readCols, Schema: e.cat.FactSchema, BlockRows: e.opts.BlockRows,
-		Pred: headQ.FactPred, PrunePreds: hints, EagerColumns: factFKs(headQ),
+		Snapshot: snap.Parts,
+		Pred:     headQ.FactPred, PrunePreds: hints, EagerColumns: factFKs(headQ),
 		DisablePruning: e.opts.NoScanPruning, DisableLateMat: true,
 	}
 

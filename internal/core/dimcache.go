@@ -47,6 +47,23 @@ func EnsureDimCached(fs *hdfs.FileSystem, dir string) (int, error) {
 	return copied, nil
 }
 
+// DropDimCached removes every node's local copy of the dimension at dir —
+// dead nodes included, so a later revival re-copies post-roll-in data
+// instead of serving its stale snapshot. Call after appending rows to the
+// dimension's master copy; the next EnsureDimCached re-copies from HDFS.
+// Returns the number of copies dropped.
+func DropDimCached(c *cluster.Cluster, dir string) int {
+	key := dimCacheKey(dir)
+	n := 0
+	for _, node := range c.Nodes() {
+		if node.HasLocal(key) {
+			node.DropLocal(key)
+			n++
+		}
+	}
+	return n
+}
+
 // EnsureCatalogCached caches every dimension of the catalog on every live
 // node.
 func EnsureCatalogCached(fs *hdfs.FileSystem, cat *Catalog) (int, error) {

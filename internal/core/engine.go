@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -147,11 +148,13 @@ type Engine struct {
 	cat   *Catalog
 	feats Features
 	opts  Options
+	snaps *colstore.Snapshots
 
 	// hintMu guards hintCache, the per-(dimension, predicate) memo of
 	// derived scan pushdowns (FK-range prune hint + semi-join bloom):
-	// dimension contents are immutable for an engine's lifetime, so each
-	// dimension is scanned for at most once.
+	// dimension contents only change on roll-in, which must evict the memo
+	// through InvalidateTable — a stale bloom silently kills fact rows that
+	// should match.
 	hintMu    sync.Mutex
 	hintCache map[string]*dimScan
 }
@@ -171,11 +174,37 @@ func New(mrEngine *mr.Engine, cat *Catalog, opts Options) *Engine {
 	if opts.MultiSplitPack <= 0 {
 		opts.MultiSplitPack = mrEngine.Cluster().Config().MapSlots
 	}
-	return &Engine{mr: mrEngine, cat: cat, feats: feats, opts: opts}
+	return &Engine{mr: mrEngine, cat: cat, feats: feats, opts: opts,
+		snaps: colstore.NewSnapshots(mrEngine.FS())}
 }
 
 // Catalog returns the engine's catalog.
 func (e *Engine) Catalog() *Catalog { return e.cat }
+
+// Snapshots returns the engine's partition-visibility registry. Every fact
+// scan the engine runs pins its partition list here at plan time, so
+// ingestion paths (roll-in, compaction, retention) must publish and retire
+// through the same registry to stay atomic with respect to queries.
+func (e *Engine) Snapshots() *colstore.Snapshots { return e.snaps }
+
+// InvalidateTable drops the derived scan state memoized for a table — the
+// FK-range prune hints and semi-join blooms keyed by its dimension
+// predicates. Call it after rolling new rows into the table, before the
+// next query plans; serve.Session.RollIn wires this into its invalidation
+// fan-out. Returns the entries dropped.
+func (e *Engine) InvalidateTable(table string) int {
+	prefix := table + "|"
+	e.hintMu.Lock()
+	defer e.hintMu.Unlock()
+	n := 0
+	for k := range e.hintCache {
+		if strings.HasPrefix(k, prefix) {
+			delete(e.hintCache, k)
+			n++
+		}
+	}
+	return n
+}
 
 // Report describes one executed query.
 type Report struct {
@@ -356,13 +385,22 @@ func (e *Engine) executeSinglePass(ctx context.Context, q *Query) (*results.Resu
 	if !e.opts.NoBloomPushdown {
 		filters = e.semiJoinFilters(q)
 	}
+	// Pin the fact partition list once, here at plan time: a roll-in,
+	// compaction, or retention landing while the job runs changes what
+	// ListPartitions would return, but not what this query scans.
+	snap, err := e.snaps.Acquire(e.cat.FactDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer snap.Release()
 	out := &mr.MemoryOutput{}
 	job := &mr.Job{
 		Name: "clydesdale-" + q.Name,
 		Conf: conf,
 		Input: &colstore.CIFInput{
 			Dir: e.cat.FactDir, Columns: cols, Schema: e.cat.FactSchema, BlockRows: e.opts.BlockRows,
-			Pred: q.FactPred, PrunePreds: hints, EagerColumns: factFKs(q), KeyFilters: filters,
+			Snapshot: snap.Parts,
+			Pred:     q.FactPred, PrunePreds: hints, EagerColumns: factFKs(q), KeyFilters: filters,
 			DisablePruning: e.opts.NoScanPruning, DisableLateMat: e.opts.NoLateMaterialization,
 			DisableCodeSpacePreds: e.opts.NoCodeSpacePreds,
 		},

@@ -264,9 +264,18 @@ func (e *Engine) runStagedJoinPass(ctx context.Context, q *Query, spec *DimSpec,
 		if !e.opts.NoScanPruning {
 			hints = e.fkPruneHints(q)
 		}
+		// Only the first pass scans the fact table; later passes read the
+		// previous pass's intermediate, which nothing rolls into. Pinning
+		// here still gives the query one fact state end to end.
+		snap, err := e.snaps.Acquire(e.cat.FactDir)
+		if err != nil {
+			return nil, err
+		}
+		defer snap.Release()
 		input = &colstore.CIFInput{
 			Dir: e.cat.FactDir, Columns: cols, Schema: e.cat.FactSchema, BlockRows: e.opts.BlockRows,
-			Pred: q.FactPred, PrunePreds: hints, EagerColumns: factFKs(q),
+			Snapshot: snap.Parts,
+			Pred:     q.FactPred, PrunePreds: hints, EagerColumns: factFKs(q),
 			DisablePruning: e.opts.NoScanPruning, DisableLateMat: true,
 		}
 	} else {

@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -11,13 +13,6 @@ import (
 	"clydesdale/internal/obs"
 )
 
-// tableKey identifies one cached hash table: the dimension directory plus
-// the build fingerprint (join key, predicate, aux projection). Two queries
-// with equal keys probe byte-identical tables.
-func tableKey(dimDir string, spec *core.DimSpec) string {
-	return dimDir + "\x00" + spec.Fingerprint()
-}
-
 // tableCache keeps built dimension hash tables resident per node across
 // queries, implementing core.TableProvider. It generalizes the per-job
 // nodeTableGroup singleflight: concurrent misses on one (node, key) still
@@ -25,17 +20,40 @@ func tableKey(dimDir string, spec *core.DimSpec) string {
 // later query until evicted. Residency is accounted against the node's
 // memory (each cached table holds a cluster reservation) and bounded by a
 // per-node budget with LRU eviction of unpinned entries.
+//
+// Cache identity is generation-stamped: invalidateDim bumps a per-dimension
+// generation, instantly unmapping every key built from the old contents —
+// queries after a dimension roll-in rebuild from the new master copy
+// instead of probing stale tables.
 type tableCache struct {
 	budget int64 // per-node resident-bytes bound
 
 	mu    sync.Mutex
 	nodes map[string]*nodeCache
-	clock uint64 // LRU clock; ticks on every acquire/release
+	gens  map[string]uint64 // dimDir → generation, bumped by invalidateDim
+	clock uint64            // LRU clock; ticks on every acquire/release
 
-	hits      atomic.Int64
-	misses    atomic.Int64
-	builds    atomic.Int64
-	evictions atomic.Int64
+	hits          atomic.Int64
+	misses        atomic.Int64
+	builds        atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+}
+
+// keyFor is the cache identity of one table build: dimension directory,
+// the directory's current roll-in generation, and the build fingerprint
+// (join key, predicate, aux projection). Two lookups with equal keys probe
+// byte-identical tables; bumping the generation retires every outstanding
+// key at once without touching the entries that carry them.
+func (c *tableCache) keyFor(dimDir string, spec *core.DimSpec) string {
+	c.mu.Lock()
+	g := c.gens[dimDir]
+	c.mu.Unlock()
+	return keyAt(dimDir, g, spec)
+}
+
+func keyAt(dimDir string, gen uint64, spec *core.DimSpec) string {
+	return fmt.Sprintf("%s\x00%d\x00%s", dimDir, gen, spec.Fingerprint())
 }
 
 type nodeCache struct {
@@ -52,16 +70,22 @@ type nodeCache struct {
 // finishes (singleflight); pins counts tasks currently probing the table,
 // which eviction must skip.
 type cacheEntry struct {
+	key     string // the entry's key in its nodeCache, for self-removal
 	done    chan struct{}
 	ht      *core.DimHashTable
 	err     error
 	bytes   int64
 	pins    int
 	lastUse uint64
+	// doomed marks an entry invalidated while pinned or still building: the
+	// generation bump already unmapped its key for new lookups, but queries
+	// that resolved the key before the invalidation may keep probing it (a
+	// consistent pre-roll-in read). The last unpin evicts it.
+	doomed bool
 }
 
 func newTableCache(budget int64) *tableCache {
-	return &tableCache{budget: budget, nodes: make(map[string]*nodeCache)}
+	return &tableCache{budget: budget, nodes: make(map[string]*nodeCache), gens: make(map[string]uint64)}
 }
 
 // NewTableProvider returns a standalone cross-query dimension-table cache
@@ -83,7 +107,7 @@ func NewTableProvider(budget int64) core.TableProvider {
 // and reserved — until LRU eviction or Close.
 func (c *tableCache) AcquireDimTable(ctx *mr.TaskContext, dimDir string, spec *core.DimSpec) (*core.DimHashTable, func(), error) {
 	node := ctx.Node()
-	key := tableKey(dimDir, spec)
+	key := c.keyFor(dimDir, spec)
 
 	c.mu.Lock()
 	nc, ok := c.nodes[node.ID()]
@@ -111,7 +135,7 @@ func (c *tableCache) AcquireDimTable(ctx *mr.TaskContext, dimDir string, spec *c
 		c.hits.Add(1)
 		return e.ht, func() { c.unpin(node, nc, e) }, nil
 	}
-	e := &cacheEntry{done: make(chan struct{}), pins: 1}
+	e := &cacheEntry{key: key, done: make(chan struct{}), pins: 1}
 	c.clock++
 	e.lastUse = c.clock
 	nc.entries[key] = e
@@ -165,8 +189,67 @@ func (c *tableCache) unpin(node *cluster.Node, nc *nodeCache, e *cacheEntry) {
 	e.pins--
 	c.clock++
 	e.lastUse = c.clock
+	if e.doomed && e.pins == 0 {
+		// Last reader of an invalidated table: its key is already unmapped
+		// for new lookups, so drop it now and return the reservation.
+		if cur, ok := nc.entries[e.key]; ok && cur == e {
+			delete(nc.entries, e.key)
+			nc.resident -= e.bytes
+			if !nc.dead {
+				node.ReleaseMemory(e.bytes)
+			}
+			c.evictions.Add(1)
+		}
+	}
 	c.evictLocked(node, nc, 0)
 	c.mu.Unlock()
+}
+
+// invalidateDim retires every cached table built from dimDir, in three
+// moves: the generation bump unmaps all their keys for future lookups (a
+// later query can only rebuild from the new dimension contents), finished
+// unpinned entries are evicted immediately with their reservations
+// released, and pinned or still-building entries are marked doomed — the
+// queries that already resolved their key keep probing them (a consistent
+// pre-roll-in read) and the last unpin evicts them. nodeOf resolves node
+// IDs for releasing reservations. Returns entries evicted or doomed.
+func (c *tableCache) invalidateDim(dimDir string, nodeOf func(string) *cluster.Node) int {
+	prefix := dimDir + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gens[dimDir]++
+	n := 0
+	for id, nc := range c.nodes {
+		for k, e := range nc.entries {
+			if !strings.HasPrefix(k, prefix) {
+				continue
+			}
+			n++
+			c.invalidations.Add(1)
+			finished := false
+			select {
+			case <-e.done:
+				finished = true
+			default:
+			}
+			if !finished || e.pins > 0 {
+				e.doomed = true
+				continue
+			}
+			delete(nc.entries, k)
+			if e.err != nil {
+				continue
+			}
+			nc.resident -= e.bytes
+			if !nc.dead {
+				if node := nodeOf(id); node != nil {
+					node.ReleaseMemory(e.bytes)
+				}
+			}
+			c.evictions.Add(1)
+		}
+	}
+	return n
 }
 
 // evictLocked drops unpinned tables, least recently used first, until the

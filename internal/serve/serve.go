@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clydesdale/internal/cluster"
@@ -67,6 +68,11 @@ type Options struct {
 	// ResultCacheBudget bounds driver-resident cached result bytes for the
 	// fingerprint result cache; 0 uses 64 MiB, negative disables the cache.
 	ResultCacheBudget int64
+	// IngestPartitionRows sizes the CIF partitions fact roll-in batches are
+	// staged into; <= 0 uses colstore.DefaultPartitionRows. Small values
+	// favor ingest latency and lean on the compactor to restore scan-sized
+	// partitions.
+	IngestPartitionRows int64
 }
 
 // Stats is a point-in-time snapshot of the session's serving counters.
@@ -82,6 +88,12 @@ type Stats struct {
 	ResultHits, ResultSubsumedHits, ResultMisses int64
 	ResultEvictions, ResultInvalidations         int64
 	ResultBytes                                  int64
+	// Ingestion.
+	RollIns, RollInRows, RollInFailures int64
+	Compactions, CompactedRows          int64
+	PartitionsPublished                 int64 // roll-in + compaction output
+	PartitionsRetired                   int64 // compaction input + retention
+	TableInvalidations                  int64 // cached dim tables evicted/doomed by roll-in
 }
 
 // Session serves queries over one cluster, sharing dimension hash tables
@@ -100,13 +112,23 @@ type Session struct {
 	collector *obs.TraceCollector
 	recorder  *obs.FlightRecorder
 
-	mu      sync.Mutex
-	closed  bool
-	wg      sync.WaitGroup
-	unwatch func() // cancels the cluster death watcher
+	mu          sync.Mutex
+	closed      bool
+	wg          sync.WaitGroup
+	unwatch     func() // cancels the cluster death watcher
+	stopCompact func() // stops the background compactor; nil unless started
+
+	// ingestMu serializes the write path — roll-in, compaction, retention
+	// are single-writer; queries never take it.
+	ingestMu sync.Mutex
+
+	rollIns, rollInRows, rollInFailures atomic.Int64
+	compactions, compactedRows          atomic.Int64
+	partsPublished, partsRetired        atomic.Int64
+	tableInvalidations                  atomic.Int64
 
 	estMu     sync.Mutex
-	estimates map[string]int64 // tableKey → estimated build bytes
+	estimates map[string]int64 // cache key → estimated build bytes
 }
 
 // New creates a serving session over a MapReduce engine and catalog.
@@ -351,11 +373,227 @@ func resultOrders(q *core.Query) []results.Order {
 // InvalidateTable drops every cached result whose plan read the named table
 // (fact or dimension); call it after rolling new data into the table so
 // stale sums never serve. Returns the number of results dropped.
+//
+// RollIn calls this as part of its fan-out; use it directly only when data
+// changed outside the session (an external writer appended partitions).
 func (s *Session) InvalidateTable(table string) int {
 	if s.rcache == nil {
 		return 0
 	}
 	return s.rcache.invalidateTable(table)
+}
+
+// RollIn appends a batch of rows to the named table — the fact table or a
+// dimension — and is the single notification path that keeps every piece
+// of derived state coherent with the new data:
+//
+//	fact:      rows stage into fresh CIF partitions and publish in one
+//	           atomic swap (a query snapshots the partition list at plan
+//	           time, so it computes entirely over the pre- or post-batch
+//	           table, never a mix), then cached results for the table drop;
+//	dimension: rows append to the master row table (atomic rename publish),
+//	           then node-local dimension copies drop, the engine's FK-range
+//	           hints and semi-join blooms for the table evict, the serve
+//	           table cache bumps the dimension's generation, admission
+//	           estimates reset, and cached results drop.
+//
+// The result cache is invalidated after the data publishes: invalidating
+// first would let a query that computed pre-batch rows cache them as
+// post-batch; this order instead unmaps any in-flight build, whose publish
+// then refuses the stale rows. A nil error means the whole batch is
+// visible; on error nothing became visible. Roll-ins serialize with each
+// other and with compaction/retention, not with queries.
+func (s *Session) RollIn(table string, rows func(emit func(records.Record) error) error) (int64, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, ErrClosed
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	if table == s.cat.FactName {
+		return s.rollInFact(table, rows)
+	}
+	return s.rollInDim(table, rows)
+}
+
+func (s *Session) rollInFact(table string, rows func(emit func(records.Record) error) error) (int64, error) {
+	n, parts, err := s.eng.Snapshots().RollIn(s.cat.FactDir, s.opts.IngestPartitionRows, rows)
+	if err != nil {
+		s.rollInFailures.Add(1)
+		s.countIngest("roll_in_failures")
+		return 0, fmt.Errorf("serve: roll-in %s: %w", table, err)
+	}
+	s.partsPublished.Add(int64(len(parts)))
+	s.finishRollIn(table, n)
+	return n, nil
+}
+
+func (s *Session) rollInDim(table string, rows func(emit func(records.Record) error) error) (int64, error) {
+	dir, err := s.cat.DimDir(table)
+	if err != nil {
+		return 0, err
+	}
+	n, err := colstore.AppendRowTable(s.mrEng.FS(), dir, rows)
+	if err != nil {
+		s.rollInFailures.Add(1)
+		s.countIngest("roll_in_failures")
+		return 0, fmt.Errorf("serve: roll-in %s: %w", table, err)
+	}
+	// Invalidation fan-out, innermost state first: node-local dimension
+	// copies (the hash-table build source), the engine's derived scan
+	// pushdowns, the cross-query table cache, the admission estimates. All
+	// of it is derived purely from the dimension's master copy, so any
+	// query interleaving here rebuilds consistently from either side of the
+	// append.
+	core.DropDimCached(s.mrEng.Cluster(), dir)
+	s.eng.InvalidateTable(table)
+	s.tableInvalidations.Add(int64(s.cache.invalidateDim(dir, s.mrEng.Cluster().Node)))
+	s.dropEstimates(dir)
+	s.finishRollIn(table, n)
+	return n, nil
+}
+
+// finishRollIn is the tail shared by both roll-in paths: result-cache
+// invalidation (after publish — see RollIn) and accounting.
+func (s *Session) finishRollIn(table string, n int64) {
+	if s.rcache != nil {
+		s.rcache.invalidateTable(table)
+	}
+	s.rollIns.Add(1)
+	s.rollInRows.Add(n)
+	s.countIngest("roll_ins")
+	if m := s.Metrics(); m != nil {
+		m.Counter("serve.ingest.rows").Add(n)
+	}
+}
+
+// dropEstimates forgets admission estimates derived from the dimension at
+// dir (any generation).
+func (s *Session) dropEstimates(dir string) {
+	prefix := dir + "\x00"
+	s.estMu.Lock()
+	for k := range s.estimates {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			delete(s.estimates, k)
+		}
+	}
+	s.estMu.Unlock()
+}
+
+func (s *Session) countIngest(name string) {
+	if m := s.Metrics(); m != nil {
+		m.Counter("serve.ingest." + name).Inc()
+	}
+}
+
+// CompactFact runs one compaction pass over the fact table: small roll-in
+// partitions rewrite into full-size re-clustered ones with fresh zone
+// maps, exchanged in one atomic swap (see colstore.Compact). The row
+// multiset is unchanged, so no cached state needs invalidating — a racing
+// query answers identically from either side of the swap.
+func (s *Session) CompactFact(opts colstore.CompactOptions) (*colstore.CompactResult, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	res, err := colstore.Compact(s.eng.Snapshots(), s.cat.FactDir, opts)
+	if err != nil {
+		s.countIngest("compaction_failures")
+		return nil, fmt.Errorf("serve: compact %s: %w", s.cat.FactName, err)
+	}
+	if len(res.Retired) > 0 {
+		s.compactions.Add(1)
+		s.compactedRows.Add(res.Rows)
+		s.partsPublished.Add(int64(len(res.Published)))
+		s.partsRetired.Add(int64(len(res.Retired)))
+		s.countIngest("compactions")
+	}
+	return res, nil
+}
+
+// RetainFact applies date-range retention to the fact table: partitions
+// whose zone maps prove every value of col is below cutoff retire in one
+// atomic swap; partitions straddling the cutoff stay (retention never
+// drops a row it cannot prove expired). Dropping rows changes answers, so
+// cached results for the fact table are invalidated. Returns the retired
+// partitions.
+func (s *Session) RetainFact(col string, cutoff int64) ([]string, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+
+	s.ingestMu.Lock()
+	defer s.ingestMu.Unlock()
+	retired, err := colstore.ExpireBefore(s.eng.Snapshots(), s.cat.FactDir, col, cutoff)
+	if err != nil {
+		return nil, fmt.Errorf("serve: retention %s: %w", s.cat.FactName, err)
+	}
+	if len(retired) > 0 {
+		s.partsRetired.Add(int64(len(retired)))
+		s.countIngest("retentions")
+		if s.rcache != nil {
+			s.rcache.invalidateTable(s.cat.FactName)
+		}
+	}
+	return retired, nil
+}
+
+// StartCompactor runs CompactFact every interval until the returned stop
+// function is called or the session closes. Pass errors surface on the
+// "serve.ingest.compaction_failures" counter; one background compactor per
+// session (a second call replaces the first).
+func (s *Session) StartCompactor(interval time.Duration, opts colstore.CompactOptions) (stop func()) {
+	quit := make(chan struct{})
+	var once sync.Once
+	stop = func() { once.Do(func() { close(quit) }) }
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		stop()
+		return stop
+	}
+	if prev := s.stopCompact; prev != nil {
+		prev()
+	}
+	s.stopCompact = stop
+	s.wg.Add(1)
+	s.mu.Unlock()
+
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-quit:
+				return
+			case <-t.C:
+				// Close sets closed before signalling quit, so a tick racing
+				// shutdown gets ErrClosed here rather than compacting into a
+				// draining session.
+				s.CompactFact(opts)
+			}
+		}
+	}()
+	return stop
 }
 
 // syncGauges refreshes scrape-time gauges for sources without inline update
@@ -447,7 +685,7 @@ func (s *Session) admissionCost(q *core.Query) (int64, error) {
 			return 0, err
 		}
 		dirs[i] = dir
-		keys[i] = tableKey(dir, &q.Dims[i])
+		keys[i] = s.cache.keyFor(dir, &q.Dims[i])
 	}
 
 	s.estMu.Lock()
@@ -524,6 +762,14 @@ func (s *Session) Stats() Stats {
 		st.ResultInvalidations = s.rcache.invalidations.Load()
 		st.ResultBytes = s.rcache.residentBytes()
 	}
+	st.RollIns = s.rollIns.Load()
+	st.RollInRows = s.rollInRows.Load()
+	st.RollInFailures = s.rollInFailures.Load()
+	st.Compactions = s.compactions.Load()
+	st.CompactedRows = s.compactedRows.Load()
+	st.PartitionsPublished = s.partsPublished.Load()
+	st.PartitionsRetired = s.partsRetired.Load()
+	st.TableInvalidations = s.tableInvalidations.Load()
 	return st
 }
 
@@ -537,7 +783,13 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	stopCompact := s.stopCompact
 	s.mu.Unlock()
+	if stopCompact != nil {
+		// Stop the background compactor before draining: its goroutine is
+		// counted in wg, so waiting while it still ticks would deadlock.
+		stopCompact()
+	}
 	s.wg.Wait()
 	if s.unwatch != nil {
 		s.unwatch()
